@@ -1,0 +1,91 @@
+//! Benches for the rpki-rtr channel of Figure 1: PDU codec throughput and
+//! the serial-diff vs full-reset ablation (how much the incremental
+//! protocol saves as the VRP set churns).
+
+use bytes::BytesMut;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use rpki_datasets::{GeneratorConfig, World};
+use rpki_roa::Vrp;
+use rpki_rtr::cache::CacheServer;
+use rpki_rtr::pdu::Pdu;
+
+fn vrps(scale: f64) -> Vec<Vrp> {
+    World::generate(GeneratorConfig {
+        scale,
+        ..GeneratorConfig::default()
+    })
+    .snapshot(7)
+    .vrps()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let set = vrps(0.02);
+    let cache = CacheServer::new(1, &set);
+    let pdus = cache.handle(&Pdu::ResetQuery);
+    let mut encoded = BytesMut::new();
+    for p in &pdus {
+        p.encode(&mut encoded);
+    }
+    let encoded = encoded.freeze();
+
+    let mut group = c.benchmark_group("rtr/codec");
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function(BenchmarkId::new("encode", pdus.len()), |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::with_capacity(encoded.len());
+            for p in &pdus {
+                p.encode(&mut buf);
+            }
+            buf
+        })
+    });
+    group.bench_function(BenchmarkId::new("decode", pdus.len()), |b| {
+        b.iter(|| {
+            let mut view: &[u8] = &encoded;
+            let mut n = 0usize;
+            while let Some((_, used)) = Pdu::decode(view).expect("valid stream") {
+                n += 1;
+                view = &view[used..];
+            }
+            n
+        })
+    });
+    group.finish();
+}
+
+/// Ablation: with `churn` of the set changing, compare the bytes a router
+/// must process for a serial (delta) sync vs a full reset.
+fn bench_delta_vs_reset(c: &mut Criterion) {
+    let initial = vrps(0.02);
+    let mut group = c.benchmark_group("ablation/rtr_sync");
+    for churn_pct in [1usize, 10, 50] {
+        let mut updated = initial.clone();
+        let n_changed = updated.len() * churn_pct / 100;
+        updated.truncate(updated.len() - n_changed); // withdrawals
+        let mut cache = CacheServer::new(1, &initial);
+        cache.update(&updated);
+
+        group.bench_with_input(
+            BenchmarkId::new("serial_delta", churn_pct),
+            &cache,
+            |b, cache| {
+                b.iter(|| {
+                    cache.handle(&Pdu::SerialQuery {
+                        session_id: 1,
+                        serial: 0,
+                    })
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_reset", churn_pct),
+            &cache,
+            |b, cache| b.iter(|| cache.handle(&Pdu::ResetQuery)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_delta_vs_reset);
+criterion_main!(benches);

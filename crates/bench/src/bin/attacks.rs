@@ -1,0 +1,97 @@
+//! Regenerates the §4/§5 attack analysis: mean traffic interception for
+//! every (attack, ROA configuration) pair, on a synthetic AS topology
+//! under full and partial route-origin-validation adoption.
+
+use bgpsim::experiment::AttackExperiment;
+use bgpsim::topology::TopologyConfig;
+
+fn main() {
+    let n: usize = std::env::var("MAXLENGTH_TOPOLOGY")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000);
+    let trials: usize = std::env::var("MAXLENGTH_TRIALS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+
+    for rov_fraction in [1.0, 0.5] {
+        let t0 = std::time::Instant::now();
+        let report = AttackExperiment {
+            topology: TopologyConfig {
+                n,
+                ..TopologyConfig::default()
+            },
+            trials,
+            rov_fraction,
+            seed: 99,
+        }
+        .run();
+        eprintln!(
+            "topology n={n}, {trials} attacker/victim samples, ROV adoption {:.0}% ({:.1?})",
+            rov_fraction * 100.0,
+            t0.elapsed()
+        );
+        println!(
+            "\n=== traffic intercepted by the attacker (ROV adoption {:.0}%) ===\n",
+            rov_fraction * 100.0
+        );
+        print!("{}", report.render());
+    }
+
+    // The adoption sweep: §2 notes few ASes filtered in 2017; show how the
+    // two decisive attacks respond to growing enforcement.
+    let base = AttackExperiment {
+        topology: TopologyConfig {
+            n,
+            ..TopologyConfig::default()
+        },
+        trials,
+        rov_fraction: 1.0,
+        seed: 99,
+    };
+    let fractions = [0.0, 0.25, 0.5, 0.75, 1.0];
+    let classic = base.adoption_sweep(
+        bgpsim::AttackKind::SubprefixHijack,
+        bgpsim::experiment::RoaConfig::Minimal,
+        &fractions,
+    );
+    let forged = base.adoption_sweep(
+        bgpsim::AttackKind::ForgedOriginSubprefixHijack,
+        bgpsim::experiment::RoaConfig::NonMinimalMaxLen,
+        &fractions,
+    );
+    println!("
+=== mean interception vs ROV adoption ===
+");
+    print!("{:<52}", "attack / ROA");
+    for f in fractions {
+        print!(" {:>6.0}%", f * 100.0);
+    }
+    println!();
+    for (label, sweep) in [
+        ("subprefix hijack vs minimal ROA", &classic),
+        ("forged-origin subprefix vs non-minimal ROA", &forged),
+    ] {
+        print!("{label:<52}");
+        for (_, v) in &sweep.points {
+            print!(" {:>6.1}%", v * 100.0);
+        }
+        println!();
+    }
+
+    println!(
+        r#"
+Reading the table (paper §4-§5):
+  * forged-origin SUBPREFIX hijack vs the non-minimal (maxLength) ROA is
+    RPKI-valid and captures ~100% -- "as bad as a subprefix hijack";
+  * the minimal ROA kills it (0%), demoting the attacker to the
+    forged-origin PREFIX hijack, where traffic splits and the majority
+    stays on the legitimate route;
+  * classic (sub)prefix hijacks are stopped by any ROA once ROV is
+    enforced, but return as ROV adoption drops;
+  * the adoption sweep shows the asymmetry: deploying MORE validation
+    steadily kills the classic hijack but does nothing against the
+    forged-origin subprefix hijack while the ROA stays non-minimal."#
+    );
+}

@@ -1,0 +1,54 @@
+//! Regenerates Figure 3: PDU counts per scenario across the eight weekly
+//! snapshots (4/13 … 6/1), for today's deployment (3a) and full
+//! deployment (3b).
+
+use maxlength_core::timeline::{render_series, Snapshot, Timeline};
+use rpki_bench::harness::{scale_from_env, world};
+
+fn main() {
+    let scale = scale_from_env();
+    eprintln!("generating {}-week world at scale {scale} ...", 8);
+    let t0 = std::time::Instant::now();
+    let world = world(scale);
+    let snapshots: Vec<Snapshot> = world
+        .snapshots()
+        .into_iter()
+        .map(|s| Snapshot {
+            label: s.label.clone(),
+            vrps: s.vrps(),
+            bgp: s.routes.iter().collect(),
+        })
+        .collect();
+    eprintln!("snapshots ready ({:.1?}); computing all scenarios ...", t0.elapsed());
+    let t1 = std::time::Instant::now();
+    let timeline = Timeline::compute(&snapshots);
+    eprintln!("timeline computed in {:.1?}\n", t1.elapsed());
+
+    println!("Figure 3a: today's RPKI deployment (paper band: 30K-55K PDUs)\n");
+    print!("{}", render_series(&timeline.figure3a()));
+    println!();
+    println!("Figure 3b: RPKI in full deployment (paper band: 710K-780K PDUs)\n");
+    print!("{}", render_series(&timeline.figure3b()));
+    println!();
+    println!(
+        "(safe) = immune to forged-origin subprefix hijacks (solid lines in \
+         the paper); (vuln) = exposed (dashed lines)."
+    );
+
+    // Optional plot-ready CSV export.
+    if let Ok(dir) = std::env::var("MAXLENGTH_CSV") {
+        let dir = std::path::PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).expect("create CSV directory");
+        std::fs::write(
+            dir.join("figure3a.csv"),
+            maxlength_core::report::series_csv(&timeline.figure3a()),
+        )
+        .expect("write figure3a.csv");
+        std::fs::write(
+            dir.join("figure3b.csv"),
+            maxlength_core::report::series_csv(&timeline.figure3b()),
+        )
+        .expect("write figure3b.csv");
+        eprintln!("CSV series written to {}", dir.display());
+    }
+}

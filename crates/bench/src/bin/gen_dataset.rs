@@ -1,0 +1,42 @@
+//! Generates the calibrated weekly snapshots and writes them as text
+//! files, one per week, in the documented dataset format.
+//!
+//! ```sh
+//! gen_dataset <output-dir> [scale] [seed]
+//! ```
+
+use std::path::PathBuf;
+
+use rpki_datasets::{io, GeneratorConfig, World};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(dir) = args.next().map(PathBuf::from) else {
+        eprintln!("usage: gen_dataset <output-dir> [scale] [seed]");
+        std::process::exit(2);
+    };
+    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.05);
+    let seed: u64 = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(GeneratorConfig::default().seed);
+
+    std::fs::create_dir_all(&dir).expect("create output directory");
+    let world = World::generate(GeneratorConfig {
+        scale,
+        seed,
+        ..GeneratorConfig::default()
+    });
+    for (week, snap) in world.snapshots().into_iter().enumerate() {
+        let name = format!("week-{week}-{}.txt", snap.label.replace('/', "-"));
+        let path = dir.join(name);
+        io::save(&snap, &path).expect("write snapshot");
+        println!(
+            "{}: {} ROAs, {} tuples, {} BGP pairs",
+            path.display(),
+            snap.roa_count(),
+            snap.vrps().len(),
+            snap.route_count()
+        );
+    }
+}

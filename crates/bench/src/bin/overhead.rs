@@ -1,0 +1,58 @@
+//! Regenerates §7.2 "Computational overhead": wall-clock time and peak
+//! memory for `compress_roas` on today's RPKI and on the full-deployment
+//! scenario.
+//!
+//! The paper (authors' implementation, Intel i7-6700): 2.4 s / 19 MB for
+//! the partially-deployed RPKI; 36 s / 290 MB for full deployment. The
+//! Rust implementation is expected to be 1-2 orders of magnitude faster;
+//! the *ratio* between the two scenarios (~15x) is the comparable shape.
+
+use maxlength_core::bounds::full_deployment_minimal;
+use maxlength_core::compress::compress_roas;
+use rpki_bench::harness::{final_snapshot, scale_from_env, world};
+
+fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
+fn main() {
+    let scale = scale_from_env();
+    eprintln!("generating world at scale {scale} ...");
+    let world = world(scale);
+    let (_, vrps, bgp) = final_snapshot(&world);
+
+    // Scenario 1: today's (partially deployed) RPKI.
+    let t0 = std::time::Instant::now();
+    let compressed = compress_roas(&vrps);
+    let today_time = t0.elapsed();
+    println!(
+        "today's RPKI      : {:>8} -> {:>8} tuples in {:>10.2?}   (paper: 2.4 s, 19 MB)",
+        vrps.len(),
+        compressed.len(),
+        today_time
+    );
+
+    // Scenario 2: full deployment.
+    let full = full_deployment_minimal(&bgp);
+    let t1 = std::time::Instant::now();
+    let full_compressed = compress_roas(&full);
+    let full_time = t1.elapsed();
+    println!(
+        "full deployment   : {:>8} -> {:>8} tuples in {:>10.2?}   (paper: 36 s, 290 MB)",
+        full.len(),
+        full_compressed.len(),
+        full_time
+    );
+
+    println!(
+        "scenario ratio    : {:.1}x slower at full deployment (paper: {:.1}x)",
+        full_time.as_secs_f64() / today_time.as_secs_f64().max(1e-9),
+        36.0 / 2.4
+    );
+    if let Some(mb) = peak_rss_mb() {
+        println!("peak RSS          : {mb:.0} MB (whole process, including the dataset)");
+    }
+}

@@ -1,0 +1,110 @@
+//! Regenerates the §6 measurement narrative: maxLength usage, the
+//! vulnerable fraction, the minimalization cost, and the full-deployment
+//! compression bound.
+
+use maxlength_core::bounds::{max_compression_ratio, max_permissive_lower_bound};
+use maxlength_core::compress::compress_roas;
+use maxlength_core::minimal::minimalize_vrps;
+use maxlength_core::vulnerability::{hijack_surface, MaxLengthCensus};
+use maxlength_core::bounds::full_deployment_minimal;
+use rpki_bench::harness::{final_snapshot, scale_from_env, world};
+
+fn main() {
+    let scale = scale_from_env();
+    eprintln!("generating world at scale {scale} ...");
+    let world = world(scale);
+    let (snap, vrps, bgp) = final_snapshot(&world);
+    println!(
+        "dataset {}: {} ROAs, {} (prefix, maxLength, AS) tuples, {} BGP pairs\n",
+        snap.label,
+        snap.roa_count(),
+        vrps.len(),
+        bgp.len()
+    );
+
+    // --- "Using maxLength almost always creates vulnerabilities" --------
+    let census = MaxLengthCensus::analyze(&vrps, &bgp);
+    println!("maxLength census (paper: 4,630 prefixes = ~12%; 84% vulnerable):");
+    println!(
+        "  prefixes with maxLength > length : {:>8} ({:.1}% of tuples)",
+        census.max_len_using,
+        100.0 * census.max_len_fraction()
+    );
+    println!(
+        "  of those, non-minimal (VULNERABLE): {:>8} ({:.1}%)",
+        census.vulnerable,
+        100.0 * census.vulnerable_fraction()
+    );
+
+    // A few concrete attack opportunities.
+    println!("\nexample forged-origin subprefix hijack opportunities:");
+    let mut shown = 0;
+    for vrp in vrps.iter().filter(|v| v.uses_max_len()) {
+        let surface = hijack_surface(vrp, &bgp, 2);
+        if surface.unannounced_count > 0 {
+            println!(
+                "  ROA tuple {:<40} exposes {:>6} unannounced prefixes, e.g. {}",
+                vrp.to_string(),
+                surface.unannounced_count,
+                surface
+                    .examples
+                    .iter()
+                    .map(|p| p.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            shown += 1;
+            if shown == 5 {
+                break;
+            }
+        }
+    }
+
+    // --- "Benefit? Fewer prefixes included in ROAs" ----------------------
+    let minimal = minimalize_vrps(&vrps, &bgp);
+    let added = minimal.len() as i64 - vrps.len() as i64;
+    println!("\nminimalization (paper: 13K additional prefixes, +33% PDUs):");
+    println!("  minimal, no-maxLength PDUs       : {:>8}", minimal.len());
+    println!(
+        "  change vs status quo             : {:>+8} ({:+.1}%)",
+        added,
+        100.0 * added as f64 / vrps.len() as f64
+    );
+    let minimal_compressed = compress_roas(&minimal);
+    println!(
+        "  after compress_roas              : {:>8} ({:.2}% compression)",
+        minimal_compressed.len(),
+        100.0 * (1.0 - minimal_compressed.len() as f64 / minimal.len() as f64)
+    );
+
+    // --- "Benefit? Reducing load on routers" -----------------------------
+    let compressed = compress_roas(&vrps);
+    println!("\nstatus-quo compression (paper: 39,949 -> 33,615 = 15.90%):");
+    println!(
+        "  {} -> {} ({:.2}% compression)",
+        vrps.len(),
+        compressed.len(),
+        100.0 * (1.0 - compressed.len() as f64 / vrps.len() as f64)
+    );
+
+    let full = full_deployment_minimal(&bgp);
+    let full_compressed = compress_roas(&full);
+    let bound = max_permissive_lower_bound(&bgp);
+    println!("\nfull deployment (paper: 776,945 pairs; bound 729,371 = 6.2% max):");
+    println!("  minimal PDUs (= announced pairs) : {:>8}", full.len());
+    println!(
+        "  compress_roas                    : {:>8} ({:.2}% compression)",
+        full_compressed.len(),
+        100.0 * (1.0 - full_compressed.len() as f64 / full.len() as f64)
+    );
+    println!(
+        "  maximally-permissive lower bound : {:>8} ({:.2}% max compression)",
+        bound.len(),
+        100.0 * max_compression_ratio(&bgp)
+    );
+    println!(
+        "  gap to bound                     : {:>8} tuples ({:.3}%)",
+        full_compressed.len() - bound.len(),
+        100.0 * (full_compressed.len() as f64 / bound.len() as f64 - 1.0)
+    );
+}

@@ -1,0 +1,41 @@
+//! Regenerates Table 1: PDU counts for the seven scenarios.
+
+use maxlength_core::Table1;
+use rpki_bench::harness::{final_snapshot, scale_from_env, world};
+
+fn main() {
+    let scale = scale_from_env();
+    eprintln!("generating world at scale {scale} ...");
+    let t0 = std::time::Instant::now();
+    let world = world(scale);
+    let (snap, vrps, bgp) = final_snapshot(&world);
+    eprintln!(
+        "dataset {}: {} ROAs, {} tuples, {} BGP pairs ({:.1?})",
+        snap.label,
+        snap.roa_count(),
+        vrps.len(),
+        bgp.len(),
+        t0.elapsed()
+    );
+    let t1 = std::time::Instant::now();
+    let table = Table1::compute(&vrps, &bgp);
+    eprintln!("computed Table 1 in {:.1?}\n", t1.elapsed());
+    println!("Table 1 (paper: 39,949 / 33,615 / 52,745 / 49,308 / 776,945 / 730,008 / 729,371)\n");
+    print!("{table}");
+
+    if let Ok(dir) = std::env::var("MAXLENGTH_CSV") {
+        let dir = std::path::PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).expect("create CSV directory");
+        std::fs::write(
+            dir.join("table1.csv"),
+            maxlength_core::report::table1_csv(&table),
+        )
+        .expect("write table1.csv");
+        std::fs::write(
+            dir.join("table1.md"),
+            maxlength_core::report::table1_markdown(&table),
+        )
+        .expect("write table1.md");
+        eprintln!("table1.csv / table1.md written to {}", dir.display());
+    }
+}

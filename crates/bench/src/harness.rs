@@ -1,0 +1,30 @@
+//! Scale handling shared by all harness binaries.
+
+use maxlength_core::BgpTable;
+use rpki_datasets::{DatasetSnapshot, GeneratorConfig, World};
+use rpki_roa::Vrp;
+
+/// Reads the `MAXLENGTH_SCALE` environment variable (default 1.0 = paper
+/// scale; set e.g. 0.05 for a quick run).
+pub fn scale_from_env() -> f64 {
+    std::env::var("MAXLENGTH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// Generates the world at the requested scale.
+pub fn world(scale: f64) -> World {
+    World::generate(GeneratorConfig {
+        scale,
+        ..GeneratorConfig::default()
+    })
+}
+
+/// The final ("6/1") snapshot with its VRPs and indexed BGP table.
+pub fn final_snapshot(world: &World) -> (DatasetSnapshot, Vec<Vrp>, BgpTable) {
+    let snap = world.snapshot(world.config.weeks - 1);
+    let vrps = snap.vrps();
+    let bgp: BgpTable = snap.routes.iter().collect();
+    (snap, vrps, bgp)
+}

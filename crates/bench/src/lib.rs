@@ -1,0 +1,2 @@
+//! Shared helpers for the benchmark/reproduction harness.
+pub mod harness;

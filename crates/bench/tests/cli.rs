@@ -1,0 +1,80 @@
+//! End-to-end tests of the harness binaries themselves: generate a
+//! dataset on disk, analyze it, and check the figure binaries' output
+//! shape — the same commands EXPERIMENTS.md documents.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin(name: &str) -> Command {
+    Command::new(env!("CARGO_MANIFEST_DIR").to_string() + "/../../target/debug/" + name)
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mlcli-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn gen_then_analyze_round_trip() {
+    let dir = tmp("gen");
+    let out = bin("gen_dataset")
+        .args([dir.to_str().unwrap(), "0.004", "123"])
+        .output()
+        .expect("run gen_dataset");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let listing: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert_eq!(listing.len(), 8, "one file per week");
+
+    let snapshot = dir.join("week-7-6-1.txt");
+    let out = bin("analyze")
+        .arg(snapshot.to_str().unwrap())
+        .output()
+        .expect("run analyze");
+    // The generated world contains vulnerable tuples: exit code 3.
+    assert_eq!(out.status.code(), Some(3));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Today (compressed)"));
+    assert!(stdout.contains("ML-FORGED-ORIGIN"));
+    assert!(stdout.contains("vulnerable"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_rejects_garbage_file() {
+    let dir = tmp("garbage");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.txt");
+    std::fs::write(&path, "not a dataset\n").unwrap();
+    let out = bin("analyze").arg(path.to_str().unwrap()).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn figure2_asserts_and_prints() {
+    let out = bin("figure2").output().expect("run figure2");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("87.254.32.0/19-20 => AS31283"));
+    assert!(stdout.contains("authorized route sets identical: true"));
+}
+
+#[test]
+fn table1_small_scale_runs() {
+    let out = bin("table1")
+        .env("MAXLENGTH_SCALE", "0.003")
+        .output()
+        .expect("run table1");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for label in [
+        "Today",
+        "Full deployment, lower bound (max permissive ROAs)",
+    ] {
+        assert!(stdout.contains(label), "missing row {label}");
+    }
+}

@@ -1,0 +1,625 @@
+//! The four hijack types of §2/§4 and the data-plane interception metric.
+//!
+//! Each attack is staged as: the victim legitimately originates its
+//! prefix; the attacker injects one crafted announcement; both propagate
+//! under Gao–Rexford with per-AS ROV filtering; then every AS forwards a
+//! packet addressed inside the *attacked* address block along its
+//! longest-matching-prefix route, and we count where the packets land.
+
+use rpki_prefix::Prefix;
+use rpki_roa::{Asn, RouteOrigin};
+use rpki_rov::{RovPolicy, VrpIndex};
+
+use crate::routing::{propagate, Propagation, Seed};
+use crate::topology::Topology;
+
+/// The attack being simulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackKind {
+    /// `"p: m"` — the attacker claims to originate the victim's exact
+    /// prefix (§2).
+    PrefixHijack,
+    /// `"q ⊂ p: m"` — the attacker originates a subprefix (§2).
+    SubprefixHijack,
+    /// `"p: m, v"` — the attacker appends the victim's ASN, announcing
+    /// the exact prefix (the traditional forged-origin hijack, §4).
+    ForgedOriginPrefixHijack,
+    /// `"q ⊂ p: m, v"` — forged origin on an *unannounced* subprefix:
+    /// the paper's headline attack (§4).
+    ForgedOriginSubprefixHijack,
+}
+
+impl AttackKind {
+    /// All four attacks.
+    pub const ALL: [AttackKind; 4] = [
+        AttackKind::PrefixHijack,
+        AttackKind::SubprefixHijack,
+        AttackKind::ForgedOriginPrefixHijack,
+        AttackKind::ForgedOriginSubprefixHijack,
+    ];
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AttackKind::PrefixHijack => "prefix hijack",
+            AttackKind::SubprefixHijack => "subprefix hijack",
+            AttackKind::ForgedOriginPrefixHijack => "forged-origin prefix hijack",
+            AttackKind::ForgedOriginSubprefixHijack => "forged-origin subprefix hijack",
+        }
+    }
+
+    /// `true` if the attacker announces the victim's exact prefix (so the
+    /// two announcements compete head-to-head).
+    pub fn same_prefix(self) -> bool {
+        matches!(
+            self,
+            AttackKind::PrefixHijack | AttackKind::ForgedOriginPrefixHijack
+        )
+    }
+
+    /// `true` if the attacker's path claims the victim as origin.
+    pub fn forged_origin(self) -> bool {
+        matches!(
+            self,
+            AttackKind::ForgedOriginPrefixHijack | AttackKind::ForgedOriginSubprefixHijack
+        )
+    }
+}
+
+/// One staged attack.
+#[derive(Debug, Clone)]
+pub struct AttackSetup<'a> {
+    /// The AS graph.
+    pub topology: &'a Topology,
+    /// Victim AS index; it originates `victim_prefix`.
+    pub victim: usize,
+    /// Attacker AS index.
+    pub attacker: usize,
+    /// The victim's announced prefix `p`.
+    pub victim_prefix: Prefix,
+    /// The attacked subprefix `q ⊆ p` (equal to `p` for prefix-grained
+    /// attacks; traffic is measured toward an address inside `q`).
+    pub sub_prefix: Prefix,
+    /// The published VRPs (the ROA configuration under test).
+    pub vrps: &'a VrpIndex,
+    /// Per-AS validation policy.
+    pub policies: &'a [RovPolicy],
+}
+
+/// Where each AS's traffic for the attacked block ends up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackOutcome {
+    /// ASes whose traffic reaches the attacker.
+    pub intercepted: usize,
+    /// ASes whose traffic reaches the victim.
+    pub legitimate: usize,
+    /// ASes with no route toward the target at all.
+    pub disconnected: usize,
+}
+
+impl AttackOutcome {
+    /// The attacker's share of routed traffic: `intercepted /
+    /// (intercepted + legitimate)`, the metric of §4.
+    pub fn interception_fraction(&self) -> f64 {
+        let routed = self.intercepted + self.legitimate;
+        if routed == 0 {
+            0.0
+        } else {
+            self.intercepted as f64 / routed as f64
+        }
+    }
+}
+
+/// Runs one attack and measures interception.
+///
+/// # Panics
+///
+/// Panics if `attacker == victim`, if `sub_prefix` is not covered by
+/// `victim_prefix`, or if `policies.len() != topology.len()`.
+pub fn run_attack(kind: AttackKind, setup: &AttackSetup<'_>) -> AttackOutcome {
+    let t = setup.topology;
+    assert_ne!(setup.attacker, setup.victim, "attacker must differ from victim");
+    assert!(
+        setup.victim_prefix.covers(setup.sub_prefix),
+        "sub_prefix must be inside victim_prefix"
+    );
+    assert_eq!(setup.policies.len(), t.len());
+
+    let victim_asn = t.asn(setup.victim);
+    let attacker_asn = t.asn(setup.attacker);
+    let claimed = if kind.forged_origin() {
+        victim_asn
+    } else {
+        attacker_asn
+    };
+    let attacker_seed = Seed {
+        at: setup.attacker,
+        // A forged-origin path already carries the victim's ASN.
+        path_len: if kind.forged_origin() { 1 } else { 0 },
+        claimed_origin: claimed,
+    };
+    let victim_seed = Seed {
+        at: setup.victim,
+        path_len: 0,
+        claimed_origin: victim_asn,
+    };
+
+    // Import filter: RFC 6811 against the published VRPs, honoring each
+    // AS's policy. Validation sees the *claimed* origin.
+    let make_accept = |prefix: Prefix| {
+        let vrps = setup.vrps;
+        let policies = setup.policies;
+        move |at: usize, claimed_origin: Asn| -> bool {
+            let state = vrps.validate(&RouteOrigin::new(prefix, claimed_origin));
+            policies[at].permits(state)
+        }
+    };
+
+    // Propagate the victim's prefix (with the attacker competing on it if
+    // the attack is prefix-grained).
+    let accept_p = make_accept(setup.victim_prefix);
+    let mut p_seeds = vec![victim_seed];
+    if kind.same_prefix() {
+        p_seeds.push(attacker_seed);
+    }
+    let p_routes = propagate(t, &p_seeds, &accept_p);
+
+    // Propagate the subprefix if the attack announces one.
+    let q_routes: Option<Propagation> = if kind.same_prefix() {
+        None
+    } else {
+        let accept_q = make_accept(setup.sub_prefix);
+        Some(propagate(t, &[attacker_seed], &accept_q))
+    };
+
+    // Data plane: longest-prefix match toward an address in `q`.
+    let mut outcome = AttackOutcome {
+        intercepted: 0,
+        legitimate: 0,
+        disconnected: 0,
+    };
+    for a in 0..t.len() {
+        if a == setup.attacker || a == setup.victim {
+            continue;
+        }
+        let chosen = q_routes
+            .as_ref()
+            .and_then(|q| q.routes[a]) // longer match wins if present
+            .or(p_routes.routes[a]);
+        match chosen {
+            Some(info) if info.delivers_to == setup.attacker => outcome.intercepted += 1,
+            Some(_) => outcome.legitimate += 1,
+            None => outcome.disconnected += 1,
+        }
+    }
+    outcome
+}
+
+/// A forged-origin subprefix trial against a victim with an arbitrary
+/// announcement portfolio — the shape real ROA configurations produce
+/// (§6's measured world has victims announcing parents, partial subtrees,
+/// or scattered more-specifics).
+#[derive(Debug, Clone)]
+pub struct ForgedOriginTrial<'a> {
+    /// The AS graph.
+    pub topology: &'a Topology,
+    /// Victim AS index.
+    pub victim: usize,
+    /// Attacker AS index.
+    pub attacker: usize,
+    /// Everything the victim announces (any set of prefixes).
+    pub victim_prefixes: &'a [Prefix],
+    /// The prefix the attacker announces with the victim's ASN appended.
+    pub target: Prefix,
+    /// The published VRPs.
+    pub vrps: &'a VrpIndex,
+    /// Per-AS validation policy.
+    pub policies: &'a [RovPolicy],
+}
+
+/// Runs a forged-origin subprefix hijack against a multi-prefix victim.
+///
+/// The attacker announces `target` claiming the victim's origin; traffic
+/// for an address inside `target` then follows each AS's longest matching
+/// prefix among `target` and every covering victim announcement.
+pub fn run_forged_origin_trial(trial: &ForgedOriginTrial<'_>) -> AttackOutcome {
+    let t = trial.topology;
+    assert_ne!(trial.attacker, trial.victim);
+    assert_eq!(trial.policies.len(), t.len());
+    let victim_asn = t.asn(trial.victim);
+
+    let make_accept = |prefix: Prefix| {
+        let vrps = trial.vrps;
+        let policies = trial.policies;
+        move |at: usize, claimed_origin: Asn| -> bool {
+            let state = vrps.validate(&RouteOrigin::new(prefix, claimed_origin));
+            policies[at].permits(state)
+        }
+    };
+
+    // Propagate the attacked prefix: the attacker's forged announcement,
+    // plus the victim's own if the victim announces exactly `target`.
+    let mut target_seeds = vec![Seed {
+        at: trial.attacker,
+        path_len: 1,
+        claimed_origin: victim_asn,
+    }];
+    if trial.victim_prefixes.contains(&trial.target) {
+        target_seeds.push(Seed {
+            at: trial.victim,
+            path_len: 0,
+            claimed_origin: victim_asn,
+        });
+    }
+    let accept_target = make_accept(trial.target);
+    let target_routes = propagate(t, &target_seeds, &accept_target);
+
+    // Propagate every victim announcement that covers the target, longest
+    // first — these are the fallback routes traffic takes where the
+    // attacker's announcement was filtered.
+    let mut covering: Vec<Prefix> = trial
+        .victim_prefixes
+        .iter()
+        .copied()
+        .filter(|p| p.covers(trial.target) && *p != trial.target)
+        .collect();
+    covering.sort_by_key(|p| std::cmp::Reverse(p.len()));
+    let fallbacks: Vec<Propagation> = covering
+        .iter()
+        .map(|&p| {
+            let accept = make_accept(p);
+            propagate(
+                t,
+                &[Seed {
+                    at: trial.victim,
+                    path_len: 0,
+                    claimed_origin: victim_asn,
+                }],
+                &accept,
+            )
+        })
+        .collect();
+
+    let mut outcome = AttackOutcome {
+        intercepted: 0,
+        legitimate: 0,
+        disconnected: 0,
+    };
+    for a in 0..t.len() {
+        if a == trial.attacker || a == trial.victim {
+            continue;
+        }
+        let chosen = target_routes.routes[a]
+            .or_else(|| fallbacks.iter().find_map(|p| p.routes[a]));
+        match chosen {
+            Some(info) if info.delivers_to == trial.attacker => outcome.intercepted += 1,
+            Some(_) => outcome.legitimate += 1,
+            None => outcome.disconnected += 1,
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyConfig;
+    use rpki_roa::Vrp;
+
+    struct World {
+        topology: Topology,
+        victim: usize,
+        attacker: usize,
+        p: Prefix,
+        q: Prefix,
+    }
+
+    fn world() -> World {
+        let topology = Topology::generate(TopologyConfig {
+            n: 400,
+            tier1: 6,
+            ..TopologyConfig::default()
+        });
+        let stubs = topology.stubs();
+        World {
+            victim: stubs[0],
+            attacker: stubs[stubs.len() / 2],
+            topology,
+            p: "168.122.0.0/16".parse().unwrap(),
+            q: "168.122.0.0/24".parse().unwrap(),
+        }
+    }
+
+    fn run(
+        w: &World,
+        kind: AttackKind,
+        vrps: &VrpIndex,
+        policy: RovPolicy,
+    ) -> AttackOutcome {
+        let policies = vec![policy; w.topology.len()];
+        run_attack(
+            kind,
+            &AttackSetup {
+                topology: &w.topology,
+                victim: w.victim,
+                attacker: w.attacker,
+                victim_prefix: w.p,
+                sub_prefix: w.q,
+                vrps,
+                policies: &policies,
+            },
+        )
+    }
+
+    fn non_minimal_roa(w: &World) -> VrpIndex {
+        // ROA (p/16-24, victim): the §4 misconfiguration.
+        [Vrp::new(w.p, 24, w.topology.asn(w.victim))]
+            .into_iter()
+            .collect()
+    }
+
+    fn minimal_roa(w: &World) -> VrpIndex {
+        // ROA (p/16, victim) exactly: the paper's recommendation.
+        [Vrp::exact(w.p, w.topology.asn(w.victim))]
+            .into_iter()
+            .collect()
+    }
+
+    #[test]
+    fn subprefix_hijack_without_rpki_captures_everything() {
+        let w = world();
+        let empty = VrpIndex::new();
+        let outcome = run(&w, AttackKind::SubprefixHijack, &empty, RovPolicy::AcceptAll);
+        assert_eq!(outcome.interception_fraction(), 1.0);
+        assert_eq!(outcome.disconnected, 0);
+    }
+
+    #[test]
+    fn rov_stops_plain_subprefix_hijack() {
+        // §2: with the covering ROA and universal ROV, the classic
+        // subprefix hijack is Invalid and fails completely.
+        let w = world();
+        let outcome = run(
+            &w,
+            AttackKind::SubprefixHijack,
+            &minimal_roa(&w),
+            RovPolicy::DropInvalid,
+        );
+        assert_eq!(outcome.intercepted, 0);
+        assert_eq!(outcome.interception_fraction(), 0.0);
+    }
+
+    #[test]
+    fn forged_origin_subprefix_hijack_beats_non_minimal_roa() {
+        // §4's headline: the non-minimal ROA makes the forged announcement
+        // VALID, and longest-prefix match hands the attacker everything.
+        let w = world();
+        let outcome = run(
+            &w,
+            AttackKind::ForgedOriginSubprefixHijack,
+            &non_minimal_roa(&w),
+            RovPolicy::DropInvalid,
+        );
+        assert_eq!(outcome.interception_fraction(), 1.0);
+    }
+
+    #[test]
+    fn minimal_roa_stops_forged_origin_subprefix_hijack() {
+        // §5: with a minimal ROA the subprefix is Invalid; nothing is
+        // intercepted.
+        let w = world();
+        let outcome = run(
+            &w,
+            AttackKind::ForgedOriginSubprefixHijack,
+            &minimal_roa(&w),
+            RovPolicy::DropInvalid,
+        );
+        assert_eq!(outcome.intercepted, 0);
+    }
+
+    #[test]
+    fn forged_origin_prefix_hijack_only_splits_traffic() {
+        // §4/§5: demoted to the prefix-grained attack, the attacker must
+        // compete with the legitimate route and gets only a fraction.
+        let w = world();
+        let outcome = run(
+            &w,
+            AttackKind::ForgedOriginPrefixHijack,
+            &minimal_roa(&w),
+            RovPolicy::DropInvalid,
+        );
+        let f = outcome.interception_fraction();
+        assert!(f > 0.0, "some ASes are deceived");
+        assert!(f < 1.0, "but not all: traffic splits (got {f})");
+        assert!(outcome.legitimate > 0);
+    }
+
+    #[test]
+    fn prefix_hijack_with_rov_fails() {
+        let w = world();
+        let outcome = run(
+            &w,
+            AttackKind::PrefixHijack,
+            &minimal_roa(&w),
+            RovPolicy::DropInvalid,
+        );
+        assert_eq!(outcome.intercepted, 0);
+        // And the legitimate route still reaches everyone.
+        assert_eq!(outcome.disconnected, 0);
+    }
+
+    #[test]
+    fn prefix_hijack_without_rov_splits() {
+        let w = world();
+        let empty = VrpIndex::new();
+        let outcome = run(&w, AttackKind::PrefixHijack, &empty, RovPolicy::AcceptAll);
+        let f = outcome.interception_fraction();
+        assert!(f > 0.0 && f < 1.0, "prefix-grained attacks split ({f})");
+    }
+
+    #[test]
+    fn forged_origin_weaker_than_true_origin_claim() {
+        // The forged-origin path is one hop longer, so it should do no
+        // better than the plain prefix hijack without ROV.
+        let w = world();
+        let empty = VrpIndex::new();
+        let plain = run(&w, AttackKind::PrefixHijack, &empty, RovPolicy::AcceptAll);
+        let forged = run(
+            &w,
+            AttackKind::ForgedOriginPrefixHijack,
+            &empty,
+            RovPolicy::AcceptAll,
+        );
+        assert!(forged.intercepted <= plain.intercepted);
+    }
+
+    #[test]
+    fn labels_and_flags() {
+        assert!(AttackKind::ForgedOriginSubprefixHijack.forged_origin());
+        assert!(!AttackKind::SubprefixHijack.forged_origin());
+        assert!(AttackKind::PrefixHijack.same_prefix());
+        assert!(!AttackKind::SubprefixHijack.same_prefix());
+        for kind in AttackKind::ALL {
+            assert!(!kind.label().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "attacker must differ")]
+    fn rejects_self_attack() {
+        let w = world();
+        let vrps = VrpIndex::new();
+        let policies = vec![RovPolicy::AcceptAll; w.topology.len()];
+        run_attack(
+            AttackKind::PrefixHijack,
+            &AttackSetup {
+                topology: &w.topology,
+                victim: w.victim,
+                attacker: w.victim,
+                victim_prefix: w.p,
+                sub_prefix: w.q,
+                vrps: &vrps,
+                policies: &policies,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod trial_tests {
+    use super::*;
+    use crate::topology::TopologyConfig;
+    use rpki_roa::Vrp;
+
+    fn setup() -> (Topology, usize, usize, Vec<RovPolicy>) {
+        let t = Topology::generate(TopologyConfig {
+            n: 400,
+            tier1: 6,
+            ..TopologyConfig::default()
+        });
+        let stubs = t.stubs();
+        let policies = vec![RovPolicy::DropInvalid; t.len()];
+        (t.clone(), stubs[0], stubs[stubs.len() / 2], policies)
+    }
+
+    #[test]
+    fn trial_matches_simple_runner_on_single_prefix_victim() {
+        let (t, victim, attacker, policies) = setup();
+        let p: Prefix = "168.122.0.0/16".parse().unwrap();
+        let q: Prefix = "168.122.0.0/24".parse().unwrap();
+        let vrps: VrpIndex = [Vrp::new(p, 24, t.asn(victim))].into_iter().collect();
+
+        let simple = run_attack(
+            AttackKind::ForgedOriginSubprefixHijack,
+            &AttackSetup {
+                topology: &t,
+                victim,
+                attacker,
+                victim_prefix: p,
+                sub_prefix: q,
+                vrps: &vrps,
+                policies: &policies,
+            },
+        );
+        let multi = run_forged_origin_trial(&ForgedOriginTrial {
+            topology: &t,
+            victim,
+            attacker,
+            victim_prefixes: &[p],
+            target: q,
+            vrps: &vrps,
+            policies: &policies,
+        });
+        assert_eq!(simple, multi);
+        assert_eq!(multi.interception_fraction(), 1.0);
+    }
+
+    #[test]
+    fn scattered_victim_with_permissive_roa_loses_everything() {
+        // The dataset's "scattered" class: the victim announces /24s but
+        // not the covering /16; the ROA covers the whole /16-24. A hijack
+        // of any unannounced /24 has NO legitimate fallback route at all.
+        let (t, victim, attacker, policies) = setup();
+        let announced: Vec<Prefix> = vec![
+            "203.0.112.0/24".parse().unwrap(),
+            "203.0.116.0/24".parse().unwrap(),
+        ];
+        let roa_parent: Prefix = "203.0.112.0/20".parse().unwrap();
+        let vrps: VrpIndex =
+            [Vrp::new(roa_parent, 24, t.asn(victim))].into_iter().collect();
+        let outcome = run_forged_origin_trial(&ForgedOriginTrial {
+            topology: &t,
+            victim,
+            attacker,
+            victim_prefixes: &announced,
+            target: "203.0.113.0/24".parse().unwrap(),
+            vrps: &vrps,
+            policies: &policies,
+        });
+        assert_eq!(outcome.interception_fraction(), 1.0);
+        assert_eq!(outcome.legitimate, 0);
+    }
+
+    #[test]
+    fn attacking_an_announced_child_only_splits() {
+        // Safe-maxLength victims announce the full subtree: the attacker
+        // must compete with a real announcement and cannot win everyone.
+        let (t, victim, attacker, policies) = setup();
+        let parent: Prefix = "10.0.0.0/16".parse().unwrap();
+        let left: Prefix = "10.0.0.0/17".parse().unwrap();
+        let right: Prefix = "10.0.128.0/17".parse().unwrap();
+        let announced = vec![parent, left, right];
+        let vrps: VrpIndex =
+            [Vrp::new(parent, 17, t.asn(victim))].into_iter().collect();
+        let outcome = run_forged_origin_trial(&ForgedOriginTrial {
+            topology: &t,
+            victim,
+            attacker,
+            victim_prefixes: &announced,
+            target: left,
+            vrps: &vrps,
+            policies: &policies,
+        });
+        let f = outcome.interception_fraction();
+        assert!(f < 1.0, "victim's own announcement keeps a share ({f})");
+        assert!(outcome.legitimate > 0);
+    }
+
+    #[test]
+    fn exact_roa_blocks_the_trial() {
+        let (t, victim, attacker, policies) = setup();
+        let p: Prefix = "168.122.0.0/16".parse().unwrap();
+        let vrps: VrpIndex = [Vrp::exact(p, t.asn(victim))].into_iter().collect();
+        let outcome = run_forged_origin_trial(&ForgedOriginTrial {
+            topology: &t,
+            victim,
+            attacker,
+            victim_prefixes: &[p],
+            target: "168.122.0.0/24".parse().unwrap(),
+            vrps: &vrps,
+            policies: &policies,
+        });
+        assert_eq!(outcome.intercepted, 0);
+        assert_eq!(outcome.disconnected, 0); // the /16 still serves everyone
+    }
+}

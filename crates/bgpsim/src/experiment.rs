@@ -1,0 +1,396 @@
+//! Sampled attack experiments: many random attacker/victim pairs, mean
+//! interception per (attack, ROA configuration) cell — the quantitative
+//! backing for §4/§5's qualitative claims.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use rpki_prefix::Prefix;
+use rpki_roa::Vrp;
+use rpki_rov::{RovPolicy, VrpIndex};
+
+use crate::attack::{run_attack, AttackKind, AttackSetup};
+use crate::topology::{Topology, TopologyConfig};
+
+/// The victim's ROA configuration under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoaConfig {
+    /// No ROA at all (pre-RPKI world).
+    NoRoa,
+    /// The §4 misconfiguration: `(p, maxLength 24, victim)`.
+    NonMinimalMaxLen,
+    /// The paper's recommendation: an exact ROA for what is announced.
+    Minimal,
+}
+
+impl RoaConfig {
+    /// All configurations.
+    pub const ALL: [RoaConfig; 3] = [
+        RoaConfig::NoRoa,
+        RoaConfig::NonMinimalMaxLen,
+        RoaConfig::Minimal,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RoaConfig::NoRoa => "no ROA",
+            RoaConfig::NonMinimalMaxLen => "non-minimal ROA (maxLength)",
+            RoaConfig::Minimal => "minimal ROA",
+        }
+    }
+}
+
+/// Experiment parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackExperiment {
+    /// Topology to generate.
+    pub topology: TopologyConfig,
+    /// Number of sampled attacker/victim pairs per cell.
+    pub trials: usize,
+    /// Fraction of ASes enforcing route origin validation (1.0 = the
+    /// paper's "RPKI-validating routers" setting; lower values model
+    /// partial adoption, §2's observation that few ASes filter today).
+    pub rov_fraction: f64,
+    /// Sampling seed.
+    pub seed: u64,
+}
+
+impl Default for AttackExperiment {
+    fn default() -> Self {
+        AttackExperiment {
+            topology: TopologyConfig::default(),
+            trials: 20,
+            rov_fraction: 1.0,
+            seed: 99,
+        }
+    }
+}
+
+/// One cell of the report: an attack against a ROA configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentCell {
+    /// The attack.
+    pub kind: AttackKind,
+    /// The victim's ROA configuration.
+    pub roa: RoaConfig,
+    /// Mean interception fraction over the trials.
+    pub mean_interception: f64,
+    /// Minimum observed fraction.
+    pub min_interception: f64,
+    /// Maximum observed fraction.
+    pub max_interception: f64,
+}
+
+/// The full report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentReport {
+    /// One cell per (attack, ROA configuration).
+    pub cells: Vec<ExperimentCell>,
+    /// The ROV adoption fraction used.
+    pub rov_fraction: f64,
+}
+
+impl ExperimentReport {
+    /// The cell for a given pair.
+    pub fn cell(&self, kind: AttackKind, roa: RoaConfig) -> &ExperimentCell {
+        self.cells
+            .iter()
+            .find(|c| c.kind == kind && c.roa == roa)
+            .expect("all cells computed")
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<36} {:<28} {:>8} {:>8} {:>8}\n",
+            "attack", "ROA configuration", "mean", "min", "max"
+        ));
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{:<36} {:<28} {:>7.1}% {:>7.1}% {:>7.1}%\n",
+                c.kind.label(),
+                c.roa.label(),
+                c.mean_interception * 100.0,
+                c.min_interception * 100.0,
+                c.max_interception * 100.0,
+            ));
+        }
+        out
+    }
+}
+
+impl AttackExperiment {
+    /// Runs every (attack, ROA configuration) cell.
+    pub fn run(&self) -> ExperimentReport {
+        let topology = Topology::generate(self.topology);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let stubs = topology.stubs();
+        assert!(stubs.len() >= 2, "need at least two stubs");
+
+        // Per-AS ROV policies, fixed across cells for comparability.
+        let policies: Vec<RovPolicy> = (0..topology.len())
+            .map(|_| {
+                if rng.gen_bool(self.rov_fraction) {
+                    RovPolicy::DropInvalid
+                } else {
+                    RovPolicy::AcceptAll
+                }
+            })
+            .collect();
+
+        // Attacker/victim pairs, shared across cells.
+        let pairs: Vec<(usize, usize)> = (0..self.trials)
+            .map(|_| loop {
+                let v = *stubs.choose(&mut rng).expect("non-empty");
+                let a = *stubs.choose(&mut rng).expect("non-empty");
+                if a != v {
+                    return (v, a);
+                }
+            })
+            .collect();
+
+        let p: Prefix = "168.122.0.0/16".parse().expect("static");
+        let q: Prefix = "168.122.0.0/24".parse().expect("static");
+
+        let mut cells = Vec::new();
+        for kind in AttackKind::ALL {
+            for roa in RoaConfig::ALL {
+                let mut fractions = Vec::with_capacity(pairs.len());
+                for &(victim, attacker) in &pairs {
+                    let vrps: VrpIndex = match roa {
+                        RoaConfig::NoRoa => VrpIndex::new(),
+                        RoaConfig::NonMinimalMaxLen => {
+                            [Vrp::new(p, 24, topology.asn(victim))].into_iter().collect()
+                        }
+                        RoaConfig::Minimal => {
+                            [Vrp::exact(p, topology.asn(victim))].into_iter().collect()
+                        }
+                    };
+                    let outcome = run_attack(
+                        kind,
+                        &AttackSetup {
+                            topology: &topology,
+                            victim,
+                            attacker,
+                            victim_prefix: p,
+                            sub_prefix: q,
+                            vrps: &vrps,
+                            policies: &policies,
+                        },
+                    );
+                    fractions.push(outcome.interception_fraction());
+                }
+                let mean = fractions.iter().sum::<f64>() / fractions.len().max(1) as f64;
+                let min = fractions.iter().copied().fold(f64::INFINITY, f64::min);
+                let max = fractions.iter().copied().fold(0.0, f64::max);
+                cells.push(ExperimentCell {
+                    kind,
+                    roa,
+                    mean_interception: mean,
+                    min_interception: if min.is_finite() { min } else { 0.0 },
+                    max_interception: max,
+                });
+            }
+        }
+        ExperimentReport {
+            cells,
+            rov_fraction: self.rov_fraction,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ExperimentReport {
+        AttackExperiment {
+            topology: TopologyConfig {
+                n: 300,
+                tier1: 5,
+                ..TopologyConfig::default()
+            },
+            trials: 6,
+            rov_fraction: 1.0,
+            seed: 5,
+        }
+        .run()
+    }
+
+    #[test]
+    fn paper_shape_holds_under_full_rov() {
+        let r = report();
+
+        // §4: forged-origin subprefix hijack against the non-minimal ROA
+        // intercepts everything.
+        let headline = r.cell(
+            AttackKind::ForgedOriginSubprefixHijack,
+            RoaConfig::NonMinimalMaxLen,
+        );
+        assert!(headline.mean_interception > 0.999, "{headline:?}");
+
+        // §5: the minimal ROA reduces it to zero.
+        let fixed = r.cell(AttackKind::ForgedOriginSubprefixHijack, RoaConfig::Minimal);
+        assert_eq!(fixed.mean_interception, 0.0);
+
+        // The attacker's fallback — the prefix-grained forged-origin
+        // hijack — only splits traffic.
+        let fallback = r.cell(AttackKind::ForgedOriginPrefixHijack, RoaConfig::Minimal);
+        assert!(fallback.mean_interception > 0.0);
+        assert!(fallback.mean_interception < headline.mean_interception);
+        assert!(fallback.max_interception < 1.0);
+
+        // Classic hijacks are dead under any ROA + ROV.
+        for roa in [RoaConfig::Minimal, RoaConfig::NonMinimalMaxLen] {
+            assert_eq!(r.cell(AttackKind::PrefixHijack, roa).mean_interception, 0.0);
+            assert_eq!(
+                r.cell(AttackKind::SubprefixHijack, roa).mean_interception,
+                0.0
+            );
+        }
+
+        // Without any ROA, the subprefix hijack is total.
+        assert!(
+            r.cell(AttackKind::SubprefixHijack, RoaConfig::NoRoa)
+                .mean_interception
+                > 0.999
+        );
+    }
+
+    #[test]
+    fn partial_rov_interpolates() {
+        let full = report();
+        let none = AttackExperiment {
+            topology: TopologyConfig {
+                n: 300,
+                tier1: 5,
+                ..TopologyConfig::default()
+            },
+            trials: 6,
+            rov_fraction: 0.0,
+            seed: 5,
+        }
+        .run();
+        // With zero enforcement, ROAs change nothing: the subprefix hijack
+        // wins everywhere despite the minimal ROA.
+        assert!(
+            none.cell(AttackKind::SubprefixHijack, RoaConfig::Minimal)
+                .mean_interception
+                > 0.999
+        );
+        assert_eq!(
+            full.cell(AttackKind::SubprefixHijack, RoaConfig::Minimal)
+                .mean_interception,
+            0.0
+        );
+    }
+
+    #[test]
+    fn report_has_all_cells_and_renders() {
+        let r = report();
+        assert_eq!(r.cells.len(), 12);
+        let text = r.render();
+        for kind in AttackKind::ALL {
+            assert!(text.contains(kind.label()));
+        }
+        for roa in RoaConfig::ALL {
+            assert!(text.contains(roa.label()));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(report(), report());
+    }
+}
+
+/// Interception of one attack/ROA cell as ROV adoption varies — quantifies
+/// §2's observation that ROAs protect nothing until routers actually drop
+/// Invalid routes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdoptionSweep {
+    /// The attack held fixed across the sweep.
+    pub kind: AttackKind,
+    /// The ROA configuration held fixed.
+    pub roa: RoaConfig,
+    /// `(adoption fraction, mean interception)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl AttackExperiment {
+    /// Sweeps ROV adoption over `fractions` for one (attack, ROA) cell,
+    /// holding topology and attacker/victim samples fixed.
+    pub fn adoption_sweep(
+        &self,
+        kind: AttackKind,
+        roa: RoaConfig,
+        fractions: &[f64],
+    ) -> AdoptionSweep {
+        let mut points = Vec::with_capacity(fractions.len());
+        for &fraction in fractions {
+            let report = AttackExperiment {
+                rov_fraction: fraction,
+                ..*self
+            }
+            .run();
+            points.push((fraction, report.cell(kind, roa).mean_interception));
+        }
+        AdoptionSweep { kind, roa, points }
+    }
+}
+
+#[cfg(test)]
+mod sweep_tests {
+    use super::*;
+
+    #[test]
+    fn subprefix_hijack_decays_with_adoption() {
+        let experiment = AttackExperiment {
+            topology: TopologyConfig {
+                n: 250,
+                tier1: 5,
+                ..TopologyConfig::default()
+            },
+            trials: 4,
+            rov_fraction: 1.0,
+            seed: 11,
+        };
+        let sweep = experiment.adoption_sweep(
+            AttackKind::SubprefixHijack,
+            RoaConfig::Minimal,
+            &[0.0, 0.5, 1.0],
+        );
+        assert_eq!(sweep.points.len(), 3);
+        // Monotone non-increasing from total capture to zero.
+        assert!(sweep.points[0].1 > 0.99);
+        assert!(sweep.points[1].1 <= sweep.points[0].1);
+        assert_eq!(sweep.points[2].1, 0.0);
+    }
+
+    #[test]
+    fn forged_origin_subprefix_immune_to_adoption_with_bad_roa() {
+        // The paper's point sharpened: against the non-minimal ROA, MORE
+        // validation does not help at all — the hijack is Valid.
+        let experiment = AttackExperiment {
+            topology: TopologyConfig {
+                n: 250,
+                tier1: 5,
+                ..TopologyConfig::default()
+            },
+            trials: 4,
+            rov_fraction: 1.0,
+            seed: 11,
+        };
+        let sweep = experiment.adoption_sweep(
+            AttackKind::ForgedOriginSubprefixHijack,
+            RoaConfig::NonMinimalMaxLen,
+            &[0.0, 1.0],
+        );
+        for (_, interception) in &sweep.points {
+            assert!(*interception > 0.99);
+        }
+    }
+}

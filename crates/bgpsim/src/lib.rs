@@ -1,0 +1,58 @@
+//! An AS-level BGP simulator for the paper's attack analysis (§4–§5).
+//!
+//! The paper's security claims are routing-policy consequences:
+//!
+//! * a **forged-origin subprefix hijack** against a non-minimal ROA is
+//!   RPKI-valid and, being the *only* route for its prefix, captures 100%
+//!   of the traffic via longest-prefix match (§4);
+//! * a traditional **forged-origin prefix hijack** competes with the
+//!   legitimate announcement, so traffic *splits* and the majority stays
+//!   on the legitimate route on average (§4, citing Lychev et al.);
+//! * a **minimal ROA** makes the subprefix variant Invalid, forcing the
+//!   attacker down to the much weaker prefix-grained attack (§5).
+//!
+//! This crate reproduces those results on synthetic AS topologies:
+//!
+//! * [`topology`] — Internet-like AS graphs: a tier-1 clique,
+//!   preferential-attachment customer/provider edges, sprinkled peering.
+//! * [`routing`] — Gao–Rexford route propagation (customer > peer >
+//!   provider preference, standard export rules, shortest-path tie-breaks)
+//!   with per-AS route-origin-validation filtering.
+//! * [`attack`] — the four hijack types and the longest-prefix-match
+//!   data plane that measures who delivers traffic to whom.
+//! * [`experiment`] — sampled attacker/victim trials producing the
+//!   interception statistics quoted in EXPERIMENTS.md.
+//!
+//! ```
+//! use bgpsim::{AttackExperiment, AttackKind};
+//! use bgpsim::experiment::RoaConfig;
+//! use bgpsim::topology::TopologyConfig;
+//!
+//! let report = AttackExperiment {
+//!     topology: TopologyConfig { n: 120, tier1: 4, ..TopologyConfig::default() },
+//!     trials: 3,
+//!     rov_fraction: 1.0,
+//!     seed: 1,
+//! }
+//! .run();
+//!
+//! // §4: the headline attack beats the non-minimal ROA completely...
+//! let bad = report.cell(AttackKind::ForgedOriginSubprefixHijack, RoaConfig::NonMinimalMaxLen);
+//! assert!(bad.mean_interception > 0.99);
+//! // ...and the minimal ROA stops it cold (§5).
+//! let good = report.cell(AttackKind::ForgedOriginSubprefixHijack, RoaConfig::Minimal);
+//! assert_eq!(good.mean_interception, 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod experiment;
+pub mod routing;
+pub mod topology;
+
+pub use attack::{AttackKind, AttackOutcome, AttackSetup, ForgedOriginTrial};
+pub use experiment::{AdoptionSweep, AttackExperiment, ExperimentReport};
+pub use routing::{Propagation, RouteClass, RouteInfo};
+pub use topology::{Relationship, Topology, TopologyConfig};

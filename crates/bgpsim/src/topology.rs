@@ -1,0 +1,289 @@
+//! Internet-like AS topologies.
+//!
+//! The generator follows the structure empirical AS graphs show: a small
+//! clique of tier-1 transit providers peering with each other, and every
+//! other AS multihoming to 1–3 providers chosen by preferential
+//! attachment, plus occasional lateral peering links. That is enough
+//! structure for Gao–Rexford routing to exhibit the valley-free,
+//! customer-preferred paths the paper's traffic-splitting argument rests
+//! on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rpki_roa::Asn;
+
+/// The business relationship of an edge, from the perspective of one end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relationship {
+    /// The neighbor is our customer (they pay us).
+    Customer,
+    /// The neighbor is our provider (we pay them).
+    Provider,
+    /// Settlement-free peering.
+    Peer,
+}
+
+impl Relationship {
+    /// The same edge seen from the other end.
+    pub fn flipped(self) -> Relationship {
+        match self {
+            Relationship::Customer => Relationship::Provider,
+            Relationship::Provider => Relationship::Customer,
+            Relationship::Peer => Relationship::Peer,
+        }
+    }
+}
+
+/// Configuration for [`Topology::generate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopologyConfig {
+    /// Total number of ASes (≥ `tier1 + 1`).
+    pub n: usize,
+    /// Size of the fully-peered tier-1 clique.
+    pub tier1: usize,
+    /// Maximum providers per non-tier-1 AS (1..=max, degree-weighted).
+    pub max_providers: usize,
+    /// Probability that a new AS also gets one lateral peer link.
+    pub peer_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        TopologyConfig {
+            n: 1000,
+            tier1: 8,
+            max_providers: 3,
+            peer_prob: 0.2,
+            seed: 7,
+        }
+    }
+}
+
+/// An AS-level graph with annotated business relationships.
+///
+/// ASes are dense indices `0..n`; [`Topology::asn`] maps to the public
+/// [`Asn`] numbering (index + 1).
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// `neighbors[a]` lists `(b, relationship of b as seen from a)`.
+    neighbors: Vec<Vec<(usize, Relationship)>>,
+    tier1: usize,
+}
+
+impl Topology {
+    /// Generates a topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n <= tier1` or `tier1 == 0` or `max_providers == 0`.
+    pub fn generate(config: TopologyConfig) -> Topology {
+        assert!(config.tier1 >= 1, "need at least one tier-1");
+        assert!(config.n > config.tier1, "need ASes beyond the clique");
+        assert!(config.max_providers >= 1);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut topo = Topology {
+            neighbors: vec![Vec::new(); config.n],
+            tier1: config.tier1,
+        };
+        // Tier-1 clique: everyone peers with everyone.
+        for a in 0..config.tier1 {
+            for b in (a + 1)..config.tier1 {
+                topo.add_edge(a, b, Relationship::Peer);
+            }
+        }
+        // Everyone else: preferential attachment to providers.
+        // `degree + 1` weighting via sampling from an endpoint list.
+        let mut endpoints: Vec<usize> = (0..config.tier1).collect();
+        for a in config.tier1..config.n {
+            let k = rng.gen_range(1..=config.max_providers);
+            let mut providers = Vec::with_capacity(k);
+            for _ in 0..k {
+                let candidate = endpoints[rng.gen_range(0..endpoints.len())];
+                if candidate != a && !providers.contains(&candidate) {
+                    providers.push(candidate);
+                }
+            }
+            if providers.is_empty() {
+                providers.push(rng.gen_range(0..config.tier1));
+            }
+            for &p in &providers {
+                // p is a's provider.
+                topo.add_edge(a, p, Relationship::Provider);
+                endpoints.push(p);
+                endpoints.push(a);
+            }
+            if rng.gen_bool(config.peer_prob) && a > config.tier1 {
+                let peer = rng.gen_range(config.tier1..a);
+                if peer != a && !topo.are_neighbors(a, peer) {
+                    topo.add_edge(a, peer, Relationship::Peer);
+                }
+            }
+        }
+        topo
+    }
+
+    fn add_edge(&mut self, a: usize, b: usize, rel_of_b_from_a: Relationship) {
+        self.neighbors[a].push((b, rel_of_b_from_a));
+        self.neighbors[b].push((a, rel_of_b_from_a.flipped()));
+    }
+
+    /// Number of ASes.
+    pub fn len(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// `true` if the graph has no ASes.
+    pub fn is_empty(&self) -> bool {
+        self.neighbors.is_empty()
+    }
+
+    /// Number of tier-1 ASes (indices `0..tier1()`).
+    pub fn tier1(&self) -> usize {
+        self.tier1
+    }
+
+    /// The neighbors of `a` with their relationship as seen from `a`.
+    pub fn neighbors(&self, a: usize) -> &[(usize, Relationship)] {
+        &self.neighbors[a]
+    }
+
+    /// `true` if an edge joins `a` and `b`.
+    pub fn are_neighbors(&self, a: usize, b: usize) -> bool {
+        self.neighbors[a].iter().any(|&(n, _)| n == b)
+    }
+
+    /// `true` if `a` has no customers (an edge/stub network, the typical
+    /// hijack victim). Tier-1 ASes are never considered stubs, even when
+    /// the generator happens to attach no customer to one.
+    pub fn is_stub(&self, a: usize) -> bool {
+        a >= self.tier1
+            && !self.neighbors[a]
+                .iter()
+                .any(|&(_, rel)| rel == Relationship::Customer)
+    }
+
+    /// All stub AS indices.
+    pub fn stubs(&self) -> Vec<usize> {
+        (self.tier1..self.len()).filter(|&a| self.is_stub(a)).collect()
+    }
+
+    /// The public AS number of index `a`.
+    pub fn asn(&self, a: usize) -> Asn {
+        Asn(a as u32 + 1)
+    }
+
+    /// The index of a public AS number, if in range.
+    pub fn index_of(&self, asn: Asn) -> Option<usize> {
+        let idx = asn.into_u32().checked_sub(1)? as usize;
+        (idx < self.len()).then_some(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Topology {
+        Topology::generate(TopologyConfig {
+            n: 200,
+            tier1: 5,
+            ..TopologyConfig::default()
+        })
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = small();
+        let b = small();
+        for i in 0..a.len() {
+            assert_eq!(a.neighbors(i), b.neighbors(i));
+        }
+    }
+
+    #[test]
+    fn tier1_clique_is_fully_peered() {
+        let t = small();
+        for a in 0..t.tier1() {
+            for b in 0..t.tier1() {
+                if a != b {
+                    assert!(t.are_neighbors(a, b));
+                    let rel = t
+                        .neighbors(a)
+                        .iter()
+                        .find(|&&(n, _)| n == b)
+                        .map(|&(_, r)| r)
+                        .unwrap();
+                    assert_eq!(rel, Relationship::Peer);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relationships_are_symmetric() {
+        let t = small();
+        for a in 0..t.len() {
+            for &(b, rel) in t.neighbors(a) {
+                let back = t
+                    .neighbors(b)
+                    .iter()
+                    .find(|&&(n, _)| n == a)
+                    .map(|&(_, r)| r)
+                    .expect("edge must be bidirectional");
+                assert_eq!(back, rel.flipped());
+            }
+        }
+    }
+
+    #[test]
+    fn every_as_has_an_upstream_or_is_tier1() {
+        let t = small();
+        for a in t.tier1()..t.len() {
+            assert!(
+                t.neighbors(a)
+                    .iter()
+                    .any(|&(_, rel)| rel == Relationship::Provider),
+                "AS {a} has no provider"
+            );
+        }
+    }
+
+    #[test]
+    fn stubs_exist_and_have_no_customers() {
+        let t = small();
+        let stubs = t.stubs();
+        assert!(stubs.len() > t.len() / 4, "expected many stubs");
+        for s in stubs {
+            assert!(t.is_stub(s));
+        }
+    }
+
+    #[test]
+    fn asn_mapping_round_trips() {
+        let t = small();
+        for a in [0usize, 1, 57, 199] {
+            assert_eq!(t.index_of(t.asn(a)), Some(a));
+        }
+        assert_eq!(t.index_of(Asn(0)), None);
+        assert_eq!(t.index_of(Asn(10_000)), None);
+    }
+
+    #[test]
+    fn flipped_is_involution() {
+        for rel in [Relationship::Customer, Relationship::Provider, Relationship::Peer] {
+            assert_eq!(rel.flipped().flipped(), rel);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need ASes beyond the clique")]
+    fn rejects_degenerate_config() {
+        Topology::generate(TopologyConfig {
+            n: 5,
+            tier1: 5,
+            ..TopologyConfig::default()
+        });
+    }
+}

@@ -1,0 +1,125 @@
+//! Full-deployment bounds (§6, "Benefit? Reducing load on routers").
+//!
+//! To bound how much PDU compression maxLength could *ever* buy, the paper
+//! imagines every announced `(prefix, AS)` pair covered by a
+//! **maximally-permissive ROA** (maxLength 32/128). Such a ROA set needs
+//! one tuple per announced pair that has no same-origin ancestor in BGP —
+//! everything else is swallowed by an ancestor's permissive maxLength.
+//! On the June 2017 table this shrinks 777K pairs to only 729K tuples, a
+//! 6.2% ceiling; `compress_roas` gets within a fraction of a percent of it
+//! without creating any vulnerability.
+
+use rpki_roa::Vrp;
+
+use crate::BgpTable;
+
+/// The "minimal ROAs, no maxLength" PDU set for full deployment: one exact
+/// tuple per announced pair. (Table 1 row 5: 776,945 on the paper's data.)
+pub fn full_deployment_minimal(bgp: &BgpTable) -> Vec<Vrp> {
+    let mut out: Vec<Vrp> = bgp.iter().map(|r| Vrp::exact(r.prefix, r.origin)).collect();
+    out.sort_unstable();
+    out
+}
+
+/// The maximally-permissive lower bound (Table 1 row 7): tuples for exactly
+/// those announced pairs with no same-origin strict ancestor announced,
+/// each given the family-maximum maxLength.
+///
+/// This is the fewest PDUs *any* maxLength assignment covering the whole
+/// table can produce — and it is maximally vulnerable to forged-origin
+/// subprefix hijacks, which is why the paper uses it only as a bound.
+pub fn max_permissive_lower_bound(bgp: &BgpTable) -> Vec<Vrp> {
+    let mut out: Vec<Vrp> = bgp
+        .iter()
+        .filter(|r| !bgp.has_ancestor_same_origin(r.prefix, r.origin))
+        .map(|r| Vrp::max_permissive(r.prefix, r.origin))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// The compression ceiling: `1 - lower_bound / pairs` (§6 reports 6.2%).
+pub fn max_compression_ratio(bgp: &BgpTable) -> f64 {
+    if bgp.is_empty() {
+        return 0.0;
+    }
+    1.0 - max_permissive_lower_bound(bgp).len() as f64 / bgp.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpki_roa::RouteOrigin;
+
+    fn bgp(routes: &[&str]) -> BgpTable {
+        routes
+            .iter()
+            .map(|s| s.parse::<RouteOrigin>().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn minimal_is_one_tuple_per_pair() {
+        let table = bgp(&["10.0.0.0/8 => AS1", "10.0.0.0/16 => AS1", "11.0.0.0/8 => AS2"]);
+        let minimal = full_deployment_minimal(&table);
+        assert_eq!(minimal.len(), 3);
+        assert!(minimal.iter().all(|v| !v.uses_max_len()));
+    }
+
+    #[test]
+    fn lower_bound_drops_deaggregates() {
+        let table = bgp(&[
+            "10.0.0.0/8 => AS1",
+            "10.0.0.0/16 => AS1",  // de-aggregate of AS1's /8: swallowed
+            "10.1.0.0/16 => AS2",  // different origin: kept
+            "11.0.0.0/8 => AS2",
+        ]);
+        let bound = max_permissive_lower_bound(&table);
+        assert_eq!(bound.len(), 3);
+        assert!(bound.iter().all(|v| v.max_len == v.prefix.max_len()));
+        // The surviving tuples authorize every announced pair.
+        for route in table.iter() {
+            assert!(bound.iter().any(|v| v.matches(&route)), "{route}");
+        }
+    }
+
+    #[test]
+    fn lower_bound_equals_pairs_without_deaggregation() {
+        let table = bgp(&["10.0.0.0/8 => AS1", "11.0.0.0/8 => AS2", "2001:db8::/32 => AS3"]);
+        assert_eq!(max_permissive_lower_bound(&table).len(), table.len());
+        assert_eq!(max_compression_ratio(&table), 0.0);
+    }
+
+    #[test]
+    fn compression_ratio() {
+        let table = bgp(&[
+            "10.0.0.0/8 => AS1",
+            "10.0.0.0/16 => AS1",
+            "10.1.0.0/16 => AS1",
+            "11.0.0.0/8 => AS2",
+        ]);
+        // 4 pairs, bound 2 → ratio 0.5.
+        assert!((max_compression_ratio(&table) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_table() {
+        let table = BgpTable::new();
+        assert!(full_deployment_minimal(&table).is_empty());
+        assert!(max_permissive_lower_bound(&table).is_empty());
+        assert_eq!(max_compression_ratio(&table), 0.0);
+    }
+
+    #[test]
+    fn nested_chain_keeps_only_top() {
+        let table = bgp(&[
+            "10.0.0.0/8 => AS1",
+            "10.0.0.0/12 => AS1",
+            "10.0.0.0/16 => AS1",
+            "10.0.0.0/24 => AS1",
+        ]);
+        let bound = max_permissive_lower_bound(&table);
+        assert_eq!(bound.len(), 1);
+        assert_eq!(bound[0].prefix.len(), 8);
+    }
+}

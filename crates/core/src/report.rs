@@ -1,0 +1,173 @@
+//! Plot-ready exports: CSV and Markdown renderings of the analysis
+//! results, so the harness can feed gnuplot/spreadsheets exactly like the
+//! paper's artifact scripts did.
+
+use std::fmt::Write as _;
+
+use crate::scenarios::Table1;
+use crate::timeline::Series;
+use crate::vulnerability::MaxLengthCensus;
+
+/// Escapes one CSV field (quotes fields containing separators).
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Table 1 as CSV: `scenario,pdus,secure`.
+pub fn table1_csv(table: &Table1) -> String {
+    let mut out = String::from("scenario,pdus,secure\n");
+    for row in &table.rows {
+        let _ = writeln!(
+            out,
+            "{},{},{}",
+            csv_field(row.scenario.label()),
+            row.pdus,
+            row.secure
+        );
+    }
+    out
+}
+
+/// Table 1 as a Markdown table.
+pub fn table1_markdown(table: &Table1) -> String {
+    let mut out = String::from("| scenario | # PDUs | secure? |\n|---|---:|---|\n");
+    for row in &table.rows {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} |",
+            row.scenario.label(),
+            row.pdus,
+            if row.secure { "yes" } else { "**no**" }
+        );
+    }
+    out
+}
+
+/// Figure 3 series as CSV: one `date` column then one column per series.
+/// All series must share the same dates (they do, by construction).
+pub fn series_csv(series: &[Series]) -> String {
+    let mut out = String::from("date");
+    for s in series {
+        out.push(',');
+        out.push_str(&csv_field(s.name));
+    }
+    out.push('\n');
+    let Some(first) = series.first() else {
+        return out;
+    };
+    for (i, (date, _)) in first.points.iter().enumerate() {
+        out.push_str(&csv_field(date));
+        for s in series {
+            let _ = write!(out, ",{}", s.points[i].1);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The §6 census as CSV key-value rows.
+pub fn census_csv(census: &MaxLengthCensus) -> String {
+    format!(
+        "metric,value\n\
+         total_tuples,{}\n\
+         maxlength_using,{}\n\
+         maxlength_fraction,{:.4}\n\
+         vulnerable,{}\n\
+         vulnerable_fraction,{:.4}\n\
+         non_minimal_total,{}\n",
+        census.total,
+        census.max_len_using,
+        census.max_len_fraction(),
+        census.vulnerable,
+        census.vulnerable_fraction(),
+        census.non_minimal_total,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::{Snapshot, Timeline};
+    use crate::BgpTable;
+    use rpki_roa::{RouteOrigin, Vrp};
+
+    fn world() -> (Vec<Vrp>, BgpTable) {
+        let vrps: Vec<Vrp> = vec!["10.0.0.0/16-17 => AS1".parse().unwrap()];
+        let bgp: BgpTable = ["10.0.0.0/16 => AS1", "20.0.0.0/16 => AS2"]
+            .iter()
+            .map(|s| s.parse::<RouteOrigin>().unwrap())
+            .collect();
+        (vrps, bgp)
+    }
+
+    #[test]
+    fn table1_csv_has_all_rows() {
+        let (vrps, bgp) = world();
+        let csv = table1_csv(&Table1::compute(&vrps, &bgp));
+        assert_eq!(csv.lines().count(), 8); // header + 7 rows
+        assert!(csv.starts_with("scenario,pdus,secure\n"));
+        assert!(csv.contains("Today,1,false"));
+        // The comma-bearing label is quoted.
+        assert!(csv.contains("\"Today, minimal ROAs, no maxLength\""));
+    }
+
+    #[test]
+    fn table1_markdown_renders() {
+        let (vrps, bgp) = world();
+        let md = table1_markdown(&Table1::compute(&vrps, &bgp));
+        assert!(md.contains("| Today | 1 | **no** |"));
+        assert!(md.lines().count() >= 9);
+    }
+
+    #[test]
+    fn series_csv_aligns_dates() {
+        let (vrps, bgp) = world();
+        let snapshots = vec![
+            Snapshot {
+                label: "4/13".into(),
+                vrps: vrps.clone(),
+                bgp: bgp.clone(),
+            },
+            Snapshot {
+                label: "6/1".into(),
+                vrps,
+                bgp,
+            },
+        ];
+        let tl = Timeline::compute(&snapshots);
+        let csv = series_csv(&tl.figure3a());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3); // header + 2 dates
+        assert!(lines[0].starts_with("date,Status quo,"));
+        assert!(lines[1].starts_with("4/13,"));
+        assert!(lines[2].starts_with("6/1,"));
+        // Four series → five columns.
+        assert_eq!(lines[1].split(',').count(), 5);
+    }
+
+    #[test]
+    fn series_csv_empty() {
+        assert_eq!(series_csv(&[]), "date\n");
+    }
+
+    #[test]
+    fn census_csv_round_numbers() {
+        let (vrps, bgp) = world();
+        let census = MaxLengthCensus::analyze(&vrps, &bgp);
+        let csv = census_csv(&census);
+        assert!(csv.contains("total_tuples,1"));
+        assert!(csv.contains("maxlength_using,1"));
+        assert!(csv.contains("vulnerable,1")); // the /17s are unannounced
+    }
+
+    #[test]
+    fn csv_field_escaping() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("q\"q"), "\"q\"\"q\"");
+    }
+}

@@ -1,0 +1,205 @@
+//! The Figure 3 timeline engine: Table 1 quantities tracked across a
+//! sequence of weekly snapshots (the paper uses 2017-04-13 … 2017-06-01).
+//!
+//! Figure 3a plots today's deployment: status quo, status quo compressed,
+//! minimal without maxLength, minimal with maxLength. Figure 3b plots the
+//! full-deployment scenario: minimal without/with maxLength against the
+//! maximally-permissive lower bound. Solid vs dashed in the paper encodes
+//! the same "secure?" flag as Table 1.
+
+use rpki_roa::Vrp;
+
+use crate::scenarios::{Scenario, Table1};
+use crate::BgpTable;
+
+/// One dated snapshot of (validated VRPs, global BGP table).
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// A display label, e.g. `4/13`.
+    pub label: String,
+    /// The VRPs extracted from the RPKI on that date.
+    pub vrps: Vec<Vrp>,
+    /// The BGP table observed on that date.
+    pub bgp: BgpTable,
+}
+
+/// One point on the Figure 3 timeline: every Table 1 quantity for a date.
+#[derive(Debug, Clone)]
+pub struct TimelinePoint {
+    /// The snapshot's label.
+    pub label: String,
+    /// The full Table 1 on this date.
+    pub table: Table1,
+}
+
+/// A named data series, ready for plotting or text rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label (matches the paper's legends).
+    pub name: &'static str,
+    /// Whether the underlying scenario is hijack-safe (solid line in the
+    /// paper; dashed otherwise).
+    pub secure: bool,
+    /// `(date label, PDU count)` pairs.
+    pub points: Vec<(String, usize)>,
+}
+
+/// The computed timeline.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    /// One point per snapshot, in input order.
+    pub points: Vec<TimelinePoint>,
+}
+
+impl Timeline {
+    /// Computes Table 1 for every snapshot.
+    pub fn compute(snapshots: &[Snapshot]) -> Timeline {
+        Timeline {
+            points: snapshots
+                .iter()
+                .map(|s| TimelinePoint {
+                    label: s.label.clone(),
+                    table: Table1::compute(&s.vrps, &s.bgp),
+                })
+                .collect(),
+        }
+    }
+
+    fn series(&self, name: &'static str, scenario: Scenario) -> Series {
+        Series {
+            name,
+            secure: scenario.secure(),
+            points: self
+                .points
+                .iter()
+                .map(|p| (p.label.clone(), p.table.pdus(scenario)))
+                .collect(),
+        }
+    }
+
+    /// Figure 3a: the four today's-deployment series.
+    pub fn figure3a(&self) -> Vec<Series> {
+        vec![
+            self.series("Status quo", Scenario::Today),
+            self.series("Status quo (compressed)", Scenario::TodayCompressed),
+            self.series("Minimal ROAs, no maxLength", Scenario::TodayMinimal),
+            self.series(
+                "Minimal ROAs, with maxLength",
+                Scenario::TodayMinimalCompressed,
+            ),
+        ]
+    }
+
+    /// Figure 3b: the three full-deployment series.
+    pub fn figure3b(&self) -> Vec<Series> {
+        vec![
+            self.series("Minimal ROAs, no maxLength", Scenario::FullMinimal),
+            self.series(
+                "Minimal ROAs, with maxLength",
+                Scenario::FullMinimalCompressed,
+            ),
+            self.series("Lower bound on # PDUs", Scenario::FullLowerBound),
+        ]
+    }
+}
+
+/// Renders series as an aligned text table (dates as columns), the
+/// harness's stand-in for the paper's plots.
+pub fn render_series(series: &[Series]) -> String {
+    let mut out = String::new();
+    if series.is_empty() {
+        return out;
+    }
+    let name_w = series
+        .iter()
+        .map(|s| s.name.len() + 9)
+        .max()
+        .unwrap_or(10)
+        .max(10);
+    out.push_str(&format!("{:<name_w$}", "series"));
+    for (label, _) in &series[0].points {
+        out.push_str(&format!(" {label:>9}"));
+    }
+    out.push('\n');
+    for s in series {
+        let style = if s.secure { "(safe)" } else { "(vuln)" };
+        out.push_str(&format!("{:<name_w$}", format!("{} {}", s.name, style)));
+        for (_, v) in &s.points {
+            out.push_str(&format!(" {v:>9}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpki_roa::RouteOrigin;
+
+    fn snapshot(label: &str, extra_pair: bool) -> Snapshot {
+        let mut routes = vec![
+            "10.0.0.0/16 => AS1".parse::<RouteOrigin>().unwrap(),
+            "10.0.0.0/17 => AS1".parse().unwrap(),
+            "10.0.128.0/17 => AS1".parse().unwrap(),
+        ];
+        if extra_pair {
+            routes.push("20.0.0.0/16 => AS2".parse().unwrap());
+        }
+        Snapshot {
+            label: label.to_string(),
+            vrps: vec!["10.0.0.0/16-17 => AS1".parse().unwrap()],
+            bgp: routes.into_iter().collect(),
+        }
+    }
+
+    #[test]
+    fn computes_point_per_snapshot() {
+        let tl = Timeline::compute(&[snapshot("4/13", false), snapshot("4/20", true)]);
+        assert_eq!(tl.points.len(), 2);
+        assert_eq!(tl.points[0].label, "4/13");
+        // The extra announced pair raises the full-deployment rows only.
+        assert_eq!(
+            tl.points[1].table.pdus(Scenario::FullMinimal),
+            tl.points[0].table.pdus(Scenario::FullMinimal) + 1
+        );
+    }
+
+    #[test]
+    fn figure3a_has_four_series_3b_three() {
+        let tl = Timeline::compute(&[snapshot("4/13", false)]);
+        let a = tl.figure3a();
+        let b = tl.figure3b();
+        assert_eq!(a.len(), 4);
+        assert_eq!(b.len(), 3);
+        assert_eq!(a[0].name, "Status quo");
+        assert!(!a[0].secure);
+        assert!(a[2].secure);
+        assert_eq!(b[2].name, "Lower bound on # PDUs");
+        assert!(!b[2].secure);
+    }
+
+    #[test]
+    fn series_lengths_match_snapshots() {
+        let snaps = vec![snapshot("1", false), snapshot("2", false), snapshot("3", true)];
+        let tl = Timeline::compute(&snaps);
+        for s in tl.figure3a().iter().chain(tl.figure3b().iter()) {
+            assert_eq!(s.points.len(), 3);
+        }
+    }
+
+    #[test]
+    fn render_contains_labels_and_values() {
+        let tl = Timeline::compute(&[snapshot("4/13", false)]);
+        let text = render_series(&tl.figure3b());
+        assert!(text.contains("4/13"));
+        assert!(text.contains("Lower bound on # PDUs"));
+        assert!(text.contains("(vuln)"));
+        assert!(text.contains("(safe)"));
+    }
+
+    #[test]
+    fn render_empty() {
+        assert_eq!(render_series(&[]), "");
+    }
+}

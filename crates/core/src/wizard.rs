@@ -1,0 +1,258 @@
+//! The §8 RIR-interface recommendation as a library: a ROA configuration
+//! wizard.
+//!
+//! §8: RIR user interfaces "typically ask the operator to input a tuple of
+//! (prefix, maxLength, AS)", making it easy to self-expose. The paper
+//! recommends interfaces instead (1) propose **minimal** ROAs built from
+//! looking-glass data about what the AS actually originates, and (2) gate
+//! explicit maxLength behind an expert option "with a warning of the risks
+//! of forged-origin subprefix hijacks".
+//!
+//! [`propose_roa`] is recommendation (1); [`review_request`] is
+//! recommendation (2): it takes the tuple an operator typed into the form
+//! and returns the warnings the UI should display before accepting it.
+
+use std::fmt;
+
+use rpki_prefix::Prefix;
+use rpki_roa::{Asn, Roa, RouteOrigin, Vrp};
+
+use crate::compress::{compress_roas, vrps_to_roas};
+use crate::vulnerability::hijack_surface;
+use crate::BgpTable;
+
+/// The wizard's proposal for one AS.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoaProposal {
+    /// The AS the proposal is for.
+    pub asn: Asn,
+    /// The minimal ROA covering exactly the AS's announcements, with
+    /// maxLength re-introduced only where `compress_roas` proves it
+    /// harmless. `None` if the AS announces nothing (nothing to
+    /// authorize).
+    pub roa: Option<Roa>,
+    /// The announcements the proposal authorizes.
+    pub covers: Vec<RouteOrigin>,
+}
+
+/// Builds the §8 proposal: enumerate the AS's announcements from the
+/// looking glass, authorize exactly those, compress losslessly.
+pub fn propose_roa(asn: Asn, looking_glass: &BgpTable) -> RoaProposal {
+    let covers: Vec<RouteOrigin> = looking_glass
+        .iter()
+        .filter(|r| r.origin == asn)
+        .collect();
+    let exact: Vec<Vrp> = covers
+        .iter()
+        .map(|r| Vrp::exact(r.prefix, asn))
+        .collect();
+    let compressed = compress_roas(&exact);
+    let roa = vrps_to_roas(&compressed).into_iter().next();
+    RoaProposal { asn, roa, covers }
+}
+
+/// A warning the UI must show before accepting an expert-mode request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestWarning {
+    /// The requested tuple authorizes unannounced prefixes: quotes the
+    /// §4 risk with concrete examples.
+    ForgedOriginRisk {
+        /// How many prefixes a hijacker could claim.
+        exposed: u128,
+        /// Up to three concrete examples.
+        examples: Vec<Prefix>,
+    },
+    /// The requested prefix is not announced by this AS at all.
+    PrefixNotAnnounced,
+    /// The request uses maxLength where an explicit set would do: lists
+    /// the exact announced prefixes to enumerate instead.
+    EnumerateInstead {
+        /// The announced prefixes the maxLength was presumably meant to
+        /// cover.
+        announced: Vec<Prefix>,
+    },
+}
+
+impl fmt::Display for RequestWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestWarning::ForgedOriginRisk { exposed, examples } => {
+                let ex: Vec<String> = examples.iter().map(|p| p.to_string()).collect();
+                write!(
+                    f,
+                    "WARNING: this maxLength authorizes {exposed} prefixes you do \
+                     not announce; each is open to a forged-origin subprefix \
+                     hijack (e.g. {})",
+                    ex.join(", ")
+                )
+            }
+            RequestWarning::PrefixNotAnnounced => {
+                write!(
+                    f,
+                    "WARNING: this prefix is not announced by your AS; the ROA \
+                     would authorize only attackers"
+                )
+            }
+            RequestWarning::EnumerateInstead { announced } => {
+                let list: Vec<String> = announced.iter().map(|p| p.to_string()).collect();
+                write!(
+                    f,
+                    "consider enumerating your announced prefixes instead of \
+                     maxLength: {{{}}}",
+                    list.join(", ")
+                )
+            }
+        }
+    }
+}
+
+/// Reviews an expert-mode `(prefix, maxLength, AS)` request against the
+/// looking glass, producing the warnings of §8. An empty result means the
+/// request is minimal and safe as-is.
+pub fn review_request(
+    prefix: Prefix,
+    max_len: Option<u8>,
+    asn: Asn,
+    looking_glass: &BgpTable,
+) -> Vec<RequestWarning> {
+    let mut warnings = Vec::new();
+    let vrp = match max_len {
+        Some(m) => Vrp::new(prefix, m, asn),
+        None => Vrp::exact(prefix, asn),
+    };
+
+    if !looking_glass.contains(&RouteOrigin::new(prefix, asn)) {
+        warnings.push(RequestWarning::PrefixNotAnnounced);
+    }
+
+    let surface = hijack_surface(&vrp, looking_glass, 3);
+    if surface.unannounced_count > 0 && vrp.uses_max_len() {
+        warnings.push(RequestWarning::ForgedOriginRisk {
+            exposed: surface.unannounced_count,
+            examples: surface.examples,
+        });
+    }
+
+    if vrp.uses_max_len() {
+        let announced: Vec<Prefix> = looking_glass
+            .routes_validated_by(&vrp)
+            .map(|r| r.prefix)
+            .collect();
+        if !announced.is_empty() {
+            warnings.push(RequestWarning::EnumerateInstead { announced });
+        }
+    }
+    warnings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn glass(routes: &[&str]) -> BgpTable {
+        routes
+            .iter()
+            .map(|s| s.parse::<RouteOrigin>().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn proposal_covers_exactly_the_announcements() {
+        let lg = glass(&[
+            "168.122.0.0/16 => AS111",
+            "168.122.225.0/24 => AS111",
+            "10.0.0.0/8 => AS1", // someone else
+        ]);
+        let proposal = propose_roa(Asn(111), &lg);
+        let roa = proposal.roa.expect("announcements exist");
+        assert_eq!(proposal.covers.len(), 2);
+        assert_eq!(roa.asn(), Asn(111));
+        // Authorizes both announcements, nothing else (the §4 hijack fails).
+        assert!(roa.authorizes(&"168.122.0.0/16 => AS111".parse().unwrap()));
+        assert!(roa.authorizes(&"168.122.225.0/24 => AS111".parse().unwrap()));
+        assert!(!roa.authorizes(&"168.122.0.0/24 => AS111".parse().unwrap()));
+    }
+
+    #[test]
+    fn proposal_reintroduces_safe_maxlength() {
+        // Full sibling subtree announced: the proposal may compress to a
+        // maxLength form because it stays minimal (§7).
+        let lg = glass(&[
+            "10.0.0.0/16 => AS5",
+            "10.0.0.0/17 => AS5",
+            "10.0.128.0/17 => AS5",
+        ]);
+        let proposal = propose_roa(Asn(5), &lg);
+        let roa = proposal.roa.unwrap();
+        assert_eq!(roa.prefix_count(), 1);
+        assert_eq!(roa.prefixes()[0].max_len, Some(17));
+        // Still minimal: authorizes exactly the three announcements.
+        let authorized: Vec<Vrp> = roa.vrps().collect();
+        assert_eq!(
+            crate::compress::expand_authorized(&authorized).len(),
+            3
+        );
+    }
+
+    #[test]
+    fn proposal_for_silent_as_is_empty() {
+        let lg = glass(&["10.0.0.0/8 => AS1"]);
+        let proposal = propose_roa(Asn(999), &lg);
+        assert!(proposal.roa.is_none());
+        assert!(proposal.covers.is_empty());
+    }
+
+    #[test]
+    fn review_flags_the_careless_request() {
+        // The §4 misconfiguration typed into the form.
+        let lg = glass(&["168.122.0.0/16 => AS111", "168.122.225.0/24 => AS111"]);
+        let warnings = review_request(
+            "168.122.0.0/16".parse().unwrap(),
+            Some(24),
+            Asn(111),
+            &lg,
+        );
+        assert!(warnings
+            .iter()
+            .any(|w| matches!(w, RequestWarning::ForgedOriginRisk { exposed: 509, .. })));
+        assert!(warnings
+            .iter()
+            .any(|w| matches!(w, RequestWarning::EnumerateInstead { .. })));
+        // Both render.
+        for w in &warnings {
+            assert!(!w.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn review_accepts_minimal_request() {
+        let lg = glass(&["168.122.0.0/16 => AS111"]);
+        let warnings =
+            review_request("168.122.0.0/16".parse().unwrap(), None, Asn(111), &lg);
+        assert!(warnings.is_empty());
+    }
+
+    #[test]
+    fn review_accepts_safe_maxlength() {
+        let lg = glass(&[
+            "10.0.0.0/16 => AS5",
+            "10.0.0.0/17 => AS5",
+            "10.0.128.0/17 => AS5",
+        ]);
+        let warnings = review_request("10.0.0.0/16".parse().unwrap(), Some(17), Asn(5), &lg);
+        // No exposure — but the enumerate suggestion still applies.
+        assert!(!warnings
+            .iter()
+            .any(|w| matches!(w, RequestWarning::ForgedOriginRisk { .. })));
+        assert!(warnings
+            .iter()
+            .any(|w| matches!(w, RequestWarning::EnumerateInstead { .. })));
+    }
+
+    #[test]
+    fn review_flags_unannounced_prefix() {
+        let lg = glass(&["10.0.0.0/8 => AS1"]);
+        let warnings = review_request("99.0.0.0/8".parse().unwrap(), None, Asn(1), &lg);
+        assert_eq!(warnings, vec![RequestWarning::PrefixNotAnnounced]);
+    }
+}

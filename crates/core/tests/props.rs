@@ -1,0 +1,182 @@
+//! Property tests for the core algorithms.
+//!
+//! The headline invariant is §7's minimality claim: `compress_roas` must
+//! output a PDU set authorizing **exactly** the same routes as its input —
+//! never fewer (breaking legitimate announcements) and never more
+//! (recreating the forged-origin subprefix hijack surface it exists to
+//! avoid).
+
+use proptest::prelude::*;
+use rpki_prefix::{Prefix, Prefix4};
+use rpki_roa::{Asn, RouteOrigin, Vrp};
+
+use maxlength_core::compress::{
+    compress_roas, compress_roas_full, compress_roas_naive, expand_authorized,
+};
+use maxlength_core::minimal::{minimalize_vrps, vrp_is_minimal};
+use maxlength_core::bounds::{full_deployment_minimal, max_permissive_lower_bound};
+use maxlength_core::{BgpTable, MaxLengthCensus, Scenario, Table1};
+
+/// Prefixes drawn from a tiny universe (4 leading-bit patterns × lengths
+/// 0..=6) so sibling/parent structure arises constantly.
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=6)
+        .prop_map(|(b, l)| Prefix::V4(Prefix4::new_truncated(b & 0xFC00_0000, l)))
+}
+
+fn arb_vrp() -> impl Strategy<Value = Vrp> {
+    (arb_prefix(), 0u8..=3, 1u32..4)
+        .prop_map(|(p, extra, asn)| Vrp::new(p, p.len().saturating_add(extra).min(6), Asn(asn)))
+}
+
+fn arb_vrps() -> impl Strategy<Value = Vec<Vrp>> {
+    prop::collection::vec(arb_vrp(), 0..40)
+}
+
+fn arb_bgp() -> impl Strategy<Value = BgpTable> {
+    prop::collection::vec((arb_prefix(), 1u32..4), 0..60).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(p, a)| RouteOrigin::new(p, Asn(a)))
+            .collect()
+    })
+}
+
+proptest! {
+    /// THE invariant: compression is lossless in both directions.
+    #[test]
+    fn compress_preserves_authorized_set(vrps in arb_vrps()) {
+        let out = compress_roas(&vrps);
+        prop_assert_eq!(expand_authorized(&out), expand_authorized(&vrps));
+    }
+
+    /// Compression never grows the PDU list.
+    #[test]
+    fn compress_never_grows(vrps in arb_vrps()) {
+        let mut dedup: Vec<(Asn, Prefix)> = vrps.iter().map(|v| (v.asn, v.prefix)).collect();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert!(compress_roas(&vrps).len() <= dedup.len());
+    }
+
+    /// Compression is idempotent.
+    #[test]
+    fn compress_idempotent(vrps in arb_vrps()) {
+        let once = compress_roas(&vrps);
+        let twice = compress_roas(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Input order never matters.
+    #[test]
+    fn compress_order_invariant(vrps in arb_vrps(), seed in any::<u64>()) {
+        let mut shuffled = vrps.clone();
+        // Cheap deterministic shuffle.
+        let n = shuffled.len();
+        if n > 1 {
+            let mut state = seed | 1;
+            for i in (1..n).rev() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                shuffled.swap(i, (state % (i as u64 + 1)) as usize);
+            }
+        }
+        prop_assert_eq!(compress_roas(&vrps), compress_roas(&shuffled));
+    }
+
+    /// The quadratic oracle and the trie implementation agree exactly.
+    #[test]
+    fn compress_matches_naive_oracle(vrps in arb_vrps()) {
+        prop_assert_eq!(compress_roas(&vrps), compress_roas_naive(&vrps));
+    }
+
+    /// The domination-eliminating variant is also exactly lossless and at
+    /// least as small as Algorithm 1's output.
+    #[test]
+    fn compress_full_sound_and_no_worse(vrps in arb_vrps()) {
+        let plain = compress_roas(&vrps);
+        let full = compress_roas_full(&vrps);
+        prop_assert_eq!(expand_authorized(&full), expand_authorized(&vrps));
+        prop_assert!(full.len() <= plain.len());
+    }
+
+    /// Minimalized sets authorize exactly the announced-and-validated
+    /// routes, and every tuple in them is minimal.
+    #[test]
+    fn minimalize_exact(vrps in arb_vrps(), bgp in arb_bgp()) {
+        let minimal = minimalize_vrps(&vrps, &bgp);
+        let authorized = expand_authorized(&minimal);
+        // 1. Everything authorized is announced...
+        for route in &authorized {
+            prop_assert!(bgp.contains(route));
+        }
+        // 2. ...and was authorized by the original set.
+        let original = expand_authorized(&vrps);
+        for route in &authorized {
+            prop_assert!(original.contains(route));
+        }
+        // 3. Conversely every announced+originally-authorized route survives.
+        for route in bgp.iter() {
+            if original.contains(&route) {
+                prop_assert!(authorized.contains(&route));
+            }
+        }
+        // 4. Tuple-level minimality.
+        for vrp in &minimal {
+            prop_assert!(vrp_is_minimal(vrp, &bgp));
+        }
+    }
+
+    /// Compressing a minimal set keeps it minimal (the §7 guarantee).
+    #[test]
+    fn compress_after_minimalize_stays_minimal(vrps in arb_vrps(), bgp in arb_bgp()) {
+        let minimal = minimalize_vrps(&vrps, &bgp);
+        let compressed = compress_roas(&minimal);
+        for vrp in &compressed {
+            prop_assert!(vrp_is_minimal(vrp, &bgp), "{} not minimal", vrp);
+        }
+    }
+
+    /// The census is internally consistent.
+    #[test]
+    fn census_invariants(vrps in arb_vrps(), bgp in arb_bgp()) {
+        let census = MaxLengthCensus::analyze(&vrps, &bgp);
+        prop_assert_eq!(census.total, vrps.len());
+        prop_assert!(census.max_len_using <= census.total);
+        prop_assert!(census.vulnerable <= census.max_len_using);
+        prop_assert!(census.vulnerable <= census.non_minimal_total);
+        prop_assert!(census.non_minimal_total <= census.total);
+    }
+
+    /// Lower bound ≤ compressed minimal ≤ plain minimal (the Table 1
+    /// ordering among full-deployment rows).
+    #[test]
+    fn full_deployment_row_ordering(bgp in arb_bgp()) {
+        let minimal = full_deployment_minimal(&bgp);
+        let compressed = compress_roas(&minimal);
+        let bound = max_permissive_lower_bound(&bgp);
+        prop_assert!(compressed.len() <= minimal.len());
+        prop_assert!(bound.len() <= compressed.len(),
+            "bound {} > compressed {}", bound.len(), compressed.len());
+        // The bound's tuples still validate every announced pair.
+        for route in bgp.iter() {
+            prop_assert!(bound.iter().any(|v| v.matches(&route)));
+        }
+    }
+
+    /// Table 1's internal consistency on arbitrary snapshots.
+    #[test]
+    fn table1_consistency(vrps in arb_vrps(), bgp in arb_bgp()) {
+        let t = Table1::compute(&vrps, &bgp);
+        prop_assert!(t.pdus(Scenario::TodayCompressed) <= t.pdus(Scenario::Today));
+        prop_assert!(
+            t.pdus(Scenario::TodayMinimalCompressed) <= t.pdus(Scenario::TodayMinimal)
+        );
+        prop_assert!(
+            t.pdus(Scenario::FullMinimalCompressed) <= t.pdus(Scenario::FullMinimal)
+        );
+        prop_assert!(
+            t.pdus(Scenario::FullLowerBound) <= t.pdus(Scenario::FullMinimalCompressed)
+        );
+        prop_assert_eq!(t.pdus(Scenario::FullMinimal), bgp.len());
+    }
+}

@@ -1,0 +1,233 @@
+//! Plain-text snapshot serialization.
+//!
+//! We deliberately avoid a binary or JSON dependency: snapshots are big
+//! but dead simple, and a line-oriented format keeps them diffable and
+//! greppable (the paper's own artifacts were CSV-ish text). Layout:
+//!
+//! ```text
+//! # maxlength-dataset v1
+//! label 6/1
+//! roa AS31283 87.254.32.0/19-20 87.254.32.0/21
+//! bgp 87.254.32.0/19 AS31283
+//! ```
+//!
+//! One `roa` line per ROA object (ASN then its prefix entries, maxLength
+//! suffixed after a dash); one `bgp` line per announced pair.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use rpki_prefix::Prefix;
+use rpki_roa::{Asn, Roa, RoaPrefix, RouteOrigin};
+
+use crate::snapshot::DatasetSnapshot;
+
+const HEADER: &str = "# maxlength-dataset v1";
+
+/// Errors loading a snapshot file.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the expected header.
+    BadHeader,
+    /// A line could not be parsed (1-based line number and content).
+    BadLine(usize, String),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "I/O error: {e}"),
+            LoadError::BadHeader => write!(f, "missing dataset header"),
+            LoadError::BadLine(n, l) => write!(f, "bad line {n}: {l:?}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<io::Error> for LoadError {
+    fn from(e: io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Serializes a snapshot to its text form.
+pub fn to_string(snap: &DatasetSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str(HEADER);
+    out.push('\n');
+    let _ = writeln!(out, "label {}", snap.label);
+    for roa in &snap.roas {
+        let _ = write!(out, "roa {}", roa.asn());
+        for entry in roa.prefixes() {
+            match entry.max_len {
+                Some(m) => {
+                    let _ = write!(out, " {}-{}", entry.prefix, m);
+                }
+                None => {
+                    let _ = write!(out, " {}", entry.prefix);
+                }
+            }
+        }
+        out.push('\n');
+    }
+    for route in &snap.routes {
+        let _ = writeln!(out, "bgp {} {}", route.prefix, route.origin);
+    }
+    out
+}
+
+/// Parses a snapshot from its text form.
+pub fn from_str(text: &str) -> Result<DatasetSnapshot, LoadError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, first)) if first.trim() == HEADER => {}
+        _ => return Err(LoadError::BadHeader),
+    }
+    let mut label = String::new();
+    let mut roas = Vec::new();
+    let mut routes = Vec::new();
+    for (idx, line) in lines {
+        let n = idx + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let bad = || LoadError::BadLine(n, line.to_string());
+        let mut fields = line.split_whitespace();
+        match fields.next() {
+            Some("label") => {
+                label = fields.collect::<Vec<_>>().join(" ");
+            }
+            Some("roa") => {
+                let asn: Asn = fields.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                let mut entries = Vec::new();
+                for tok in fields {
+                    entries.push(parse_entry(tok).ok_or_else(bad)?);
+                }
+                roas.push(Roa::new(asn, entries).map_err(|_| bad())?);
+            }
+            Some("bgp") => {
+                let prefix: Prefix =
+                    fields.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                let asn: Asn = fields.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                if fields.next().is_some() {
+                    return Err(bad());
+                }
+                routes.push(RouteOrigin::new(prefix, asn));
+            }
+            _ => return Err(bad()),
+        }
+    }
+    Ok(DatasetSnapshot { label, roas, routes })
+}
+
+/// `prefix` or `prefix-maxlen`, with the dash searched after the slash so
+/// IPv6 colons are untouched.
+fn parse_entry(tok: &str) -> Option<RoaPrefix> {
+    let slash = tok.rfind('/')?;
+    match tok[slash..].find('-') {
+        Some(rel) => {
+            let at = slash + rel;
+            let prefix: Prefix = tok[..at].parse().ok()?;
+            let max_len: u8 = tok[at + 1..].parse().ok()?;
+            let entry = RoaPrefix::with_max_len(prefix, max_len);
+            entry.is_well_formed().then_some(entry)
+        }
+        None => Some(RoaPrefix::exact(tok.parse().ok()?)),
+    }
+}
+
+/// Writes a snapshot to a file.
+pub fn save(snap: &DatasetSnapshot, path: &Path) -> io::Result<()> {
+    fs::write(path, to_string(snap))
+}
+
+/// Reads a snapshot from a file.
+pub fn load(path: &Path) -> Result<DatasetSnapshot, LoadError> {
+    from_str(&fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GeneratorConfig, World};
+
+    #[test]
+    fn round_trip_generated_snapshot() {
+        let world = World::generate(GeneratorConfig {
+            scale: 0.002,
+            ..GeneratorConfig::default()
+        });
+        let snap = world.snapshot(7);
+        let text = to_string(&snap);
+        let back = from_str(&text).unwrap();
+        assert_eq!(back.label, snap.label);
+        assert_eq!(back.roas, snap.roas);
+        assert_eq!(back.routes, snap.routes);
+    }
+
+    #[test]
+    fn round_trip_via_file() {
+        let world = World::generate(GeneratorConfig {
+            scale: 0.001,
+            ..GeneratorConfig::default()
+        });
+        let snap = world.snapshot(0);
+        let path = std::env::temp_dir().join(format!(
+            "maxlength-dataset-{}.txt",
+            std::process::id()
+        ));
+        save(&snap, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back, snap);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert!(matches!(from_str("bgp 1.0.0.0/8 AS1"), Err(LoadError::BadHeader)));
+        assert!(matches!(from_str(""), Err(LoadError::BadHeader)));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let base = "# maxlength-dataset v1\n";
+        for bad in [
+            "roa notanasn 10.0.0.0/8",
+            "roa AS1 10.0.0.0/8-4",  // maxLength below prefix length
+            "roa AS1",                // empty prefix set
+            "bgp 10.0.0.0/8",
+            "bgp 10.0.0.0/8 AS1 extra",
+            "unknown directive",
+        ] {
+            let text = format!("{base}{bad}\n");
+            assert!(
+                matches!(from_str(&text), Err(LoadError::BadLine(2, _))),
+                "{bad:?} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# maxlength-dataset v1\n\n# a comment\nlabel test\nbgp 10.0.0.0/8 AS1\n";
+        let snap = from_str(text).unwrap();
+        assert_eq!(snap.label, "test");
+        assert_eq!(snap.routes.len(), 1);
+        assert!(snap.roas.is_empty());
+    }
+
+    #[test]
+    fn v6_entries_round_trip() {
+        let text = "# maxlength-dataset v1\nlabel t\nroa AS65000 2001:db8::/32-48 2001:db9::/32\nbgp 2001:db8::/32 AS65000\n";
+        let snap = from_str(text).unwrap();
+        let back = from_str(&to_string(&snap)).unwrap();
+        assert_eq!(snap, back);
+        assert_eq!(snap.roas[0].prefixes()[0].max_len, Some(48));
+    }
+}

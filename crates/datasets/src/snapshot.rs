@@ -1,0 +1,62 @@
+//! A dated dataset snapshot: the generated analogue of "all ROAs from the
+//! RPKI publication points + the BGP tables of all Route Views collectors"
+//! for one date (§6).
+
+use rpki_roa::{Roa, RouteOrigin, Vrp};
+
+/// One weekly snapshot of the generated world.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSnapshot {
+    /// Display label (`4/13` … `6/1`).
+    pub label: String,
+    /// The validated ROA objects.
+    pub roas: Vec<Roa>,
+    /// The global BGP table as `(prefix, origin)` pairs.
+    pub routes: Vec<RouteOrigin>,
+}
+
+impl DatasetSnapshot {
+    /// Expands the ROAs into their VRP (PDU) list — what `scan_roas`
+    /// produces on the local cache (§7.1).
+    pub fn vrps(&self) -> Vec<Vrp> {
+        self.roas.iter().flat_map(|r| r.vrps()).collect()
+    }
+
+    /// Number of ROA objects (the paper's 7,499 on 6/1).
+    pub fn roa_count(&self) -> usize {
+        self.roas.len()
+    }
+
+    /// Number of announced pairs (the paper's 776,945 on 6/1).
+    pub fn route_count(&self) -> usize {
+        self.routes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpki_roa::{Asn, RoaPrefix};
+
+    #[test]
+    fn vrps_flatten_roas() {
+        let roa1 = Roa::new(
+            Asn(1),
+            vec![
+                RoaPrefix::exact("10.0.0.0/8".parse().unwrap()),
+                RoaPrefix::with_max_len("11.0.0.0/8".parse().unwrap(), 9),
+            ],
+        )
+        .unwrap();
+        let roa2 =
+            Roa::new(Asn(2), vec![RoaPrefix::exact("12.0.0.0/8".parse().unwrap())]).unwrap();
+        let snap = DatasetSnapshot {
+            label: "6/1".into(),
+            roas: vec![roa1, roa2],
+            routes: vec!["10.0.0.0/8 => AS1".parse().unwrap()],
+        };
+        assert_eq!(snap.vrps().len(), 3);
+        assert_eq!(snap.roa_count(), 2);
+        assert_eq!(snap.route_count(), 1);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests on the generator: for any seed and (small) scale, the
+//! produced world must satisfy the structural invariants the calibration
+//! arithmetic relies on.
+
+use proptest::prelude::*;
+use rpki_datasets::{Category, GeneratorConfig, World};
+
+fn arb_config() -> impl Strategy<Value = GeneratorConfig> {
+    (any::<u64>(), 1u32..=40).prop_map(|(seed, scale_mils)| GeneratorConfig {
+        seed,
+        scale: scale_mils as f64 / 10_000.0, // 0.0001..=0.004
+        ..GeneratorConfig::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The final snapshot hits the scaled category arithmetic exactly.
+    #[test]
+    fn final_snapshot_counts_exact(config in arb_config()) {
+        let world = World::generate(config);
+        let counts = config.counts();
+        let snap = world.snapshot(config.weeks - 1);
+        prop_assert_eq!(snap.routes.len(), counts.expected_pairs());
+        prop_assert_eq!(snap.vrps().len(), counts.expected_tuples());
+        // No duplicate (prefix, origin) pairs.
+        let mut routes = snap.routes.clone();
+        routes.sort_unstable();
+        routes.dedup();
+        prop_assert_eq!(routes.len(), snap.routes.len());
+    }
+
+    /// Adopter ROA entries always authorize the allocation's own space.
+    #[test]
+    fn roa_entries_stay_inside_allocations(config in arb_config()) {
+        let world = World::generate(config);
+        for alloc in &world.allocations {
+            for entry in alloc.roa_entries() {
+                prop_assert!(
+                    alloc.prefix.covers(entry.prefix),
+                    "{} outside {}", entry.prefix, alloc.prefix
+                );
+                prop_assert!(entry.is_well_formed());
+            }
+            for route in alloc.announcements() {
+                prop_assert!(alloc.prefix.covers(route.prefix));
+                prop_assert_eq!(route.origin, alloc.asn);
+            }
+        }
+    }
+
+    /// Scattered allocations never announce sibling pairs or their parent
+    /// (the zero-compressibility guarantee behind the 637-tuple gap).
+    #[test]
+    fn scattered_never_compressible(config in arb_config()) {
+        let world = World::generate(config);
+        for alloc in &world.allocations {
+            if alloc.category != Category::AdopterScattered {
+                continue;
+            }
+            let announced: std::collections::BTreeSet<_> =
+                alloc.scattered.iter().copied().collect();
+            for p in &alloc.scattered {
+                if let Some(sib) = p.sibling() {
+                    prop_assert!(!announced.contains(&sib), "sibling pair {p}");
+                }
+                if let Some(parent) = p.parent() {
+                    prop_assert!(!announced.contains(&parent));
+                }
+            }
+        }
+    }
+
+    /// Weekly snapshots grow monotonically on both sides.
+    #[test]
+    fn snapshots_monotone(config in arb_config()) {
+        let world = World::generate(config);
+        let mut last = (0usize, 0usize);
+        for snap in world.snapshots() {
+            let now = (snap.routes.len(), snap.vrps().len());
+            prop_assert!(now.0 >= last.0 && now.1 >= last.1);
+            last = now;
+        }
+    }
+
+    /// The text format round-trips any generated snapshot.
+    #[test]
+    fn io_round_trip(config in arb_config(), week in 0usize..8) {
+        let world = World::generate(config);
+        let snap = world.snapshot(week);
+        let back = rpki_datasets::io::from_str(&rpki_datasets::io::to_string(&snap)).unwrap();
+        prop_assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,80 @@
+use std::fmt;
+
+/// Address family identifier: IPv4 or IPv6.
+///
+/// The RPKI keeps IPv4 and IPv6 resources strictly separate — a ROA prefix,
+/// a VRP, an RTR PDU, and a BGP route each belong to exactly one family —
+/// and the `compress_roas` algorithm builds one trie per (ASN, AFI) pair
+/// (paper §7.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Afi {
+    /// IPv4 (maximum prefix length 32).
+    V4,
+    /// IPv6 (maximum prefix length 128).
+    V6,
+}
+
+impl Afi {
+    /// The maximum prefix length for this family: 32 or 128.
+    #[inline]
+    pub const fn max_len(self) -> u8 {
+        match self {
+            Afi::V4 => 32,
+            Afi::V6 => 128,
+        }
+    }
+
+    /// The AFI code used on the wire in the RTR protocol and in RFC 3779
+    /// address blocks (1 = IPv4, 2 = IPv6).
+    #[inline]
+    pub const fn code(self) -> u16 {
+        match self {
+            Afi::V4 => 1,
+            Afi::V6 => 2,
+        }
+    }
+
+    /// Inverse of [`Afi::code`].
+    pub const fn from_code(code: u16) -> Option<Afi> {
+        match code {
+            1 => Some(Afi::V4),
+            2 => Some(Afi::V6),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Afi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Afi::V4 => write!(f, "IPv4"),
+            Afi::V6 => write!(f, "IPv6"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_len() {
+        assert_eq!(Afi::V4.max_len(), 32);
+        assert_eq!(Afi::V6.max_len(), 128);
+    }
+
+    #[test]
+    fn code_round_trip() {
+        for afi in [Afi::V4, Afi::V6] {
+            assert_eq!(Afi::from_code(afi.code()), Some(afi));
+        }
+        assert_eq!(Afi::from_code(0), None);
+        assert_eq!(Afi::from_code(3), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Afi::V4.to_string(), "IPv4");
+        assert_eq!(Afi::V6.to_string(), "IPv6");
+    }
+}

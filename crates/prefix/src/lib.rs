@@ -1,0 +1,45 @@
+//! IP address and prefix types used throughout the MaxLength/RPKI
+//! reproduction.
+//!
+//! The central types are [`Prefix4`] and [`Prefix6`] — CIDR prefixes stored
+//! in a canonical form (host bits cleared, bits left-aligned) — and the
+//! address-family-agnostic [`Prefix`] enum. All RPKI objects (ROAs, VRPs,
+//! RTR PDUs) and all BGP announcements in this workspace are keyed by these
+//! types.
+//!
+//! Prefixes behave like nodes of a binary trie: every prefix of length
+//! `l < MAX_LEN` has exactly two children of length `l + 1` (obtained with
+//! [`Prefix4::left_child`] / [`Prefix4::right_child`]), a sibling, and
+//! (unless `l == 0`) a parent. The trie-navigation API here is what both the
+//! `compress_roas` algorithm (paper §7, Algorithm 1) and the longest-prefix
+//! match data plane build on.
+//!
+//! # Examples
+//!
+//! ```
+//! use rpki_prefix::{Prefix, Prefix4};
+//!
+//! let bu: Prefix4 = "168.122.0.0/16".parse().unwrap();
+//! let sub: Prefix4 = "168.122.225.0/24".parse().unwrap();
+//! assert!(bu.covers(sub));
+//! assert_eq!(sub.to_string(), "168.122.225.0/24");
+//!
+//! // Address-family agnostic:
+//! let p: Prefix = "2001:db8::/32".parse().unwrap();
+//! assert!(p.is_v6());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod afi;
+mod error;
+mod prefix;
+mod v4;
+mod v6;
+
+pub use afi::Afi;
+pub use error::PrefixError;
+pub use prefix::Prefix;
+pub use v4::{Prefix4, SubPrefixes4};
+pub use v6::{Prefix6, SubPrefixes6};

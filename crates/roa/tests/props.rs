@@ -1,0 +1,86 @@
+//! Property tests: ROA DER encoding and the mock envelope must round-trip
+//! arbitrary well-formed ROAs, and the codec must never panic on garbage.
+
+use proptest::prelude::*;
+use rpki_prefix::{Prefix, Prefix4, Prefix6};
+use rpki_roa::codec::{decode_roa, encode_roa};
+use rpki_roa::envelope::{open_roa, seal_roa};
+use rpki_roa::{Asn, Roa, RoaPrefix, Vrp};
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    prop_oneof![
+        (any::<u32>(), 0u8..=32)
+            .prop_map(|(b, l)| Prefix::V4(Prefix4::new_truncated(b, l))),
+        (any::<u128>(), 0u8..=128)
+            .prop_map(|(b, l)| Prefix::V6(Prefix6::new_truncated(b, l))),
+    ]
+}
+
+fn arb_roa_prefix() -> impl Strategy<Value = RoaPrefix> {
+    (arb_prefix(), any::<u8>(), any::<bool>()).prop_map(|(p, extra, with_ml)| {
+        if with_ml {
+            let ml = p.len().saturating_add(extra % 9).min(p.max_len());
+            RoaPrefix::with_max_len(p, ml)
+        } else {
+            RoaPrefix::exact(p)
+        }
+    })
+}
+
+fn arb_roa() -> impl Strategy<Value = Roa> {
+    (any::<u32>(), prop::collection::vec(arb_roa_prefix(), 1..20))
+        .prop_map(|(asn, prefixes)| Roa::new(Asn(asn), prefixes).expect("well-formed"))
+}
+
+proptest! {
+    #[test]
+    fn der_round_trip(roa in arb_roa()) {
+        let der = encode_roa(&roa);
+        let back = decode_roa(&der).unwrap();
+        prop_assert_eq!(roa, back);
+    }
+
+    #[test]
+    fn envelope_round_trip(roa in arb_roa()) {
+        let sealed = seal_roa(&roa);
+        let back = open_roa(&sealed).unwrap();
+        prop_assert_eq!(roa, back);
+    }
+
+    #[test]
+    fn envelope_detects_single_bit_flips(roa in arb_roa(), at in any::<prop::sample::Index>(), bit in 0u8..8) {
+        let sealed = seal_roa(&roa);
+        let mut corrupt = sealed.clone();
+        let idx = at.index(corrupt.len());
+        corrupt[idx] ^= 1 << bit;
+        // A flipped bit must never silently yield a *different* ROA.
+        match open_roa(&corrupt) {
+            Ok(back) => prop_assert_eq!(back, roa),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_roa(&data);
+        let _ = open_roa(&data);
+    }
+
+    #[test]
+    fn vrp_display_parse_round_trip(p in arb_prefix(), extra in 0u8..9, asn in any::<u32>()) {
+        let ml = p.len().saturating_add(extra).min(p.max_len());
+        let vrp = Vrp::new(p, ml, Asn(asn));
+        let text = vrp.to_string();
+        let back: Vrp = text.parse().unwrap();
+        prop_assert_eq!(vrp, back);
+    }
+
+    #[test]
+    fn vrps_of_roa_all_well_bounded(roa in arb_roa()) {
+        for vrp in roa.vrps() {
+            prop_assert!(vrp.max_len >= vrp.prefix.len());
+            prop_assert!(vrp.max_len <= vrp.prefix.max_len());
+            prop_assert_eq!(vrp.asn, roa.asn());
+        }
+    }
+}

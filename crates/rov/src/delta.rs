@@ -1,0 +1,376 @@
+//! Incremental revalidation.
+//!
+//! RFC 6811 §5: "routers MUST support [...] revalidation of announcements
+//! when VRPs change". A naive router revalidates its whole table on every
+//! rpki-rtr delta; with ~700K routes and caches refreshing every few
+//! minutes that is exactly the router load §6 worries about. This module
+//! computes the *affected set* instead: when a VRP for prefix `p` appears
+//! or disappears, only routes covered by `p` can possibly change state.
+//!
+//! [`RevalidationEngine`] owns the index and a route table, applies VRP
+//! deltas, and reports precisely which routes changed state — the
+//! control-plane counterpart of the rtr client's announce/withdraw stream.
+
+use rpki_roa::{RouteOrigin, Vrp};
+use rpki_trie::DualTrie;
+
+use crate::{ValidationState, VrpIndex};
+
+/// A route's state transition produced by a VRP delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateChange {
+    /// The affected route.
+    pub route: RouteOrigin,
+    /// Its state before the delta.
+    pub old: ValidationState,
+    /// Its state after the delta.
+    pub new: ValidationState,
+}
+
+/// An indexed route table with incremental revalidation against a mutable
+/// VRP set.
+#[derive(Debug, Clone, Default)]
+pub struct RevalidationEngine {
+    vrps: VrpIndex,
+    /// Routes grouped by prefix, with their current validation state.
+    routes: DualTrie<Vec<(RouteOrigin, ValidationState)>>,
+    route_count: usize,
+}
+
+impl RevalidationEngine {
+    /// Creates an engine over a route table and an initial VRP set,
+    /// validating everything once.
+    pub fn new(
+        routes: impl IntoIterator<Item = RouteOrigin>,
+        vrps: impl IntoIterator<Item = Vrp>,
+    ) -> RevalidationEngine {
+        let vrps: VrpIndex = vrps.into_iter().collect();
+        let mut engine = RevalidationEngine {
+            vrps,
+            routes: DualTrie::new(),
+            route_count: 0,
+        };
+        for route in routes {
+            engine.insert_route(route);
+        }
+        engine
+    }
+
+    /// Adds a route (e.g. a BGP update), returning its validation state.
+    /// Duplicate routes are ignored and re-report their current state.
+    pub fn insert_route(&mut self, route: RouteOrigin) -> ValidationState {
+        let state = self.vrps.validate(&route);
+        let bucket = self.routes.get_or_insert_with(route.prefix, Vec::new);
+        if let Some((_, s)) = bucket.iter().find(|(r, _)| *r == route) {
+            return *s;
+        }
+        bucket.push((route, state));
+        self.route_count += 1;
+        state
+    }
+
+    /// Removes a route (a BGP withdrawal). Returns `true` if present.
+    pub fn remove_route(&mut self, route: &RouteOrigin) -> bool {
+        let Some(bucket) = self.routes.get_mut(route.prefix) else {
+            return false;
+        };
+        let Some(at) = bucket.iter().position(|(r, _)| r == route) else {
+            return false;
+        };
+        bucket.swap_remove(at);
+        if bucket.is_empty() {
+            self.routes.remove(route.prefix);
+        }
+        self.route_count -= 1;
+        true
+    }
+
+    /// Number of routes tracked.
+    pub fn route_count(&self) -> usize {
+        self.route_count
+    }
+
+    /// The current state of a route, if tracked.
+    pub fn state_of(&self, route: &RouteOrigin) -> Option<ValidationState> {
+        self.routes
+            .get(route.prefix)?
+            .iter()
+            .find(|(r, _)| r == route)
+            .map(|(_, s)| *s)
+    }
+
+    /// The VRP set currently applied.
+    pub fn vrps(&self) -> &VrpIndex {
+        &self.vrps
+    }
+
+    /// Applies one VRP announcement, revalidating only the covered routes.
+    /// Returns every route whose state changed.
+    pub fn announce_vrp(&mut self, vrp: Vrp) -> Vec<StateChange> {
+        if !self.vrps.insert(vrp) {
+            return Vec::new(); // duplicate: nothing can change
+        }
+        self.revalidate_covered_by(vrp)
+    }
+
+    /// Applies one VRP withdrawal, revalidating only the covered routes.
+    pub fn withdraw_vrp(&mut self, vrp: &Vrp) -> Vec<StateChange> {
+        if !self.vrps.remove(vrp) {
+            return Vec::new();
+        }
+        self.revalidate_covered_by(*vrp)
+    }
+
+    /// Applies a whole rtr-style delta (announcements and withdrawals),
+    /// revalidating the union of affected subtrees once.
+    pub fn apply_delta(
+        &mut self,
+        announced: &[Vrp],
+        withdrawn: &[Vrp],
+    ) -> Vec<StateChange> {
+        let mut touched: Vec<Vrp> = Vec::new();
+        for vrp in announced {
+            if self.vrps.insert(*vrp) {
+                touched.push(*vrp);
+            }
+        }
+        for vrp in withdrawn {
+            if self.vrps.remove(vrp) {
+                touched.push(*vrp);
+            }
+        }
+        // Revalidate each affected subtree; dedup routes seen twice when
+        // deltas overlap.
+        let mut changes = Vec::new();
+        let mut seen: std::collections::BTreeSet<RouteOrigin> = Default::default();
+        for vrp in touched {
+            for change in self.revalidate_covered_by(vrp) {
+                if seen.insert(change.route) {
+                    changes.push(change);
+                }
+            }
+        }
+        changes
+    }
+
+    /// Revalidates every tracked route covered by `vrp.prefix` — the only
+    /// routes whose covering set changed.
+    fn revalidate_covered_by(&mut self, vrp: Vrp) -> Vec<StateChange> {
+        // Collect affected routes first (cannot mutate while iterating).
+        let affected: Vec<RouteOrigin> = self
+            .routes
+            .iter_covered_by(vrp.prefix)
+            .flat_map(|(_, bucket)| bucket.iter().map(|(r, _)| *r))
+            .collect();
+        let mut changes = Vec::new();
+        for route in affected {
+            let new = self.vrps.validate(&route);
+            let bucket = self.routes.get_mut(route.prefix).expect("route tracked");
+            let slot = bucket
+                .iter_mut()
+                .find(|(r, _)| *r == route)
+                .expect("route tracked");
+            if slot.1 != new {
+                changes.push(StateChange {
+                    route,
+                    old: slot.1,
+                    new,
+                });
+                slot.1 = new;
+            }
+        }
+        changes.sort_by_key(|c| c.route);
+        changes
+    }
+
+    /// Full revalidation from scratch (the naive baseline the ablation
+    /// bench compares against). Returns the changes it found; the result
+    /// state is identical to the incremental path by construction.
+    pub fn revalidate_all(&mut self) -> Vec<StateChange> {
+        let routes: Vec<RouteOrigin> = self
+            .routes
+            .iter()
+            .flat_map(|(_, bucket)| bucket.iter().map(|(r, _)| *r))
+            .collect();
+        let mut changes = Vec::new();
+        for route in routes {
+            let new = self.vrps.validate(&route);
+            let bucket = self.routes.get_mut(route.prefix).expect("tracked");
+            let slot = bucket.iter_mut().find(|(r, _)| *r == route).expect("tracked");
+            if slot.1 != new {
+                changes.push(StateChange {
+                    route,
+                    old: slot.1,
+                    new,
+                });
+                slot.1 = new;
+            }
+        }
+        changes.sort_by_key(|c| c.route);
+        changes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn route(s: &str) -> RouteOrigin {
+        s.parse().unwrap()
+    }
+
+    fn vrp(s: &str) -> Vrp {
+        s.parse().unwrap()
+    }
+
+    fn engine() -> RevalidationEngine {
+        RevalidationEngine::new(
+            [
+                route("168.122.0.0/16 => AS111"),
+                route("168.122.225.0/24 => AS111"),
+                route("10.0.0.0/8 => AS1"),
+            ],
+            [],
+        )
+    }
+
+    #[test]
+    fn initial_states_not_found() {
+        let e = engine();
+        assert_eq!(e.route_count(), 3);
+        for r in ["168.122.0.0/16 => AS111", "10.0.0.0/8 => AS1"] {
+            assert_eq!(e.state_of(&route(r)), Some(ValidationState::NotFound));
+        }
+    }
+
+    #[test]
+    fn announcing_roa_flips_covered_routes_only() {
+        let mut e = engine();
+        let changes = e.announce_vrp(vrp("168.122.0.0/16 => AS111"));
+        // The /16 turns Valid; the /24 turns Invalid (covered, unmatched);
+        // 10.0.0.0/8 is untouched.
+        assert_eq!(changes.len(), 2);
+        assert_eq!(
+            e.state_of(&route("168.122.0.0/16 => AS111")),
+            Some(ValidationState::Valid)
+        );
+        assert_eq!(
+            e.state_of(&route("168.122.225.0/24 => AS111")),
+            Some(ValidationState::Invalid)
+        );
+        assert_eq!(
+            e.state_of(&route("10.0.0.0/8 => AS1")),
+            Some(ValidationState::NotFound)
+        );
+        // Old states recorded correctly.
+        assert!(changes
+            .iter()
+            .all(|c| c.old == ValidationState::NotFound));
+    }
+
+    #[test]
+    fn widening_maxlength_rescues_the_deaggregate() {
+        let mut e = engine();
+        e.announce_vrp(vrp("168.122.0.0/16 => AS111"));
+        let changes = e.announce_vrp(vrp("168.122.0.0/16-24 => AS111"));
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].route, route("168.122.225.0/24 => AS111"));
+        assert_eq!(changes[0].old, ValidationState::Invalid);
+        assert_eq!(changes[0].new, ValidationState::Valid);
+    }
+
+    #[test]
+    fn withdrawal_reverts() {
+        let mut e = engine();
+        let v = vrp("168.122.0.0/16 => AS111");
+        e.announce_vrp(v);
+        let changes = e.withdraw_vrp(&v);
+        assert_eq!(changes.len(), 2);
+        for r in ["168.122.0.0/16 => AS111", "168.122.225.0/24 => AS111"] {
+            assert_eq!(e.state_of(&route(r)), Some(ValidationState::NotFound));
+        }
+    }
+
+    #[test]
+    fn duplicate_announce_and_missing_withdraw_are_noops() {
+        let mut e = engine();
+        let v = vrp("168.122.0.0/16 => AS111");
+        assert!(!e.announce_vrp(v).is_empty());
+        assert!(e.announce_vrp(v).is_empty());
+        assert!(e.withdraw_vrp(&vrp("99.0.0.0/8 => AS9")).is_empty());
+    }
+
+    #[test]
+    fn incremental_agrees_with_full_revalidation() {
+        let mut incremental = engine();
+        let mut baseline = engine();
+        let deltas = [
+            vrp("168.122.0.0/16 => AS111"),
+            vrp("10.0.0.0/8-16 => AS1"),
+            vrp("168.122.0.0/16-24 => AS111"),
+        ];
+        for v in deltas {
+            incremental.announce_vrp(v);
+            baseline.vrps.insert(v);
+            baseline.revalidate_all();
+            for r in [
+                "168.122.0.0/16 => AS111",
+                "168.122.225.0/24 => AS111",
+                "10.0.0.0/8 => AS1",
+            ] {
+                assert_eq!(
+                    incremental.state_of(&route(r)),
+                    baseline.state_of(&route(r)),
+                    "after {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_delta_combines_and_dedups() {
+        let mut e = engine();
+        e.announce_vrp(vrp("168.122.0.0/16 => AS111"));
+        // Swap the /16 ROA for a /16-24 in one delta: the /24 flips
+        // Invalid->Valid; the /16 stays Valid (not reported).
+        let changes = e.apply_delta(
+            &[vrp("168.122.0.0/16-24 => AS111")],
+            &[vrp("168.122.0.0/16 => AS111")],
+        );
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].route, route("168.122.225.0/24 => AS111"));
+        assert_eq!(
+            e.state_of(&route("168.122.0.0/16 => AS111")),
+            Some(ValidationState::Valid)
+        );
+    }
+
+    #[test]
+    fn route_insert_remove() {
+        let mut e = engine();
+        e.announce_vrp(vrp("10.0.0.0/8 => AS1"));
+        // A new route validates on arrival.
+        assert_eq!(
+            e.insert_route(route("10.5.0.0/16 => AS2")),
+            ValidationState::Invalid
+        );
+        assert_eq!(e.route_count(), 4);
+        // Duplicate insert reports current state, no growth.
+        assert_eq!(
+            e.insert_route(route("10.5.0.0/16 => AS2")),
+            ValidationState::Invalid
+        );
+        assert_eq!(e.route_count(), 4);
+        assert!(e.remove_route(&route("10.5.0.0/16 => AS2")));
+        assert!(!e.remove_route(&route("10.5.0.0/16 => AS2")));
+        assert_eq!(e.route_count(), 3);
+    }
+
+    #[test]
+    fn unrelated_vrp_changes_touch_nothing() {
+        let mut e = engine();
+        e.announce_vrp(vrp("168.122.0.0/16 => AS111"));
+        let changes = e.announce_vrp(vrp("99.0.0.0/8 => AS9"));
+        assert!(changes.is_empty());
+    }
+}

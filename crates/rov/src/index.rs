@@ -1,0 +1,401 @@
+use std::fmt;
+
+use rpki_prefix::Prefix;
+use rpki_roa::{Roa, RouteOrigin, Vrp};
+use rpki_trie::DualTrie;
+
+use crate::ValidationState;
+
+/// A trie-backed index over a set of VRPs, answering RFC 6811 queries in
+/// `O(prefix length)`.
+///
+/// Multiple VRPs may share a prefix (different origins or maxLengths);
+/// the index stores them per prefix node and deduplicates exact
+/// duplicates.
+#[derive(Debug, Clone, Default)]
+pub struct VrpIndex {
+    trie: DualTrie<Vec<Vrp>>,
+    len: usize,
+}
+
+impl VrpIndex {
+    /// Creates an empty index.
+    pub fn new() -> VrpIndex {
+        VrpIndex::default()
+    }
+
+    /// Builds an index from the VRPs of a set of ROAs.
+    pub fn from_roas<'a>(roas: impl IntoIterator<Item = &'a Roa>) -> VrpIndex {
+        roas.into_iter().flat_map(|r| r.vrps()).collect()
+    }
+
+    /// The number of distinct VRPs stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no VRPs are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a VRP. Returns `false` if an identical VRP was already
+    /// present.
+    pub fn insert(&mut self, vrp: Vrp) -> bool {
+        let bucket = self.trie.get_or_insert_with(vrp.prefix, Vec::new);
+        if bucket.contains(&vrp) {
+            return false;
+        }
+        bucket.push(vrp);
+        self.len += 1;
+        true
+    }
+
+    /// Removes a VRP. Returns `true` if it was present.
+    pub fn remove(&mut self, vrp: &Vrp) -> bool {
+        let Some(bucket) = self.trie.get_mut(vrp.prefix) else {
+            return false;
+        };
+        let Some(at) = bucket.iter().position(|v| v == vrp) else {
+            return false;
+        };
+        bucket.swap_remove(at);
+        self.len -= 1;
+        if bucket.is_empty() {
+            self.trie.remove(vrp.prefix);
+        }
+        true
+    }
+
+    /// `true` if exactly this VRP is present.
+    pub fn contains(&self, vrp: &Vrp) -> bool {
+        self.trie
+            .get(vrp.prefix)
+            .is_some_and(|bucket| bucket.contains(vrp))
+    }
+
+    /// All VRPs whose prefix covers `prefix` (RFC 6811 "covering set"),
+    /// shortest prefix first.
+    pub fn covering(&self, prefix: Prefix) -> impl Iterator<Item = &Vrp> {
+        self.trie
+            .iter_covering(prefix)
+            .flat_map(|(_, bucket)| bucket.iter())
+    }
+
+    /// All VRPs that *match* `route` (cover it, within maxLength, same
+    /// origin).
+    pub fn matching<'a>(&'a self, route: &'a RouteOrigin) -> impl Iterator<Item = &'a Vrp> {
+        self.covering(route.prefix).filter(move |v| v.matches(route))
+    }
+
+    /// All VRPs whose prefix is covered by `prefix` — the subtree under a
+    /// query prefix, used by the §6 census.
+    pub fn covered_by(&self, prefix: Prefix) -> impl Iterator<Item = &Vrp> {
+        self.trie
+            .iter_covered_by(prefix)
+            .flat_map(|(_, bucket)| bucket.iter())
+    }
+
+    /// Classifies one announcement per RFC 6811.
+    pub fn validate(&self, route: &RouteOrigin) -> ValidationState {
+        let mut covered = false;
+        for vrp in self.covering(route.prefix) {
+            if vrp.matches(route) {
+                return ValidationState::Valid;
+            }
+            covered = true;
+        }
+        if covered {
+            ValidationState::Invalid
+        } else {
+            ValidationState::NotFound
+        }
+    }
+
+    /// Validates a whole table, tallying outcomes.
+    pub fn validate_table<'a>(
+        &self,
+        routes: impl IntoIterator<Item = &'a RouteOrigin>,
+    ) -> ValidationSummary {
+        let mut summary = ValidationSummary::default();
+        for route in routes {
+            match self.validate(route) {
+                ValidationState::Valid => summary.valid += 1,
+                ValidationState::Invalid => summary.invalid += 1,
+                ValidationState::NotFound => summary.not_found += 1,
+            }
+        }
+        summary
+    }
+
+    /// Iterates over all stored VRPs, grouped by prefix in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &Vrp> {
+        self.trie.iter().flat_map(|(_, bucket)| bucket.iter())
+    }
+}
+
+impl FromIterator<Vrp> for VrpIndex {
+    fn from_iter<I: IntoIterator<Item = Vrp>>(iter: I) -> VrpIndex {
+        let mut index = VrpIndex::new();
+        for vrp in iter {
+            index.insert(vrp);
+        }
+        index
+    }
+}
+
+impl Extend<Vrp> for VrpIndex {
+    fn extend<I: IntoIterator<Item = Vrp>>(&mut self, iter: I) {
+        for vrp in iter {
+            self.insert(vrp);
+        }
+    }
+}
+
+/// Outcome counts from validating a BGP table against a [`VrpIndex`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ValidationSummary {
+    /// Announcements with a matching VRP.
+    pub valid: usize,
+    /// Announcements covered but never matched.
+    pub invalid: usize,
+    /// Announcements no VRP covers.
+    pub not_found: usize,
+}
+
+impl ValidationSummary {
+    /// Total announcements validated.
+    pub fn total(&self) -> usize {
+        self.valid + self.invalid + self.not_found
+    }
+
+    /// The fraction of announcements that are Valid — the "7.6% of
+    /// (prefix, origin AS) pairs match a ROA" statistic of §2.
+    pub fn valid_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.valid as f64 / self.total() as f64
+        }
+    }
+}
+
+impl fmt::Display for ValidationSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "valid: {}, invalid: {}, notfound: {} (total {})",
+            self.valid,
+            self.invalid,
+            self.not_found,
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpki_roa::Asn;
+
+    fn vrp(s: &str) -> Vrp {
+        s.parse().unwrap()
+    }
+
+    fn route(s: &str) -> RouteOrigin {
+        s.parse().unwrap()
+    }
+
+    fn bu_index() -> VrpIndex {
+        // The paper's §2 example: ROA (168.122.0.0/16, AS 111).
+        [vrp("168.122.0.0/16 => AS111")].into_iter().collect()
+    }
+
+    #[test]
+    fn section2_validation_states() {
+        let index = bu_index();
+        // AS 111 originates its prefix: Valid.
+        assert_eq!(
+            index.validate(&route("168.122.0.0/16 => AS111")),
+            ValidationState::Valid
+        );
+        // AS 111 de-aggregates without a matching ROA: Invalid (§3).
+        assert_eq!(
+            index.validate(&route("168.122.225.0/24 => AS111")),
+            ValidationState::Invalid
+        );
+        // Subprefix hijack: Invalid (§2).
+        assert_eq!(
+            index.validate(&route("168.122.0.0/24 => AS666")),
+            ValidationState::Invalid
+        );
+        // Prefix hijack of the exact prefix: Invalid.
+        assert_eq!(
+            index.validate(&route("168.122.0.0/16 => AS666")),
+            ValidationState::Invalid
+        );
+        // Unrelated prefix: NotFound.
+        assert_eq!(
+            index.validate(&route("8.8.8.0/24 => AS15169")),
+            ValidationState::NotFound
+        );
+    }
+
+    #[test]
+    fn section4_maxlength_authorizes_hijack() {
+        // With the non-minimal ROA (168.122.0.0/16-24, AS 111), the
+        // forged-origin subprefix announcement is Valid — the attack core.
+        let index: VrpIndex = [vrp("168.122.0.0/16-24 => AS111")].into_iter().collect();
+        assert_eq!(
+            index.validate(&route("168.122.0.0/24 => AS111")),
+            ValidationState::Valid
+        );
+        // Beyond maxLength it turns Invalid again.
+        assert_eq!(
+            index.validate(&route("168.122.0.0/25 => AS111")),
+            ValidationState::Invalid
+        );
+    }
+
+    #[test]
+    fn multiple_vrps_same_prefix() {
+        let mut index = VrpIndex::new();
+        assert!(index.insert(vrp("10.0.0.0/16 => AS1")));
+        assert!(index.insert(vrp("10.0.0.0/16 => AS2")));
+        assert!(!index.insert(vrp("10.0.0.0/16 => AS1"))); // duplicate
+        assert_eq!(index.len(), 2);
+        assert_eq!(
+            index.validate(&route("10.0.0.0/16 => AS1")),
+            ValidationState::Valid
+        );
+        assert_eq!(
+            index.validate(&route("10.0.0.0/16 => AS2")),
+            ValidationState::Valid
+        );
+        assert_eq!(
+            index.validate(&route("10.0.0.0/16 => AS3")),
+            ValidationState::Invalid
+        );
+    }
+
+    #[test]
+    fn remove_restores_not_found() {
+        let mut index = bu_index();
+        assert!(index.remove(&vrp("168.122.0.0/16 => AS111")));
+        assert!(!index.remove(&vrp("168.122.0.0/16 => AS111")));
+        assert!(index.is_empty());
+        assert_eq!(
+            index.validate(&route("168.122.0.0/16 => AS111")),
+            ValidationState::NotFound
+        );
+    }
+
+    #[test]
+    fn covering_and_matching_iterators() {
+        let index: VrpIndex = [
+            vrp("10.0.0.0/8 => AS1"),
+            vrp("10.0.0.0/16-24 => AS1"),
+            vrp("10.0.0.0/16 => AS2"),
+            vrp("11.0.0.0/8 => AS3"),
+        ]
+        .into_iter()
+        .collect();
+        let r = route("10.0.0.0/24 => AS1");
+        assert_eq!(index.covering(r.prefix).count(), 3);
+        let matching: Vec<_> = index.matching(&r).collect();
+        assert_eq!(matching.len(), 1);
+        assert_eq!(matching[0].max_len, 24);
+    }
+
+    #[test]
+    fn covered_by_subtree() {
+        let index: VrpIndex = [
+            vrp("10.0.0.0/8 => AS1"),
+            vrp("10.1.0.0/16 => AS1"),
+            vrp("11.0.0.0/8 => AS2"),
+        ]
+        .into_iter()
+        .collect();
+        let under: Vec<_> = index
+            .covered_by("10.0.0.0/8".parse().unwrap())
+            .collect();
+        assert_eq!(under.len(), 2);
+    }
+
+    #[test]
+    fn validate_table_summary() {
+        let index = bu_index();
+        let table = [
+            route("168.122.0.0/16 => AS111"),
+            route("168.122.0.0/24 => AS666"),
+            route("8.8.8.0/24 => AS15169"),
+            route("9.9.9.0/24 => AS19281"),
+        ];
+        let summary = index.validate_table(table.iter());
+        assert_eq!(summary.valid, 1);
+        assert_eq!(summary.invalid, 1);
+        assert_eq!(summary.not_found, 2);
+        assert_eq!(summary.total(), 4);
+        assert!((summary.valid_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary_fraction() {
+        assert_eq!(ValidationSummary::default().valid_fraction(), 0.0);
+    }
+
+    #[test]
+    fn from_roas_builds_index() {
+        use rpki_roa::RoaPrefix;
+        let roa = Roa::new(
+            Asn(111),
+            vec![
+                RoaPrefix::exact("168.122.0.0/16".parse().unwrap()),
+                RoaPrefix::exact("168.122.225.0/24".parse().unwrap()),
+            ],
+        )
+        .unwrap();
+        let index = VrpIndex::from_roas([&roa]);
+        assert_eq!(index.len(), 2);
+        // The minimal ROA stops the forged-origin subprefix hijack (§5).
+        assert_eq!(
+            index.validate(&route("168.122.0.0/24 => AS111")),
+            ValidationState::Invalid
+        );
+        // But still authorizes the de-aggregated /24.
+        assert_eq!(
+            index.validate(&route("168.122.225.0/24 => AS111")),
+            ValidationState::Valid
+        );
+    }
+
+    #[test]
+    fn cross_family_isolation() {
+        let index: VrpIndex = [vrp("10.0.0.0/8 => AS1"), vrp("2001:db8::/32 => AS1")]
+            .into_iter()
+            .collect();
+        assert_eq!(
+            index.validate(&route("2001:db8::/48 => AS1")),
+            ValidationState::Invalid
+        );
+        assert_eq!(
+            index.validate(&route("2001:db8::/32 => AS1")),
+            ValidationState::Valid
+        );
+        assert_eq!(
+            index.validate(&route("2002::/16 => AS1")),
+            ValidationState::NotFound
+        );
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let vrps = [
+            vrp("10.0.0.0/8 => AS1"),
+            vrp("10.0.0.0/16 => AS2"),
+            vrp("2001:db8::/32 => AS3"),
+        ];
+        let index: VrpIndex = vrps.into_iter().collect();
+        assert_eq!(index.iter().count(), 3);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests: the trie-backed validator must agree with a brute-force
+//! linear-scan reference implementation on arbitrary VRP sets and routes.
+
+use proptest::prelude::*;
+use rpki_prefix::{Prefix, Prefix4};
+use rpki_roa::{Asn, RouteOrigin, Vrp};
+use rpki_rov::{ValidationState, VrpIndex};
+
+/// Small universes so covering/matching cases actually collide.
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (0u32..16, 0u8..=6).prop_map(|(b, l)| Prefix::V4(Prefix4::new_truncated(b << 26, l)))
+}
+
+fn arb_vrp() -> impl Strategy<Value = Vrp> {
+    (arb_prefix(), 0u8..=4, 1u32..5)
+        .prop_map(|(p, extra, asn)| Vrp::new(p, p.len().saturating_add(extra), Asn(asn)))
+}
+
+fn arb_route() -> impl Strategy<Value = RouteOrigin> {
+    (arb_prefix(), 1u32..5).prop_map(|(p, asn)| RouteOrigin::new(p, Asn(asn)))
+}
+
+fn reference_validate(vrps: &[Vrp], route: &RouteOrigin) -> ValidationState {
+    if vrps.iter().any(|v| v.matches(route)) {
+        ValidationState::Valid
+    } else if vrps.iter().any(|v| v.covers(route)) {
+        ValidationState::Invalid
+    } else {
+        ValidationState::NotFound
+    }
+}
+
+proptest! {
+    #[test]
+    fn index_agrees_with_linear_scan(
+        vrps in prop::collection::vec(arb_vrp(), 0..60),
+        routes in prop::collection::vec(arb_route(), 1..40),
+    ) {
+        let index: VrpIndex = vrps.iter().copied().collect();
+        for route in &routes {
+            prop_assert_eq!(
+                index.validate(route),
+                reference_validate(&vrps, route),
+                "route {} against {} vrps", route, vrps.len()
+            );
+        }
+    }
+
+    #[test]
+    fn covering_matches_scan(
+        vrps in prop::collection::vec(arb_vrp(), 0..60),
+        route in arb_route(),
+    ) {
+        let index: VrpIndex = vrps.iter().copied().collect();
+        let mut got: Vec<Vrp> = index.covering(route.prefix).copied().collect();
+        let mut expect: Vec<Vrp> = vrps.iter().filter(|v| v.covers(&route)).copied().collect();
+        // Dedup the reference the way the index does.
+        expect.sort_unstable();
+        expect.dedup();
+        got.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn insert_remove_round_trip(
+        vrps in prop::collection::vec(arb_vrp(), 0..40),
+        extra in prop::collection::vec(arb_vrp(), 0..10),
+    ) {
+        let mut index: VrpIndex = vrps.iter().copied().collect();
+        let base_len = index.len();
+        let mut fresh: Vec<Vrp> = extra.into_iter().filter(|v| !index.contains(v)).collect();
+        fresh.sort_unstable();
+        fresh.dedup();
+        for v in &fresh {
+            prop_assert!(index.insert(*v));
+        }
+        prop_assert_eq!(index.len(), base_len + fresh.len());
+        for v in &fresh {
+            prop_assert!(index.remove(v));
+        }
+        prop_assert_eq!(index.len(), base_len);
+        for v in &vrps {
+            prop_assert!(index.contains(v));
+        }
+    }
+
+    #[test]
+    fn summary_totals_consistent(
+        vrps in prop::collection::vec(arb_vrp(), 0..40),
+        routes in prop::collection::vec(arb_route(), 0..60),
+    ) {
+        let index: VrpIndex = vrps.iter().copied().collect();
+        let summary = index.validate_table(routes.iter());
+        prop_assert_eq!(summary.total(), routes.len());
+        let valid_count = routes
+            .iter()
+            .filter(|r| reference_validate(&vrps, r) == ValidationState::Valid)
+            .count();
+        prop_assert_eq!(summary.valid, valid_count);
+    }
+}
+
+mod delta_props {
+    use super::*;
+    use rpki_rov::RevalidationEngine;
+
+    proptest! {
+        /// Incremental revalidation must agree with validating from
+        /// scratch after any interleaving of VRP announcements and
+        /// withdrawals.
+        #[test]
+        fn incremental_equals_from_scratch(
+            routes in prop::collection::btree_set(arb_route(), 1..30),
+            deltas in prop::collection::vec((arb_vrp(), any::<bool>()), 0..40),
+        ) {
+            let mut engine = RevalidationEngine::new(routes.iter().copied(), []);
+            let mut applied: Vec<Vrp> = Vec::new();
+            for (vrp, announce) in deltas {
+                if announce {
+                    engine.announce_vrp(vrp);
+                    if !applied.contains(&vrp) {
+                        applied.push(vrp);
+                    }
+                } else {
+                    engine.withdraw_vrp(&vrp);
+                    applied.retain(|v| *v != vrp);
+                }
+                // From-scratch reference.
+                let reference: VrpIndex = applied.iter().copied().collect();
+                for route in &routes {
+                    prop_assert_eq!(
+                        engine.state_of(route),
+                        Some(reference.validate(route)),
+                        "route {} after {} deltas", route, applied.len()
+                    );
+                }
+            }
+        }
+
+        /// Reported state changes are exactly the differences.
+        #[test]
+        fn changes_are_exact(
+            routes in prop::collection::btree_set(arb_route(), 1..25),
+            vrp in arb_vrp(),
+        ) {
+            let mut engine = RevalidationEngine::new(routes.iter().copied(), []);
+            let before: Vec<_> = routes.iter().map(|r| engine.state_of(r).unwrap()).collect();
+            let changes = engine.announce_vrp(vrp);
+            for (route, old) in routes.iter().zip(before) {
+                let new = engine.state_of(route).unwrap();
+                let reported = changes.iter().find(|c| c.route == *route);
+                if old == new {
+                    prop_assert!(reported.is_none());
+                } else {
+                    let c = reported.expect("change must be reported");
+                    prop_assert_eq!(c.old, old);
+                    prop_assert_eq!(c.new, new);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! The cache-server side of rpki-rtr: Figure 1's "trusted local cache".
+//!
+//! The cache holds the current VRP set (the output of `scan_roas` or
+//! `compress_roas`), versions it with serial numbers, and answers router
+//! queries: a Reset Query gets the full set; a Serial Query gets the
+//! announce/withdraw delta since the router's serial, or a Cache Reset if
+//! that serial has aged out of the history window.
+//!
+//! The state machine is sans-io: [`CacheServer::handle`] maps one request
+//! PDU to response PDUs; [`CacheServer::serve_one`] runs that loop over a
+//! blocking [`crate::transport::Transport`] adapter.
+
+use std::collections::BTreeSet;
+use std::collections::VecDeque;
+
+use rpki_roa::Vrp;
+
+use crate::pdu::{ErrorCode, Flags, Pdu, Timing};
+use crate::transport::{Transport, TransportError};
+
+/// One recorded delta between consecutive serials.
+#[derive(Debug, Clone, Default)]
+struct Delta {
+    announced: Vec<Vrp>,
+    withdrawn: Vec<Vrp>,
+}
+
+/// How many deltas the cache keeps before answering old serials with
+/// Cache Reset (RFC 8210 leaves this to the implementation).
+const HISTORY_WINDOW: usize = 16;
+
+/// The rpki-rtr cache server state machine.
+#[derive(Debug, Clone)]
+pub struct CacheServer {
+    session_id: u16,
+    serial: u32,
+    vrps: BTreeSet<Vrp>,
+    /// `history[i]` is the delta from `serial - history.len() + i` to the
+    /// next serial.
+    history: VecDeque<Delta>,
+    timing: Timing,
+}
+
+impl CacheServer {
+    /// Creates a cache at serial 0 holding `vrps`.
+    pub fn new(session_id: u16, vrps: &[Vrp]) -> CacheServer {
+        CacheServer {
+            session_id,
+            serial: 0,
+            vrps: vrps.iter().copied().collect(),
+            history: VecDeque::new(),
+            timing: Timing::default(),
+        }
+    }
+
+    /// The session identifier routers must echo.
+    pub fn session_id(&self) -> u16 {
+        self.session_id
+    }
+
+    /// The current serial.
+    pub fn serial(&self) -> u32 {
+        self.serial
+    }
+
+    /// The current VRP set.
+    pub fn vrps(&self) -> impl Iterator<Item = &Vrp> {
+        self.vrps.iter()
+    }
+
+    /// Number of VRPs currently served — the router-load metric of §6.
+    pub fn len(&self) -> usize {
+        self.vrps.len()
+    }
+
+    /// `true` if the cache holds no VRPs.
+    pub fn is_empty(&self) -> bool {
+        self.vrps.is_empty()
+    }
+
+    /// Replaces the VRP set (a new validation run on the local cache),
+    /// bumping the serial and recording the delta. Returns the
+    /// Serial Notify PDU to push to connected routers.
+    pub fn update(&mut self, new_vrps: &[Vrp]) -> Pdu {
+        let new_set: BTreeSet<Vrp> = new_vrps.iter().copied().collect();
+        let delta = Delta {
+            announced: new_set.difference(&self.vrps).copied().collect(),
+            withdrawn: self.vrps.difference(&new_set).copied().collect(),
+        };
+        self.vrps = new_set;
+        self.serial = self.serial.wrapping_add(1);
+        self.history.push_back(delta);
+        while self.history.len() > HISTORY_WINDOW {
+            self.history.pop_front();
+        }
+        Pdu::SerialNotify {
+            session_id: self.session_id,
+            serial: self.serial,
+        }
+    }
+
+    /// Handles one request PDU, producing the response sequence.
+    pub fn handle(&self, request: &Pdu) -> Vec<Pdu> {
+        match request {
+            Pdu::ResetQuery => self.full_response(),
+            Pdu::SerialQuery { session_id, serial } => {
+                if *session_id != self.session_id {
+                    // RFC 8210 §5.4: wrong session → the router must reset.
+                    return vec![Pdu::CacheReset];
+                }
+                self.delta_response(*serial)
+            }
+            other => vec![Pdu::ErrorReport {
+                code: ErrorCode::InvalidRequest,
+                pdu: other.to_bytes(),
+                text: format!("unexpected PDU type {}", other.type_code()),
+            }],
+        }
+    }
+
+    fn full_response(&self) -> Vec<Pdu> {
+        let mut out = Vec::with_capacity(self.vrps.len() + 2);
+        out.push(Pdu::CacheResponse {
+            session_id: self.session_id,
+        });
+        out.extend(self.vrps.iter().map(|&vrp| Pdu::Prefix {
+            flags: Flags::Announce,
+            vrp,
+        }));
+        out.push(self.end_of_data());
+        out
+    }
+
+    fn delta_response(&self, router_serial: u32) -> Vec<Pdu> {
+        if router_serial == self.serial {
+            // Nothing new: empty response confirming the serial.
+            return vec![
+                Pdu::CacheResponse {
+                    session_id: self.session_id,
+                },
+                self.end_of_data(),
+            ];
+        }
+        let behind = self.serial.wrapping_sub(router_serial) as usize;
+        if behind > self.history.len() {
+            // Too old (or from the future): force a reset.
+            return vec![Pdu::CacheReset];
+        }
+        let mut out = vec![Pdu::CacheResponse {
+            session_id: self.session_id,
+        }];
+        let start = self.history.len() - behind;
+        // Coalesce the deltas: a VRP announced then withdrawn (or vice
+        // versa) across the window must not be sent twice.
+        let mut announced: BTreeSet<Vrp> = BTreeSet::new();
+        let mut withdrawn: BTreeSet<Vrp> = BTreeSet::new();
+        for delta in self.history.iter().skip(start) {
+            for &v in &delta.announced {
+                if !withdrawn.remove(&v) {
+                    announced.insert(v);
+                }
+            }
+            for &v in &delta.withdrawn {
+                if !announced.remove(&v) {
+                    withdrawn.insert(v);
+                }
+            }
+        }
+        out.extend(announced.into_iter().map(|vrp| Pdu::Prefix {
+            flags: Flags::Announce,
+            vrp,
+        }));
+        out.extend(withdrawn.into_iter().map(|vrp| Pdu::Prefix {
+            flags: Flags::Withdraw,
+            vrp,
+        }));
+        out.push(self.end_of_data());
+        out
+    }
+
+    fn end_of_data(&self) -> Pdu {
+        Pdu::EndOfData {
+            session_id: self.session_id,
+            serial: self.serial,
+            timing: self.timing,
+        }
+    }
+
+    /// Serves exactly one request over a blocking transport (used by the
+    /// per-connection server loop and tests).
+    pub fn serve_one<T: Transport>(&mut self, transport: &mut T) -> Result<(), TransportError> {
+        let request = transport.recv()?;
+        for pdu in self.handle(&request) {
+            transport.send(&pdu)?;
+        }
+        Ok(())
+    }
+
+    /// Serves requests until the transport closes.
+    pub fn serve<T: Transport>(&mut self, transport: &mut T) -> Result<(), TransportError> {
+        loop {
+            match self.serve_one(transport) {
+                Ok(()) => {}
+                Err(TransportError::Closed) => return Ok(()),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vrp(s: &str) -> Vrp {
+        s.parse().unwrap()
+    }
+
+    fn cache() -> CacheServer {
+        CacheServer::new(
+            7,
+            &[vrp("10.0.0.0/8 => AS1"), vrp("2001:db8::/32-48 => AS2")],
+        )
+    }
+
+    #[test]
+    fn reset_query_returns_full_set() {
+        let c = cache();
+        let response = c.handle(&Pdu::ResetQuery);
+        assert_eq!(response.len(), 4); // CacheResponse + 2 prefixes + EOD
+        assert_eq!(response[0], Pdu::CacheResponse { session_id: 7 });
+        assert!(matches!(
+            response[1],
+            Pdu::Prefix {
+                flags: Flags::Announce,
+                ..
+            }
+        ));
+        assert!(matches!(response[3], Pdu::EndOfData { serial: 0, .. }));
+    }
+
+    #[test]
+    fn update_bumps_serial_and_diffs() {
+        let mut c = cache();
+        let notify = c.update(&[vrp("10.0.0.0/8 => AS1"), vrp("11.0.0.0/8 => AS3")]);
+        assert_eq!(
+            notify,
+            Pdu::SerialNotify {
+                session_id: 7,
+                serial: 1
+            }
+        );
+        // Router at serial 0 gets exactly the delta.
+        let response = c.handle(&Pdu::SerialQuery {
+            session_id: 7,
+            serial: 0,
+        });
+        let announces: Vec<&Vrp> = response
+            .iter()
+            .filter_map(|p| match p {
+                Pdu::Prefix {
+                    flags: Flags::Announce,
+                    vrp,
+                } => Some(vrp),
+                _ => None,
+            })
+            .collect();
+        let withdraws: Vec<&Vrp> = response
+            .iter()
+            .filter_map(|p| match p {
+                Pdu::Prefix {
+                    flags: Flags::Withdraw,
+                    vrp,
+                } => Some(vrp),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(announces, vec![&vrp("11.0.0.0/8 => AS3")]);
+        assert_eq!(withdraws, vec![&vrp("2001:db8::/32-48 => AS2")]);
+    }
+
+    #[test]
+    fn serial_query_current_serial_is_empty_delta() {
+        let c = cache();
+        let response = c.handle(&Pdu::SerialQuery {
+            session_id: 7,
+            serial: 0,
+        });
+        assert_eq!(response.len(), 2);
+        assert!(matches!(response[1], Pdu::EndOfData { serial: 0, .. }));
+    }
+
+    #[test]
+    fn wrong_session_forces_reset() {
+        let c = cache();
+        let response = c.handle(&Pdu::SerialQuery {
+            session_id: 99,
+            serial: 0,
+        });
+        assert_eq!(response, vec![Pdu::CacheReset]);
+    }
+
+    #[test]
+    fn ancient_serial_forces_reset() {
+        let mut c = cache();
+        for i in 0..(HISTORY_WINDOW + 5) {
+            c.update(&[vrp(&format!("10.{}.0.0/16 => AS1", i))]);
+        }
+        let response = c.handle(&Pdu::SerialQuery {
+            session_id: 7,
+            serial: 1,
+        });
+        assert_eq!(response, vec![Pdu::CacheReset]);
+        // A recent serial still gets a delta.
+        let response = c.handle(&Pdu::SerialQuery {
+            session_id: 7,
+            serial: c.serial() - 1,
+        });
+        assert!(matches!(response[0], Pdu::CacheResponse { .. }));
+    }
+
+    #[test]
+    fn deltas_coalesce_across_serials() {
+        let mut c = CacheServer::new(1, &[]);
+        // Announce then withdraw across two updates: net zero.
+        c.update(&[vrp("10.0.0.0/8 => AS1")]);
+        c.update(&[]);
+        let response = c.handle(&Pdu::SerialQuery {
+            session_id: 1,
+            serial: 0,
+        });
+        let prefix_count = response
+            .iter()
+            .filter(|p| matches!(p, Pdu::Prefix { .. }))
+            .count();
+        assert_eq!(prefix_count, 0, "transient VRP must not appear");
+    }
+
+    #[test]
+    fn withdraw_then_reannounce_coalesces() {
+        let mut c = CacheServer::new(1, &[vrp("10.0.0.0/8 => AS1")]);
+        c.update(&[]);
+        c.update(&[vrp("10.0.0.0/8 => AS1")]);
+        let response = c.handle(&Pdu::SerialQuery {
+            session_id: 1,
+            serial: 0,
+        });
+        let prefix_count = response
+            .iter()
+            .filter(|p| matches!(p, Pdu::Prefix { .. }))
+            .count();
+        assert_eq!(prefix_count, 0);
+    }
+
+    #[test]
+    fn unexpected_pdu_gets_error_report() {
+        let c = cache();
+        let response = c.handle(&Pdu::CacheReset);
+        assert_eq!(response.len(), 1);
+        assert!(matches!(
+            response[0],
+            Pdu::ErrorReport {
+                code: ErrorCode::InvalidRequest,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn accessors() {
+        let c = cache();
+        assert_eq!(c.session_id(), 7);
+        assert_eq!(c.serial(), 0);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+        assert!(CacheServer::new(1, &[]).is_empty());
+    }
+}

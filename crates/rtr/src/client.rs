@@ -1,0 +1,459 @@
+//! The router side of rpki-rtr: maintains a synchronized VRP set.
+//!
+//! The state machine mirrors RFC 8210 §8's router behaviour: start with a
+//! Reset Query, then keep up with Serial Queries; fall back to reset when
+//! the cache sends Cache Reset or changes sessions; reject protocol
+//! violations (withdrawals of unknown records, duplicate announcements)
+//! with the RFC's error codes.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use rpki_roa::Vrp;
+
+use crate::pdu::{ErrorCode, Flags, Pdu};
+use crate::transport::{Transport, TransportError};
+
+/// Synchronization state of the router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientState {
+    /// No data yet; must send a Reset Query.
+    Unsynchronized,
+    /// Inside a cache response, accumulating prefix PDUs.
+    Receiving {
+        /// `true` if this response answers a Reset Query (the set is being
+        /// rebuilt from scratch).
+        reset: bool,
+    },
+    /// Holding a complete set at the recorded serial.
+    Synchronized,
+}
+
+/// Protocol errors the router detects.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The cache sent a PDU that is invalid in the current state.
+    Unexpected {
+        /// The offending PDU's type code.
+        type_code: u8,
+        /// The state we were in.
+        state: ClientState,
+    },
+    /// A withdrawal for a VRP we do not hold (RFC 8210 error 6).
+    WithdrawalOfUnknown(Vrp),
+    /// An announcement for a VRP we already hold (RFC 8210 error 7).
+    DuplicateAnnouncement(Vrp),
+    /// The cache reported an error and ended the session.
+    CacheError(ErrorCode, String),
+    /// Transport failure.
+    Transport(TransportError),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Unexpected { type_code, state } => {
+                write!(f, "unexpected PDU type {type_code} in state {state:?}")
+            }
+            ClientError::WithdrawalOfUnknown(v) => {
+                write!(f, "withdrawal of unknown record {v}")
+            }
+            ClientError::DuplicateAnnouncement(v) => {
+                write!(f, "duplicate announcement {v}")
+            }
+            ClientError::CacheError(code, text) => {
+                write!(f, "cache reported {code:?}: {text}")
+            }
+            ClientError::Transport(e) => write!(f, "transport: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<TransportError> for ClientError {
+    fn from(e: TransportError) -> Self {
+        ClientError::Transport(e)
+    }
+}
+
+impl ClientError {
+    /// The RFC 8210 error code the router should report back.
+    pub fn error_code(&self) -> ErrorCode {
+        match self {
+            ClientError::WithdrawalOfUnknown(_) => ErrorCode::WithdrawalOfUnknown,
+            ClientError::DuplicateAnnouncement(_) => ErrorCode::DuplicateAnnouncement,
+            _ => ErrorCode::CorruptData,
+        }
+    }
+}
+
+/// The router-side state machine.
+#[derive(Debug, Clone)]
+pub struct RouterClient {
+    state: ClientState,
+    session_id: Option<u16>,
+    serial: u32,
+    vrps: BTreeSet<Vrp>,
+    /// Working set while receiving a reset response.
+    staging: BTreeSet<Vrp>,
+}
+
+impl Default for RouterClient {
+    fn default() -> Self {
+        RouterClient::new()
+    }
+}
+
+impl RouterClient {
+    /// A fresh, unsynchronized router.
+    pub fn new() -> RouterClient {
+        RouterClient {
+            state: ClientState::Unsynchronized,
+            session_id: None,
+            serial: 0,
+            vrps: BTreeSet::new(),
+            staging: BTreeSet::new(),
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> ClientState {
+        self.state
+    }
+
+    /// The serial the router is synchronized to.
+    pub fn serial(&self) -> u32 {
+        self.serial
+    }
+
+    /// The synchronized VRP set.
+    pub fn vrps(&self) -> &BTreeSet<Vrp> {
+        &self.vrps
+    }
+
+    /// The query PDU appropriate to the current state: Reset Query when
+    /// unsynchronized, Serial Query otherwise.
+    pub fn query(&self) -> Pdu {
+        match (self.state, self.session_id) {
+            (ClientState::Synchronized, Some(session_id)) => Pdu::SerialQuery {
+                session_id,
+                serial: self.serial,
+            },
+            _ => Pdu::ResetQuery,
+        }
+    }
+
+    /// Feeds one PDU from the cache. Returns `true` when a response
+    /// completed (End of Data processed).
+    pub fn handle(&mut self, pdu: &Pdu) -> Result<bool, ClientError> {
+        let unexpected = |state| ClientError::Unexpected {
+            type_code: pdu.type_code(),
+            state,
+        };
+        match (self.state, pdu) {
+            // A notify can arrive at any time; it does not change state —
+            // the caller reacts by sending `query()`.
+            (_, Pdu::SerialNotify { .. }) => Ok(false),
+
+            (ClientState::Unsynchronized, Pdu::CacheResponse { session_id }) => {
+                self.session_id = Some(*session_id);
+                self.staging.clear();
+                self.state = ClientState::Receiving { reset: true };
+                Ok(false)
+            }
+            (ClientState::Synchronized, Pdu::CacheResponse { session_id }) => {
+                if Some(*session_id) != self.session_id {
+                    // Session changed: our data is void; restart.
+                    self.reset();
+                    return Err(unexpected(ClientState::Synchronized));
+                }
+                self.state = ClientState::Receiving { reset: false };
+                Ok(false)
+            }
+            (ClientState::Receiving { reset }, Pdu::Prefix { flags, vrp }) => {
+                let set = if reset { &mut self.staging } else { &mut self.vrps };
+                match flags {
+                    Flags::Announce => {
+                        if !set.insert(*vrp) {
+                            return Err(ClientError::DuplicateAnnouncement(*vrp));
+                        }
+                    }
+                    Flags::Withdraw => {
+                        if !set.remove(vrp) {
+                            return Err(ClientError::WithdrawalOfUnknown(*vrp));
+                        }
+                    }
+                }
+                Ok(false)
+            }
+            (ClientState::Receiving { reset }, Pdu::EndOfData { session_id, serial, .. }) => {
+                if Some(*session_id) != self.session_id {
+                    self.reset();
+                    return Err(unexpected(ClientState::Receiving { reset }));
+                }
+                if reset {
+                    self.vrps = std::mem::take(&mut self.staging);
+                }
+                self.serial = *serial;
+                self.state = ClientState::Synchronized;
+                Ok(true)
+            }
+            (_, Pdu::CacheReset) => {
+                self.reset();
+                Ok(false)
+            }
+            (_, Pdu::ErrorReport { code, text, .. }) => {
+                Err(ClientError::CacheError(*code, text.clone()))
+            }
+            (state, _) => Err(unexpected(state)),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.state = ClientState::Unsynchronized;
+        self.session_id = None;
+        self.staging.clear();
+    }
+
+    /// Runs one full synchronization round over a blocking transport:
+    /// sends the appropriate query and processes the response to
+    /// completion, following a Cache Reset with a Reset Query.
+    pub fn synchronize<T: Transport>(&mut self, transport: &mut T) -> Result<(), ClientError> {
+        for _attempt in 0..2 {
+            let was_synchronized = matches!(self.state, ClientState::Synchronized);
+            transport.send(&self.query())?;
+            loop {
+                let pdu = transport.recv()?;
+                if pdu == Pdu::CacheReset {
+                    self.reset();
+                    break; // retry with a reset query
+                }
+                if self.handle(&pdu)? {
+                    return Ok(());
+                }
+            }
+            // Only loop once after a cache reset.
+            if !was_synchronized {
+                break;
+            }
+        }
+        // Second attempt after reset.
+        transport.send(&self.query())?;
+        loop {
+            let pdu = transport.recv()?;
+            if self.handle(&pdu)? {
+                return Ok(());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pdu::Timing;
+
+    fn vrp(s: &str) -> Vrp {
+        s.parse().unwrap()
+    }
+
+    fn announce(v: &str) -> Pdu {
+        Pdu::Prefix {
+            flags: Flags::Announce,
+            vrp: vrp(v),
+        }
+    }
+
+    fn withdraw(v: &str) -> Pdu {
+        Pdu::Prefix {
+            flags: Flags::Withdraw,
+            vrp: vrp(v),
+        }
+    }
+
+    fn eod(session_id: u16, serial: u32) -> Pdu {
+        Pdu::EndOfData {
+            session_id,
+            serial,
+            timing: Timing::default(),
+        }
+    }
+
+    #[test]
+    fn initial_query_is_reset() {
+        let c = RouterClient::new();
+        assert_eq!(c.query(), Pdu::ResetQuery);
+        assert_eq!(c.state(), ClientState::Unsynchronized);
+    }
+
+    #[test]
+    fn full_sync_flow() {
+        let mut c = RouterClient::new();
+        assert!(!c.handle(&Pdu::CacheResponse { session_id: 7 }).unwrap());
+        assert!(!c.handle(&announce("10.0.0.0/8 => AS1")).unwrap());
+        assert!(!c.handle(&announce("11.0.0.0/8 => AS2")).unwrap());
+        assert!(c.handle(&eod(7, 3)).unwrap());
+        assert_eq!(c.state(), ClientState::Synchronized);
+        assert_eq!(c.serial(), 3);
+        assert_eq!(c.vrps().len(), 2);
+        // Next query is a serial query echoing the session.
+        assert_eq!(
+            c.query(),
+            Pdu::SerialQuery {
+                session_id: 7,
+                serial: 3
+            }
+        );
+    }
+
+    fn synced() -> RouterClient {
+        let mut c = RouterClient::new();
+        c.handle(&Pdu::CacheResponse { session_id: 7 }).unwrap();
+        c.handle(&announce("10.0.0.0/8 => AS1")).unwrap();
+        c.handle(&eod(7, 1)).unwrap();
+        c
+    }
+
+    #[test]
+    fn delta_applies_announce_and_withdraw() {
+        let mut c = synced();
+        c.handle(&Pdu::CacheResponse { session_id: 7 }).unwrap();
+        c.handle(&announce("12.0.0.0/8 => AS3")).unwrap();
+        c.handle(&withdraw("10.0.0.0/8 => AS1")).unwrap();
+        assert!(c.handle(&eod(7, 2)).unwrap());
+        assert_eq!(c.serial(), 2);
+        let vrps: Vec<String> = c.vrps().iter().map(|v| v.to_string()).collect();
+        assert_eq!(vrps, vec!["12.0.0.0/8 => AS3"]);
+    }
+
+    #[test]
+    fn withdrawal_of_unknown_is_error() {
+        let mut c = synced();
+        c.handle(&Pdu::CacheResponse { session_id: 7 }).unwrap();
+        let err = c.handle(&withdraw("99.0.0.0/8 => AS9")).unwrap_err();
+        assert!(matches!(err, ClientError::WithdrawalOfUnknown(_)));
+        assert_eq!(err.error_code(), ErrorCode::WithdrawalOfUnknown);
+    }
+
+    #[test]
+    fn duplicate_announcement_is_error() {
+        let mut c = synced();
+        c.handle(&Pdu::CacheResponse { session_id: 7 }).unwrap();
+        let err = c.handle(&announce("10.0.0.0/8 => AS1")).unwrap_err();
+        assert!(matches!(err, ClientError::DuplicateAnnouncement(_)));
+        assert_eq!(err.error_code(), ErrorCode::DuplicateAnnouncement);
+    }
+
+    #[test]
+    fn duplicate_in_reset_response_is_error() {
+        let mut c = RouterClient::new();
+        c.handle(&Pdu::CacheResponse { session_id: 7 }).unwrap();
+        c.handle(&announce("10.0.0.0/8 => AS1")).unwrap();
+        assert!(c.handle(&announce("10.0.0.0/8 => AS1")).is_err());
+    }
+
+    #[test]
+    fn cache_reset_unsynchronizes() {
+        let mut c = synced();
+        c.handle(&Pdu::CacheReset).unwrap();
+        assert_eq!(c.state(), ClientState::Unsynchronized);
+        assert_eq!(c.query(), Pdu::ResetQuery);
+        // Old data retained until the new set arrives (graceful restart).
+        assert_eq!(c.vrps().len(), 1);
+    }
+
+    #[test]
+    fn session_change_detected() {
+        let mut c = synced();
+        let err = c.handle(&Pdu::CacheResponse { session_id: 8 }).unwrap_err();
+        assert!(matches!(err, ClientError::Unexpected { .. }));
+        assert_eq!(c.state(), ClientState::Unsynchronized);
+    }
+
+    #[test]
+    fn reset_response_replaces_set_atomically() {
+        let mut c = synced();
+        // Force back to unsynchronized, then deliver a fresh full set.
+        c.handle(&Pdu::CacheReset).unwrap();
+        c.handle(&Pdu::CacheResponse { session_id: 9 }).unwrap();
+        c.handle(&announce("20.0.0.0/8 => AS5")).unwrap();
+        // Old data still visible mid-transfer.
+        assert!(c.vrps().contains(&vrp("10.0.0.0/8 => AS1")));
+        c.handle(&eod(9, 0)).unwrap();
+        // Atomically swapped.
+        assert_eq!(c.vrps().len(), 1);
+        assert!(c.vrps().contains(&vrp("20.0.0.0/8 => AS5")));
+    }
+
+    #[test]
+    fn error_report_surfaces() {
+        let mut c = RouterClient::new();
+        let err = c
+            .handle(&Pdu::ErrorReport {
+                code: ErrorCode::NoDataAvailable,
+                pdu: bytes::Bytes::new(),
+                text: "try later".into(),
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ClientError::CacheError(ErrorCode::NoDataAvailable, _)
+        ));
+    }
+
+    #[test]
+    fn notify_is_noop_in_any_state() {
+        let mut c = RouterClient::new();
+        assert!(!c
+            .handle(&Pdu::SerialNotify {
+                session_id: 1,
+                serial: 5
+            })
+            .unwrap());
+        let mut c = synced();
+        assert!(!c
+            .handle(&Pdu::SerialNotify {
+                session_id: 7,
+                serial: 9
+            })
+            .unwrap());
+        assert_eq!(c.state(), ClientState::Synchronized);
+    }
+
+    #[test]
+    fn prefix_outside_response_is_unexpected() {
+        let mut c = synced();
+        let err = c.handle(&announce("10.0.0.0/8 => AS1")).unwrap_err();
+        assert!(matches!(err, ClientError::Unexpected { type_code: 4, .. }));
+    }
+}
+
+impl ClientError {
+    /// The Error Report PDU a router should send to the cache before
+    /// dropping the session over this error (RFC 8210 §10).
+    pub fn to_error_report(&self) -> Pdu {
+        Pdu::ErrorReport {
+            code: self.error_code(),
+            pdu: bytes::Bytes::new(),
+            text: self.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod error_report_tests {
+    use super::*;
+
+    #[test]
+    fn error_report_carries_code_and_text() {
+        let err = ClientError::WithdrawalOfUnknown("10.0.0.0/8 => AS1".parse().unwrap());
+        match err.to_error_report() {
+            Pdu::ErrorReport { code, text, .. } => {
+                assert_eq!(code, ErrorCode::WithdrawalOfUnknown);
+                assert!(text.contains("10.0.0.0/8"));
+            }
+            other => panic!("expected error report, got {other:?}"),
+        }
+    }
+}

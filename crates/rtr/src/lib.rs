@@ -1,0 +1,51 @@
+//! The RPKI-to-Router protocol (RFC 6810 / RFC 8210).
+//!
+//! Figure 1 of the paper: the trusted local cache validates ROAs, turns
+//! them into `(prefix, maxLength, origin AS)` PDUs, and ships the PDU list
+//! to the AS's routers over the rpki-rtr protocol. The **number of PDUs on
+//! this channel is the paper's router-load metric** — `compress_roas`
+//! exists precisely to shrink it — so this crate implements the channel
+//! itself, letting examples and tests measure end-to-end exactly what the
+//! paper counts.
+//!
+//! Following the event-driven style of embedded network stacks, the
+//! protocol logic is *sans-io*:
+//!
+//! * [`pdu`] — wire format: every PDU type of RFC 8210 (minus router
+//!   keys), strict encode/decode over [`bytes`].
+//! * [`cache`] — the cache-server state machine: versioned VRP sets,
+//!   serial numbers, delta computation, query handling.
+//! * [`client`] — the router-side state machine: session tracking,
+//!   serial/reset synchronization, applying announce/withdraw deltas.
+//! * [`transport`] — thin blocking adapters: an in-memory channel pair for
+//!   tests and a TCP listener/dialer (threads, no async runtime — the
+//!   protocol is low-rate and CPU-trivial).
+//!
+//! ```
+//! use rpki_rtr::cache::CacheServer;
+//! use rpki_rtr::client::RouterClient;
+//! use rpki_rtr::transport::memory_pair;
+//! use rpki_roa::Vrp;
+//!
+//! let vrps: Vec<Vrp> = vec!["168.122.0.0/16 => AS111".parse().unwrap()];
+//! let mut cache = CacheServer::new(42, &vrps);
+//! let (mut a, mut b) = memory_pair();
+//!
+//! // Router connects, resets, and synchronizes.
+//! let mut router = RouterClient::new();
+//! std::thread::spawn(move || cache.serve_one(&mut b));
+//! router.synchronize(&mut a).unwrap();
+//! assert_eq!(router.vrps().len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod pdu;
+pub mod transport;
+
+pub use cache::CacheServer;
+pub use client::RouterClient;
+pub use pdu::{Pdu, PduError, PROTOCOL_V0, PROTOCOL_V1};

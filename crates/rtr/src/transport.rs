@@ -1,0 +1,537 @@
+//! Blocking transports carrying rpki-rtr PDUs.
+//!
+//! The protocol machines in [`cache`](crate::cache) and
+//! [`client`](crate::client) are sans-io; a [`Transport`] is the thin
+//! blocking pipe between them. Two implementations:
+//!
+//! * [`memory_pair`] — an in-process duplex channel (tests, examples);
+//! * [`TcpTransport`] — a real socket, one thread per connection, exactly
+//!   how a local cache daemon serves its routers.
+
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+
+use bytes::BytesMut;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::cache::CacheServer;
+use crate::pdu::{Pdu, PduError};
+
+/// Transport failures.
+#[derive(Debug)]
+pub enum TransportError {
+    /// The peer closed the connection.
+    Closed,
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The peer sent bytes that do not decode.
+    Protocol(PduError),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Closed => write!(f, "connection closed"),
+            TransportError::Io(e) => write!(f, "I/O error: {e}"),
+            TransportError::Protocol(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}
+
+impl From<PduError> for TransportError {
+    fn from(e: PduError) -> Self {
+        TransportError::Protocol(e)
+    }
+}
+
+impl PartialEq for TransportError {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (TransportError::Closed, TransportError::Closed) => true,
+            (TransportError::Protocol(a), TransportError::Protocol(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// A blocking, message-oriented PDU pipe.
+pub trait Transport {
+    /// Sends one PDU.
+    fn send(&mut self, pdu: &Pdu) -> Result<(), TransportError>;
+    /// Receives the next PDU, blocking until one arrives.
+    fn recv(&mut self) -> Result<Pdu, TransportError>;
+}
+
+/// One end of an in-memory duplex transport.
+#[derive(Debug)]
+pub struct MemoryTransport {
+    tx: Sender<Pdu>,
+    rx: Receiver<Pdu>,
+}
+
+/// Creates a connected pair of in-memory transports.
+pub fn memory_pair() -> (MemoryTransport, MemoryTransport) {
+    let (tx_a, rx_a) = unbounded();
+    let (tx_b, rx_b) = unbounded();
+    (
+        MemoryTransport { tx: tx_a, rx: rx_b },
+        MemoryTransport { tx: tx_b, rx: rx_a },
+    )
+}
+
+impl Transport for MemoryTransport {
+    fn send(&mut self, pdu: &Pdu) -> Result<(), TransportError> {
+        self.tx.send(pdu.clone()).map_err(|_| TransportError::Closed)
+    }
+
+    fn recv(&mut self) -> Result<Pdu, TransportError> {
+        self.rx.recv().map_err(|_| TransportError::Closed)
+    }
+}
+
+/// A PDU transport over a TCP stream, buffering partial frames.
+#[derive(Debug)]
+pub struct TcpTransport {
+    stream: TcpStream,
+    buf: BytesMut,
+}
+
+impl TcpTransport {
+    /// Wraps a connected stream.
+    pub fn new(stream: TcpStream) -> TcpTransport {
+        TcpTransport {
+            stream,
+            buf: BytesMut::with_capacity(4096),
+        }
+    }
+
+    /// Connects to a cache server.
+    pub fn connect(addr: SocketAddr) -> Result<TcpTransport, TransportError> {
+        Ok(TcpTransport::new(TcpStream::connect(addr)?))
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, pdu: &Pdu) -> Result<(), TransportError> {
+        let bytes = pdu.to_bytes();
+        self.stream.write_all(&bytes)?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Pdu, TransportError> {
+        loop {
+            if let Some((pdu, used)) = Pdu::decode(&self.buf)? {
+                let _ = self.buf.split_to(used);
+                return Ok(pdu);
+            }
+            let mut chunk = [0u8; 4096];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return if self.buf.is_empty() {
+                    Err(TransportError::Closed)
+                } else {
+                    Err(TransportError::Protocol(PduError::BadLength {
+                        type_code: 0xFF,
+                        length: self.buf.len(),
+                    }))
+                };
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+/// A threaded TCP cache server: the daemon on Figure 1's local cache,
+/// serving the VRP/PDU list to any number of routers.
+pub struct TcpCacheServer {
+    listener: TcpListener,
+    cache: Arc<Mutex<CacheServer>>,
+    /// Write handles to every connected router, for Serial Notify pushes.
+    notifiers: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+impl TcpCacheServer {
+    /// Binds a listener and wraps the cache state.
+    pub fn bind(addr: SocketAddr, cache: CacheServer) -> Result<TcpCacheServer, TransportError> {
+        Ok(TcpCacheServer {
+            listener: TcpListener::bind(addr)?,
+            cache: Arc::new(Mutex::new(cache)),
+            notifiers: Arc::new(Mutex::new(Vec::new())),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener")
+    }
+
+    /// Shared handle to the cache state, e.g. to run
+    /// [`CacheServer::update`] while serving.
+    pub fn cache(&self) -> Arc<Mutex<CacheServer>> {
+        Arc::clone(&self.cache)
+    }
+
+    /// Replaces the cache's VRP set and pushes the resulting Serial Notify
+    /// to every connected router (RFC 8210 §5.2), pruning dead
+    /// connections. Returns the number of routers notified.
+    pub fn update_and_notify(&self, vrps: &[rpki_roa::Vrp]) -> usize {
+        let notify = self.cache.lock().update(vrps);
+        let bytes = notify.to_bytes();
+        let mut notifiers = self.notifiers.lock();
+        notifiers.retain_mut(|stream| stream.write_all(&bytes).is_ok());
+        notifiers.len()
+    }
+
+    /// Accepts exactly `n` connections, serving each on its own thread,
+    /// then returns the join handles. (A production daemon would loop
+    /// forever; tests and examples want bounded accept counts.)
+    pub fn serve_connections(
+        &self,
+        n: usize,
+    ) -> Vec<thread::JoinHandle<Result<(), TransportError>>> {
+        let mut handles = Vec::with_capacity(n);
+        for _ in 0..n {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if let Ok(clone) = stream.try_clone() {
+                        self.notifiers.lock().push(clone);
+                    }
+                    let cache = Arc::clone(&self.cache);
+                    handles.push(thread::spawn(move || {
+                        let mut transport = TcpTransport::new(stream);
+                        loop {
+                            let request = match transport.recv() {
+                                Ok(r) => r,
+                                Err(TransportError::Closed) => return Ok(()),
+                                // A peer that vanishes mid-session (RST,
+                                // broken pipe) is a normal hangup, not a
+                                // server error.
+                                Err(TransportError::Io(e))
+                                    if matches!(
+                                        e.kind(),
+                                        std::io::ErrorKind::ConnectionReset
+                                            | std::io::ErrorKind::BrokenPipe
+                                    ) =>
+                                {
+                                    return Ok(())
+                                }
+                                // RFC 8210 §10: report corrupt data to the
+                                // peer, then drop the session.
+                                Err(TransportError::Protocol(e)) => {
+                                    let report = Pdu::ErrorReport {
+                                        code: e.error_code(),
+                                        pdu: bytes::Bytes::new(),
+                                        text: e.to_string(),
+                                    };
+                                    let _ = transport.send(&report);
+                                    return Ok(());
+                                }
+                                Err(e) => return Err(e),
+                            };
+                            let responses = cache.lock().handle(&request);
+                            for pdu in responses {
+                                transport.send(&pdu)?;
+                            }
+                        }
+                    }));
+                }
+                Err(e) => {
+                    handles.push(thread::spawn(move || Err(TransportError::Io(e))));
+                }
+            }
+        }
+        handles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::RouterClient;
+    use rpki_roa::Vrp;
+
+    fn vrps(list: &[&str]) -> Vec<Vrp> {
+        list.iter().map(|s| s.parse().unwrap()).collect()
+    }
+
+    #[test]
+    fn memory_pair_moves_pdus() {
+        let (mut a, mut b) = memory_pair();
+        a.send(&Pdu::ResetQuery).unwrap();
+        assert_eq!(b.recv().unwrap(), Pdu::ResetQuery);
+        b.send(&Pdu::CacheReset).unwrap();
+        assert_eq!(a.recv().unwrap(), Pdu::CacheReset);
+    }
+
+    #[test]
+    fn memory_sync_end_to_end() {
+        let set = vrps(&["10.0.0.0/8 => AS1", "2001:db8::/32-48 => AS2"]);
+        let mut cache = CacheServer::new(5, &set);
+        let (mut router_side, mut cache_side) = memory_pair();
+        let server = thread::spawn(move || cache.serve_one(&mut cache_side));
+        let mut router = RouterClient::new();
+        router.synchronize(&mut router_side).unwrap();
+        server.join().unwrap().unwrap();
+        assert_eq!(router.vrps().len(), 2);
+    }
+
+    #[test]
+    fn tcp_sync_and_incremental_update() {
+        let initial = vrps(&["10.0.0.0/8 => AS1"]);
+        let server = TcpCacheServer::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            CacheServer::new(11, &initial),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let cache = server.cache();
+        let accept_thread = thread::spawn(move || server.serve_connections(1));
+
+        let mut transport = TcpTransport::connect(addr).unwrap();
+        let mut router = RouterClient::new();
+        router.synchronize(&mut transport).unwrap();
+        assert_eq!(router.vrps().len(), 1);
+
+        // The cache learns a new ROA; the router catches up via a delta.
+        cache
+            .lock()
+            .update(&vrps(&["10.0.0.0/8 => AS1", "11.0.0.0/8 => AS2"]));
+        router.synchronize(&mut transport).unwrap();
+        assert_eq!(router.vrps().len(), 2);
+        assert_eq!(router.serial(), 1);
+
+        drop(transport);
+        for h in accept_thread.join().unwrap() {
+            h.join().unwrap().unwrap();
+        }
+    }
+
+    #[test]
+    fn tcp_multiple_routers() {
+        let set = vrps(&["10.0.0.0/8 => AS1", "11.0.0.0/8 => AS2"]);
+        let server = TcpCacheServer::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            CacheServer::new(3, &set),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let accept_thread = thread::spawn(move || server.serve_connections(3));
+
+        let clients: Vec<_> = (0..3)
+            .map(|_| {
+                thread::spawn(move || {
+                    let mut t = TcpTransport::connect(addr).unwrap();
+                    let mut r = RouterClient::new();
+                    r.synchronize(&mut t).unwrap();
+                    r.vrps().len()
+                })
+            })
+            .collect();
+        for c in clients {
+            assert_eq!(c.join().unwrap(), 2);
+        }
+        for h in accept_thread.join().unwrap() {
+            h.join().unwrap().unwrap();
+        }
+    }
+
+    #[test]
+    fn tcp_partial_frames_reassembled() {
+        // Write a PDU byte by byte; the receiver must reassemble.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let bytes = Pdu::SerialNotify {
+                session_id: 2,
+                serial: 9,
+            }
+            .to_bytes();
+            for b in bytes.iter() {
+                s.write_all(&[*b]).unwrap();
+                s.flush().unwrap();
+            }
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut t = TcpTransport::new(stream);
+        assert_eq!(
+            t.recv().unwrap(),
+            Pdu::SerialNotify {
+                session_id: 2,
+                serial: 9
+            }
+        );
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_mid_pdu_close_is_protocol_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let bytes = Pdu::CacheReset.to_bytes();
+            s.write_all(&bytes[..4]).unwrap(); // half a header
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut t = TcpTransport::new(stream);
+        assert!(matches!(
+            t.recv(),
+            Err(TransportError::Protocol(_))
+        ));
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn closed_memory_channel() {
+        let (mut a, b) = memory_pair();
+        drop(b);
+        assert_eq!(a.send(&Pdu::ResetQuery), Err(TransportError::Closed));
+        assert_eq!(a.recv().unwrap_err(), TransportError::Closed);
+    }
+}
+
+#[cfg(test)]
+mod notify_tests {
+    use super::*;
+    use crate::client::RouterClient;
+    use rpki_roa::Vrp;
+
+    fn vrps(list: &[&str]) -> Vec<Vrp> {
+        list.iter().map(|s| s.parse().unwrap()).collect()
+    }
+
+    #[test]
+    fn serial_notify_pushed_to_connected_routers() {
+        let initial = vrps(&["10.0.0.0/8 => AS1"]);
+        let server = TcpCacheServer::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            CacheServer::new(77, &initial),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let server = std::sync::Arc::new(server);
+        let accept = {
+            let server = std::sync::Arc::clone(&server);
+            thread::spawn(move || server.serve_connections(1))
+        };
+
+        let mut transport = TcpTransport::connect(addr).unwrap();
+        let mut router = RouterClient::new();
+        router.synchronize(&mut transport).unwrap();
+        assert_eq!(router.vrps().len(), 1);
+
+        // The cache learns new data and pushes a notify.
+        // (Wait for the accept thread to have registered the connection.)
+        let updated = vrps(&["10.0.0.0/8 => AS1", "11.0.0.0/8 => AS2"]);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            if server.update_and_notify(&updated) >= 1 {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "router never registered");
+            thread::yield_now();
+        }
+
+        // The router hears the notify on its own socket, unprompted...
+        let pdu = transport.recv().unwrap();
+        assert!(matches!(pdu, Pdu::SerialNotify { session_id: 77, .. }));
+        // ...and reacts by re-synchronizing.
+        assert!(!router.handle(&pdu).unwrap());
+        router.synchronize(&mut transport).unwrap();
+        assert_eq!(router.vrps().len(), 2);
+
+        drop(transport);
+        for h in accept.join().unwrap() {
+            h.join().unwrap().unwrap();
+        }
+    }
+
+    #[test]
+    fn dead_connections_pruned_on_notify() {
+        let server = TcpCacheServer::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            CacheServer::new(1, &vrps(&["10.0.0.0/8 => AS1"])),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let server = std::sync::Arc::new(server);
+        let accept = {
+            let server = std::sync::Arc::clone(&server);
+            thread::spawn(move || server.serve_connections(1))
+        };
+        let transport = TcpTransport::connect(addr).unwrap();
+        // Wait until registered, then hang up without ever syncing.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            if server.update_and_notify(&vrps(&["12.0.0.0/8 => AS1"])) >= 1 {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline);
+            thread::yield_now();
+        }
+        drop(transport);
+        for h in accept.join().unwrap() {
+            h.join().unwrap().unwrap();
+        }
+        // After the peer is gone, pushes eventually observe the dead pipe
+        // and prune it (a first write may still land in OS buffers).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let n = server.update_and_notify(&vrps(&["13.0.0.0/8 => AS1"]));
+            if n == 0 {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "dead peer never pruned");
+            thread::yield_now();
+        }
+    }
+}
+
+#[cfg(test)]
+mod error_report_tests {
+    use super::*;
+    use crate::pdu::ErrorCode;
+    use rpki_roa::Vrp;
+
+    #[test]
+    fn garbage_from_router_gets_error_report_then_close() {
+        let set: Vec<Vrp> = vec!["10.0.0.0/8 => AS1".parse().unwrap()];
+        let server = TcpCacheServer::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            CacheServer::new(4, &set),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let accept = thread::spawn(move || server.serve_connections(1));
+
+        // A raw client speaking nonsense (bad version byte).
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(&[0x09, 2, 0, 0, 0, 0, 0, 8]).unwrap();
+        let mut t = TcpTransport::new(stream);
+        match t.recv().unwrap() {
+            Pdu::ErrorReport { code, text, .. } => {
+                assert_eq!(code, ErrorCode::UnsupportedVersion);
+                assert!(text.contains("version"));
+            }
+            other => panic!("expected error report, got {other:?}"),
+        }
+        // The cache then hangs up.
+        assert_eq!(t.recv().unwrap_err(), TransportError::Closed);
+        for h in accept.join().unwrap() {
+            h.join().unwrap().unwrap();
+        }
+    }
+}

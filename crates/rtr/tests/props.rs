@@ -1,0 +1,133 @@
+//! Property tests for the rpki-rtr wire codec and the cache/client pair.
+
+use bytes::{Bytes, BytesMut};
+use proptest::prelude::*;
+use rpki_prefix::{Prefix, Prefix4, Prefix6};
+use rpki_roa::{Asn, Vrp};
+use rpki_rtr::cache::CacheServer;
+use rpki_rtr::client::RouterClient;
+use rpki_rtr::pdu::{ErrorCode, Flags, Pdu, Timing};
+
+fn arb_vrp() -> impl Strategy<Value = Vrp> {
+    prop_oneof![
+        (any::<u32>(), 0u8..=32, 0u8..=8, any::<u32>()).prop_map(|(b, l, e, a)| {
+            let p = Prefix::V4(Prefix4::new_truncated(b, l));
+            Vrp::new(p, l.saturating_add(e), Asn(a))
+        }),
+        (any::<u128>(), 0u8..=128, 0u8..=8, any::<u32>()).prop_map(|(b, l, e, a)| {
+            let p = Prefix::V6(Prefix6::new_truncated(b, l));
+            Vrp::new(p, l.saturating_add(e), Asn(a))
+        }),
+    ]
+}
+
+fn arb_pdu() -> impl Strategy<Value = Pdu> {
+    prop_oneof![
+        (any::<u16>(), any::<u32>())
+            .prop_map(|(s, n)| Pdu::SerialNotify { session_id: s, serial: n }),
+        (any::<u16>(), any::<u32>())
+            .prop_map(|(s, n)| Pdu::SerialQuery { session_id: s, serial: n }),
+        Just(Pdu::ResetQuery),
+        any::<u16>().prop_map(|s| Pdu::CacheResponse { session_id: s }),
+        (any::<bool>(), arb_vrp()).prop_map(|(a, vrp)| Pdu::Prefix {
+            flags: if a { Flags::Announce } else { Flags::Withdraw },
+            vrp,
+        }),
+        (any::<u16>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()).prop_map(
+            |(s, n, r, t, e)| Pdu::EndOfData {
+                session_id: s,
+                serial: n,
+                timing: Timing { refresh: r, retry: t, expire: e },
+            }
+        ),
+        Just(Pdu::CacheReset),
+        (prop::collection::vec(any::<u8>(), 0..64), ".*{0,32}").prop_map(|(inner, text)| {
+            Pdu::ErrorReport {
+                code: ErrorCode::CorruptData,
+                pdu: Bytes::from(inner),
+                text,
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn pdu_round_trip(pdu in arb_pdu()) {
+        let bytes = pdu.to_bytes();
+        let (back, used) = Pdu::decode(&bytes).unwrap().unwrap();
+        prop_assert_eq!(back, pdu);
+        prop_assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn concatenated_stream_decodes(pdus in prop::collection::vec(arb_pdu(), 0..10)) {
+        let mut buf = BytesMut::new();
+        for p in &pdus {
+            p.encode(&mut buf);
+        }
+        let mut decoded = Vec::new();
+        let mut view: &[u8] = &buf;
+        while let Some((p, used)) = Pdu::decode(view).unwrap() {
+            decoded.push(p);
+            view = &view[used..];
+        }
+        prop_assert!(view.is_empty());
+        prop_assert_eq!(decoded, pdus);
+    }
+
+    #[test]
+    fn decoder_never_panics(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Pdu::decode(&data);
+    }
+
+    #[test]
+    fn truncated_pdu_is_incomplete_not_error(pdu in arb_pdu(), cut_frac in 0.0f64..1.0) {
+        let bytes = pdu.to_bytes();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            // A prefix of a valid PDU must never decode to a *different*
+            // PDU; it is either incomplete (None) or (if the header got
+            // cut inside the length field) an error — never a wrong value.
+            match Pdu::decode(&bytes[..cut]) {
+                Ok(None) | Err(_) => {}
+                Ok(Some((decoded, _))) => prop_assert_eq!(decoded, pdu),
+            }
+        }
+    }
+
+    /// A router fully synchronized over the protocol holds exactly the
+    /// cache's set, whatever that set is.
+    #[test]
+    fn sync_transfers_exact_set(vrps in prop::collection::btree_set(arb_vrp(), 0..50)) {
+        let list: Vec<Vrp> = vrps.iter().copied().collect();
+        let cache = CacheServer::new(9, &list);
+        let mut router = RouterClient::new();
+        for pdu in cache.handle(&Pdu::ResetQuery) {
+            router.handle(&pdu).unwrap();
+        }
+        prop_assert_eq!(router.vrps(), &vrps);
+    }
+
+    /// Updating the cache and replaying the delta leaves the router with
+    /// the new set.
+    #[test]
+    fn delta_sync_converges(
+        initial in prop::collection::btree_set(arb_vrp(), 0..30),
+        updated in prop::collection::btree_set(arb_vrp(), 0..30),
+    ) {
+        let initial_list: Vec<Vrp> = initial.iter().copied().collect();
+        let updated_list: Vec<Vrp> = updated.iter().copied().collect();
+        let mut cache = CacheServer::new(4, &initial_list);
+        let mut router = RouterClient::new();
+        for pdu in cache.handle(&Pdu::ResetQuery) {
+            router.handle(&pdu).unwrap();
+        }
+        cache.update(&updated_list);
+        for pdu in cache.handle(&router.query()) {
+            router.handle(&pdu).unwrap();
+        }
+        prop_assert_eq!(router.vrps(), &updated);
+        prop_assert_eq!(router.serial(), cache.serial());
+    }
+}

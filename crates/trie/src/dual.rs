@@ -1,0 +1,264 @@
+//! A pair of per-family tries presenting a single map keyed by
+//! [`rpki_prefix::Prefix`].
+//!
+//! The RPKI keeps IPv4 and IPv6 strictly separate, but most pipeline stages
+//! (VRP indexes, BGP tables) want to treat a mixed collection uniformly.
+//! [`DualTrie`] dispatches on the address family and otherwise mirrors the
+//! [`RadixTrie`] API.
+
+use rpki_prefix::{Afi, Prefix};
+
+use crate::{RadixTrie, Trie4, Trie6};
+
+/// A map from [`Prefix`] (either family) to `V`, backed by one
+/// [`RadixTrie`] per address family.
+#[derive(Debug, Clone, Default)]
+pub struct DualTrie<V> {
+    v4: Trie4<V>,
+    v6: Trie6<V>,
+}
+
+impl<V> DualTrie<V> {
+    /// Creates an empty map.
+    pub const fn new() -> Self {
+        DualTrie {
+            v4: RadixTrie::new(),
+            v6: RadixTrie::new(),
+        }
+    }
+
+    /// Total number of entries across both families.
+    pub fn len(&self) -> usize {
+        self.v4.len() + self.v6.len()
+    }
+
+    /// `true` if both families are empty.
+    pub fn is_empty(&self) -> bool {
+        self.v4.is_empty() && self.v6.is_empty()
+    }
+
+    /// Number of entries in one family.
+    pub fn len_for(&self, afi: Afi) -> usize {
+        match afi {
+            Afi::V4 => self.v4.len(),
+            Afi::V6 => self.v6.len(),
+        }
+    }
+
+    /// The IPv4-side trie.
+    pub fn v4(&self) -> &Trie4<V> {
+        &self.v4
+    }
+
+    /// The IPv6-side trie.
+    pub fn v6(&self) -> &Trie6<V> {
+        &self.v6
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.v4.clear();
+        self.v6.clear();
+    }
+
+    /// Inserts `value` at `key`, returning the previous value if any.
+    pub fn insert(&mut self, key: Prefix, value: V) -> Option<V> {
+        match key {
+            Prefix::V4(p) => self.v4.insert(p, value),
+            Prefix::V6(p) => self.v6.insert(p, value),
+        }
+    }
+
+    /// The value stored at exactly `key`.
+    pub fn get(&self, key: Prefix) -> Option<&V> {
+        match key {
+            Prefix::V4(p) => self.v4.get(p),
+            Prefix::V6(p) => self.v6.get(p),
+        }
+    }
+
+    /// Mutable access to the value stored at exactly `key`.
+    pub fn get_mut(&mut self, key: Prefix) -> Option<&mut V> {
+        match key {
+            Prefix::V4(p) => self.v4.get_mut(p),
+            Prefix::V6(p) => self.v6.get_mut(p),
+        }
+    }
+
+    /// `true` if a value is stored at exactly `key`.
+    pub fn contains_key(&self, key: Prefix) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inserts a value computed from `default` if `key` is vacant, then
+    /// returns a mutable reference to the value at `key`.
+    pub fn get_or_insert_with(&mut self, key: Prefix, default: impl FnOnce() -> V) -> &mut V {
+        match key {
+            Prefix::V4(p) => self.v4.get_or_insert_with(p, default),
+            Prefix::V6(p) => self.v6.get_or_insert_with(p, default),
+        }
+    }
+
+    /// Removes and returns the value at exactly `key`.
+    pub fn remove(&mut self, key: Prefix) -> Option<V> {
+        match key {
+            Prefix::V4(p) => self.v4.remove(p),
+            Prefix::V6(p) => self.v6.remove(p),
+        }
+    }
+
+    /// Longest-prefix match within `key`'s family.
+    pub fn longest_match(&self, key: Prefix) -> Option<(Prefix, &V)> {
+        match key {
+            Prefix::V4(p) => self
+                .v4
+                .longest_match(p)
+                .map(|(k, v)| (Prefix::V4(k), v)),
+            Prefix::V6(p) => self
+                .v6
+                .longest_match(p)
+                .map(|(k, v)| (Prefix::V6(k), v)),
+        }
+    }
+
+    /// All entries whose key covers `query`, shortest first.
+    pub fn iter_covering(&self, query: Prefix) -> Box<dyn Iterator<Item = (Prefix, &V)> + '_> {
+        match query {
+            Prefix::V4(p) => {
+                Box::new(self.v4.iter_covering(p).map(|(k, v)| (Prefix::V4(k), v)))
+            }
+            Prefix::V6(p) => {
+                Box::new(self.v6.iter_covering(p).map(|(k, v)| (Prefix::V6(k), v)))
+            }
+        }
+    }
+
+    /// All entries whose key is covered by `query`, in sorted order.
+    pub fn iter_covered_by(&self, query: Prefix) -> Box<dyn Iterator<Item = (Prefix, &V)> + '_> {
+        match query {
+            Prefix::V4(p) => {
+                Box::new(self.v4.iter_covered_by(p).map(|(k, v)| (Prefix::V4(k), v)))
+            }
+            Prefix::V6(p) => {
+                Box::new(self.v6.iter_covered_by(p).map(|(k, v)| (Prefix::V6(k), v)))
+            }
+        }
+    }
+
+    /// Counts entries covered by `query` with prefix length at most `max_len`.
+    pub fn count_covered_by(&self, query: Prefix, max_len: u8) -> usize {
+        match query {
+            Prefix::V4(p) => self.v4.count_covered_by(p, max_len),
+            Prefix::V6(p) => self.v6.count_covered_by(p, max_len),
+        }
+    }
+
+    /// All entries: IPv4 in sorted order, then IPv6 in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (Prefix, &V)> {
+        self.v4
+            .iter()
+            .map(|(k, v)| (Prefix::V4(k), v))
+            .chain(self.v6.iter().map(|(k, v)| (Prefix::V6(k), v)))
+    }
+
+    /// All keys: IPv4 first, then IPv6, each in sorted order.
+    pub fn keys(&self) -> impl Iterator<Item = Prefix> + '_ {
+        self.iter().map(|(k, _)| k)
+    }
+}
+
+impl<V> FromIterator<(Prefix, V)> for DualTrie<V> {
+    fn from_iter<I: IntoIterator<Item = (Prefix, V)>>(iter: I) -> Self {
+        let mut t = DualTrie::new();
+        for (k, v) in iter {
+            t.insert(k, v);
+        }
+        t
+    }
+}
+
+impl<V> Extend<(Prefix, V)> for DualTrie<V> {
+    fn extend<I: IntoIterator<Item = (Prefix, V)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn families_are_disjoint() {
+        let mut t = DualTrie::new();
+        t.insert(p("10.0.0.0/8"), 4);
+        t.insert(p("2001:db8::/32"), 6);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.len_for(Afi::V4), 1);
+        assert_eq!(t.len_for(Afi::V6), 1);
+        assert_eq!(t.get(p("10.0.0.0/8")), Some(&4));
+        assert_eq!(t.get(p("2001:db8::/32")), Some(&6));
+        // A v6 query never matches v4 content.
+        assert!(t.longest_match(p("::1/128")).map(|(k, _)| k) == Some(p("2001:db8::/32")).filter(|q| q.covers(p("::1/128"))) || t.longest_match(p("::1/128")).is_none());
+    }
+
+    #[test]
+    fn longest_match_dispatches() {
+        let mut t = DualTrie::new();
+        t.insert(p("10.0.0.0/8"), 1);
+        t.insert(p("10.1.0.0/16"), 2);
+        t.insert(p("2001:db8::/32"), 3);
+        assert_eq!(
+            t.longest_match(p("10.1.2.0/24")).map(|(k, _)| k),
+            Some(p("10.1.0.0/16"))
+        );
+        assert_eq!(
+            t.longest_match(p("2001:db8:1::/48")).map(|(k, _)| k),
+            Some(p("2001:db8::/32"))
+        );
+        assert!(t.longest_match(p("2002::/16")).is_none());
+    }
+
+    #[test]
+    fn iter_chains_families() {
+        let mut t = DualTrie::new();
+        t.insert(p("2001:db8::/32"), 0);
+        t.insert(p("10.0.0.0/8"), 1);
+        let keys: Vec<_> = t.keys().collect();
+        assert_eq!(keys, vec![p("10.0.0.0/8"), p("2001:db8::/32")]);
+    }
+
+    #[test]
+    fn covering_and_covered() {
+        let mut t = DualTrie::new();
+        t.insert(p("10.0.0.0/8"), 1);
+        t.insert(p("10.1.0.0/16"), 2);
+        assert_eq!(t.iter_covering(p("10.1.0.0/24")).count(), 2);
+        assert_eq!(t.iter_covered_by(p("10.0.0.0/8")).count(), 2);
+        assert_eq!(t.count_covered_by(p("10.0.0.0/8"), 8), 1);
+    }
+
+    #[test]
+    fn remove_and_mutate() {
+        let mut t = DualTrie::new();
+        t.insert(p("10.0.0.0/8"), 1);
+        *t.get_mut(p("10.0.0.0/8")).unwrap() = 9;
+        assert_eq!(t.remove(p("10.0.0.0/8")), Some(9));
+        assert!(t.is_empty());
+        t.get_or_insert_with(p("::/0"), || 5);
+        assert!(t.contains_key(p("::/0")));
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn from_iter_collects() {
+        let t: DualTrie<u8> = [(p("10.0.0.0/8"), 1), (p("::/0"), 2)].into_iter().collect();
+        assert_eq!(t.len(), 2);
+    }
+}

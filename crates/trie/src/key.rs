@@ -1,0 +1,100 @@
+use rpki_prefix::{Prefix4, Prefix6};
+
+/// A key that can index a binary radix trie.
+///
+/// A key is a bit string of bounded length; the trie organizes keys by the
+/// prefix partial order. [`Prefix4`] and [`Prefix6`] implement this
+/// directly. The trait's contract mirrors CIDR semantics:
+///
+/// * `covers` is the prefix-of relation (reflexive),
+/// * `bit(i)` is the i-th most significant bit, defined for `i < len()`,
+/// * `common_ancestor` returns the longest key covering both operands.
+pub trait TrieKey: Copy + Eq + Ord + std::fmt::Debug {
+    /// The maximum key length in bits.
+    const MAX_LEN: u8;
+
+    /// The key length in bits.
+    fn key_len(self) -> u8;
+
+    /// The bit at `index` (0-based from the most significant end).
+    /// Only defined for `index < self.key_len()`.
+    fn bit(self, index: u8) -> bool;
+
+    /// `true` if `self` is a (non-strict) prefix of `other`.
+    fn covers(self, other: Self) -> bool;
+
+    /// The longest key that covers both `self` and `other`.
+    fn common_ancestor(self, other: Self) -> Self;
+}
+
+impl TrieKey for Prefix4 {
+    const MAX_LEN: u8 = 32;
+
+    #[inline]
+    fn key_len(self) -> u8 {
+        self.len()
+    }
+
+    #[inline]
+    fn bit(self, index: u8) -> bool {
+        Prefix4::bit(self, index)
+    }
+
+    #[inline]
+    fn covers(self, other: Self) -> bool {
+        Prefix4::covers(self, other)
+    }
+
+    #[inline]
+    fn common_ancestor(self, other: Self) -> Self {
+        Prefix4::common_ancestor(self, other)
+    }
+}
+
+impl TrieKey for Prefix6 {
+    const MAX_LEN: u8 = 128;
+
+    #[inline]
+    fn key_len(self) -> u8 {
+        self.len()
+    }
+
+    #[inline]
+    fn bit(self, index: u8) -> bool {
+        Prefix6::bit(self, index)
+    }
+
+    #[inline]
+    fn covers(self, other: Self) -> bool {
+        Prefix6::covers(self, other)
+    }
+
+    #[inline]
+    fn common_ancestor(self, other: Self) -> Self {
+        Prefix6::common_ancestor(self, other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix4_key_contract() {
+        let p: Prefix4 = "10.0.0.0/8".parse().unwrap();
+        let q: Prefix4 = "10.128.0.0/9".parse().unwrap();
+        assert_eq!(p.key_len(), 8);
+        assert!(TrieKey::covers(p, q));
+        assert!(TrieKey::bit(q, 8)); // the 9th bit distinguishes q from p's left child
+        assert_eq!(TrieKey::common_ancestor(p, q), p);
+    }
+
+    #[test]
+    fn prefix6_key_contract() {
+        let p: Prefix6 = "2001:db8::/32".parse().unwrap();
+        let q: Prefix6 = "2001:db8:8000::/33".parse().unwrap();
+        assert!(TrieKey::covers(p, q));
+        assert!(TrieKey::bit(q, 32));
+        assert_eq!(TrieKey::common_ancestor(p, q), p);
+    }
+}

@@ -1,0 +1,48 @@
+//! A path-compressed binary radix trie keyed by IP prefixes.
+//!
+//! This is the shared index structure of the workspace: the RFC 6811
+//! validated-payload index (`rpki-rov`), the simulated routers'
+//! longest-prefix-match FIB (`bgpsim`), and the §6 vulnerability census
+//! all run on [`RadixTrie`].
+//!
+//! The trie follows the classic PATRICIA layout: every stored key is a node,
+//! and *junction* nodes (carrying no value) are inserted where two keys
+//! diverge. Junctions are created and collapsed automatically, so the
+//! structure stays proportional to the number of stored entries regardless
+//! of key length.
+//!
+//! Keys are anything implementing [`TrieKey`]; implementations are provided
+//! for [`Prefix4`](rpki_prefix::Prefix4) and [`Prefix6`](rpki_prefix::Prefix6).
+//!
+//! ```
+//! use rpki_trie::RadixTrie;
+//! use rpki_prefix::Prefix4;
+//!
+//! let mut fib: RadixTrie<Prefix4, &str> = RadixTrie::new();
+//! fib.insert("10.0.0.0/8".parse().unwrap(), "via A");
+//! fib.insert("10.2.0.0/16".parse().unwrap(), "via B");
+//!
+//! // Longest-prefix match, as a router's data plane would do:
+//! let dst: Prefix4 = "10.2.3.4/32".parse().unwrap();
+//! let (key, via) = fib.longest_match(dst).unwrap();
+//! assert_eq!(key.to_string(), "10.2.0.0/16");
+//! assert_eq!(*via, "via B");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dual;
+mod key;
+mod node;
+mod trie;
+
+pub use dual::DualTrie;
+pub use key::TrieKey;
+pub use trie::{Iter, IterCoveredBy, IterCovering, RadixTrie};
+
+/// A radix trie keyed by IPv4 prefixes.
+pub type Trie4<V> = RadixTrie<rpki_prefix::Prefix4, V>;
+
+/// A radix trie keyed by IPv6 prefixes.
+pub type Trie6<V> = RadixTrie<rpki_prefix::Prefix6, V>;

@@ -1,0 +1,76 @@
+use crate::TrieKey;
+
+/// One trie node. A node either carries a stored value (`value.is_some()`)
+/// or is a *junction* inserted where two stored keys diverge.
+///
+/// Structural invariants maintained by all mutating operations:
+///
+/// 1. A child's key strictly extends its parent's key, and the child on the
+///    `left` slot has bit `parent.key_len()` equal to 0 (`right` → 1).
+/// 2. A junction always has exactly two children (a junction with fewer
+///    children is collapsed away on removal).
+/// 3. The root is the only node that may be a junction with a key equal to
+///    the common ancestor of everything stored.
+#[derive(Debug, Clone)]
+pub(crate) struct Node<K, V> {
+    pub key: K,
+    pub value: Option<V>,
+    pub left: Option<Box<Node<K, V>>>,
+    pub right: Option<Box<Node<K, V>>>,
+}
+
+impl<K: TrieKey, V> Node<K, V> {
+    pub fn leaf(key: K, value: V) -> Self {
+        Node {
+            key,
+            value: Some(value),
+            left: None,
+            right: None,
+        }
+    }
+
+    pub fn junction(key: K) -> Self {
+        Node {
+            key,
+            value: None,
+            left: None,
+            right: None,
+        }
+    }
+
+    /// The child slot (`left`/`right`) that a key extending `self.key`
+    /// descends into, selected by the first bit after `self.key`.
+    pub fn child_for(&mut self, key: K) -> &mut Option<Box<Node<K, V>>> {
+        debug_assert!(self.key.covers(key) && key.key_len() > self.key.key_len());
+        if key.bit(self.key.key_len()) {
+            &mut self.right
+        } else {
+            &mut self.left
+        }
+    }
+
+    /// Immutable variant of [`child_for`](Self::child_for).
+    pub fn child_for_ref(&self, key: K) -> &Option<Box<Node<K, V>>> {
+        debug_assert!(self.key.covers(key) && key.key_len() > self.key.key_len());
+        if key.bit(self.key.key_len()) {
+            &self.right
+        } else {
+            &self.left
+        }
+    }
+
+    pub fn child_count(&self) -> usize {
+        self.left.is_some() as usize + self.right.is_some() as usize
+    }
+
+    /// Takes the sole child of a node that has exactly one. Used when
+    /// collapsing junctions.
+    pub fn take_only_child(&mut self) -> Option<Box<Node<K, V>>> {
+        debug_assert!(self.child_count() == 1);
+        self.left.take().or_else(|| self.right.take())
+    }
+
+    pub fn is_junction(&self) -> bool {
+        self.value.is_none()
+    }
+}

@@ -1,0 +1,555 @@
+use crate::node::Node;
+use crate::TrieKey;
+
+/// A path-compressed binary radix trie mapping prefix-like keys to values.
+///
+/// All operations are `O(key length)` in node visits. See the crate docs
+/// for an overview and the structural invariants maintained.
+#[derive(Debug, Clone)]
+pub struct RadixTrie<K, V> {
+    root: Option<Box<Node<K, V>>>,
+    len: usize,
+}
+
+impl<K: TrieKey, V> Default for RadixTrie<K, V> {
+    fn default() -> Self {
+        RadixTrie::new()
+    }
+}
+
+impl<K: TrieKey, V> RadixTrie<K, V> {
+    /// Creates an empty trie.
+    pub const fn new() -> Self {
+        RadixTrie { root: None, len: 0 }
+    }
+
+    /// The number of stored entries (junction nodes are not counted).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.root = None;
+        self.len = 0;
+    }
+
+    /// Inserts `value` at `key`, returning the previous value at that exact
+    /// key if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let old = Self::insert_rec(&mut self.root, key, value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    fn insert_rec(slot: &mut Option<Box<Node<K, V>>>, key: K, value: V) -> Option<V> {
+        let Some(node) = slot else {
+            *slot = Some(Box::new(Node::leaf(key, value)));
+            return None;
+        };
+        if node.key == key {
+            return node.value.replace(value);
+        }
+        if node.key.covers(key) {
+            return Self::insert_rec(node.child_for(key), key, value);
+        }
+        if key.covers(node.key) {
+            // New node becomes the parent of the current node.
+            let old = slot.take().expect("checked non-empty");
+            let old_key = old.key;
+            let mut new_node = Box::new(Node::leaf(key, value));
+            *new_node.child_for(old_key) = Some(old);
+            *slot = Some(new_node);
+            return None;
+        }
+        // Diverging keys: join them under a fresh junction.
+        let ancestor = key.common_ancestor(node.key);
+        let old = slot.take().expect("checked non-empty");
+        let old_key = old.key;
+        let mut junction = Box::new(Node::junction(ancestor));
+        *junction.child_for(old_key) = Some(old);
+        *junction.child_for(key) = Some(Box::new(Node::leaf(key, value)));
+        *slot = Some(junction);
+        None
+    }
+
+    /// The value stored at exactly `key`.
+    pub fn get(&self, key: K) -> Option<&V> {
+        let mut node = self.root.as_deref()?;
+        loop {
+            if node.key == key {
+                return node.value.as_ref();
+            }
+            if !(node.key.covers(key) && key.key_len() > node.key.key_len()) {
+                return None;
+            }
+            node = node.child_for_ref(key).as_deref()?;
+        }
+    }
+
+    /// Mutable access to the value stored at exactly `key`.
+    pub fn get_mut(&mut self, key: K) -> Option<&mut V> {
+        let mut node = self.root.as_deref_mut()?;
+        loop {
+            if node.key == key {
+                return node.value.as_mut();
+            }
+            if !(node.key.covers(key) && key.key_len() > node.key.key_len()) {
+                return None;
+            }
+            node = node.child_for(key).as_deref_mut()?;
+        }
+    }
+
+    /// `true` if a value is stored at exactly `key`.
+    pub fn contains_key(&self, key: K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inserts a value computed from `default` if `key` is vacant, then
+    /// returns a mutable reference to the value at `key`.
+    pub fn get_or_insert_with(&mut self, key: K, default: impl FnOnce() -> V) -> &mut V {
+        if !self.contains_key(key) {
+            self.insert(key, default());
+        }
+        self.get_mut(key).expect("just inserted")
+    }
+
+    /// Removes and returns the value at exactly `key`. Junctions left with a
+    /// single child are collapsed so the structure stays minimal.
+    pub fn remove(&mut self, key: K) -> Option<V> {
+        let removed = Self::remove_rec(&mut self.root, key);
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    fn remove_rec(slot: &mut Option<Box<Node<K, V>>>, key: K) -> Option<V> {
+        let node = slot.as_deref_mut()?;
+        let removed = if node.key == key {
+            node.value.take()
+        } else if node.key.covers(key) && key.key_len() > node.key.key_len() {
+            let child_slot = node.child_for(key);
+            Self::remove_rec(child_slot, key)
+        } else {
+            None
+        };
+        if removed.is_some() {
+            Self::normalize(slot);
+        }
+        removed
+    }
+
+    /// Restores the invariants after a removal below `slot`: drops empty
+    /// value-less nodes and collapses single-child junctions.
+    fn normalize(slot: &mut Option<Box<Node<K, V>>>) {
+        let Some(node) = slot.as_deref_mut() else {
+            return;
+        };
+        if !node.is_junction() {
+            return;
+        }
+        match node.child_count() {
+            0 => *slot = None,
+            1 => {
+                let child = node.take_only_child().expect("count is one");
+                *slot = Some(child);
+            }
+            _ => {}
+        }
+    }
+
+    /// Longest-prefix match: the entry with the longest key covering
+    /// `query`, as a router's FIB lookup would select it.
+    pub fn longest_match(&self, query: K) -> Option<(K, &V)> {
+        let mut best = None;
+        let mut node = self.root.as_deref();
+        while let Some(n) = node {
+            if !n.key.covers(query) {
+                break;
+            }
+            if let Some(v) = n.value.as_ref() {
+                best = Some((n.key, v));
+            }
+            if n.key == query {
+                break;
+            }
+            node = n.child_for_ref(query).as_deref();
+        }
+        best
+    }
+
+    /// Iterates over all entries whose key covers `query` (the RFC 6811
+    /// "covering" set), from shortest to longest key.
+    pub fn iter_covering(&self, query: K) -> IterCovering<'_, K, V> {
+        IterCovering {
+            node: self.root.as_deref(),
+            query,
+        }
+    }
+
+    /// Iterates over all entries whose key is covered by `query` (the
+    /// subtree under `query`), in sorted key order.
+    pub fn iter_covered_by(&self, query: K) -> IterCoveredBy<'_, K, V> {
+        // Descend until the remaining subtree is entirely covered by the
+        // query (or provably disjoint from it).
+        let mut node = self.root.as_deref();
+        while let Some(n) = node {
+            if query.covers(n.key) {
+                return IterCoveredBy {
+                    stack: vec![n],
+                };
+            }
+            if n.key.covers(query) && query.key_len() > n.key.key_len() {
+                node = n.child_for_ref(query).as_deref();
+            } else {
+                break;
+            }
+        }
+        IterCoveredBy { stack: Vec::new() }
+    }
+
+    /// Counts entries covered by `query` with key length at most `max_len`.
+    pub fn count_covered_by(&self, query: K, max_len: u8) -> usize {
+        self.iter_covered_by(query)
+            .filter(|(k, _)| k.key_len() <= max_len)
+            .count()
+    }
+
+    /// Iterates over all entries in sorted key order (a parent always
+    /// precedes the keys it covers).
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        Iter {
+            stack: self.root.as_deref().into_iter().collect(),
+        }
+    }
+
+    /// Iterates over all keys in sorted order.
+    pub fn keys(&self) -> impl Iterator<Item = K> + '_ {
+        self.iter().map(|(k, _)| k)
+    }
+
+    /// Iterates over all values in sorted key order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.iter().map(|(_, v)| v)
+    }
+}
+
+/// Sorted-order iterator over a trie; see [`RadixTrie::iter`].
+pub struct Iter<'a, K, V> {
+    stack: Vec<&'a Node<K, V>>,
+}
+
+impl<'a, K: TrieKey, V> Iterator for Iter<'a, K, V> {
+    type Item = (K, &'a V);
+
+    fn next(&mut self) -> Option<(K, &'a V)> {
+        // Pre-order DFS (node, left, right) emits keys in (bits, len) order.
+        while let Some(node) = self.stack.pop() {
+            if let Some(r) = node.right.as_deref() {
+                self.stack.push(r);
+            }
+            if let Some(l) = node.left.as_deref() {
+                self.stack.push(l);
+            }
+            if let Some(v) = node.value.as_ref() {
+                return Some((node.key, v));
+            }
+        }
+        None
+    }
+}
+
+impl<'a, K: TrieKey, V> IntoIterator for &'a RadixTrie<K, V> {
+    type Item = (K, &'a V);
+    type IntoIter = Iter<'a, K, V>;
+
+    fn into_iter(self) -> Iter<'a, K, V> {
+        self.iter()
+    }
+}
+
+impl<K: TrieKey, V> FromIterator<(K, V)> for RadixTrie<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut trie = RadixTrie::new();
+        for (k, v) in iter {
+            trie.insert(k, v);
+        }
+        trie
+    }
+}
+
+impl<K: TrieKey, V> Extend<(K, V)> for RadixTrie<K, V> {
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+/// Iterator over covering entries; see [`RadixTrie::iter_covering`].
+pub struct IterCovering<'a, K, V> {
+    node: Option<&'a Node<K, V>>,
+    query: K,
+}
+
+impl<'a, K: TrieKey, V> Iterator for IterCovering<'a, K, V> {
+    type Item = (K, &'a V);
+
+    fn next(&mut self) -> Option<(K, &'a V)> {
+        while let Some(n) = self.node {
+            if !n.key.covers(self.query) {
+                self.node = None;
+                return None;
+            }
+            let hit = n.value.as_ref().map(|v| (n.key, v));
+            self.node = if n.key == self.query {
+                None
+            } else {
+                n.child_for_ref(self.query).as_deref()
+            };
+            if hit.is_some() {
+                return hit;
+            }
+        }
+        None
+    }
+}
+
+/// Iterator over a covered subtree; see [`RadixTrie::iter_covered_by`].
+pub struct IterCoveredBy<'a, K, V> {
+    stack: Vec<&'a Node<K, V>>,
+}
+
+impl<'a, K: TrieKey, V> Iterator for IterCoveredBy<'a, K, V> {
+    type Item = (K, &'a V);
+
+    fn next(&mut self) -> Option<(K, &'a V)> {
+        while let Some(node) = self.stack.pop() {
+            if let Some(r) = node.right.as_deref() {
+                self.stack.push(r);
+            }
+            if let Some(l) = node.left.as_deref() {
+                self.stack.push(l);
+            }
+            if let Some(v) = node.value.as_ref() {
+                return Some((node.key, v));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpki_prefix::Prefix4;
+
+    fn p(s: &str) -> Prefix4 {
+        s.parse().unwrap()
+    }
+
+    fn sample() -> RadixTrie<Prefix4, u32> {
+        let mut t = RadixTrie::new();
+        for (i, s) in [
+            "10.0.0.0/8",
+            "10.0.0.0/16",
+            "10.1.0.0/16",
+            "10.1.128.0/17",
+            "192.168.0.0/16",
+            "0.0.0.0/0",
+        ]
+        .iter()
+        .enumerate()
+        {
+            t.insert(p(s), i as u32);
+        }
+        t
+    }
+
+    #[test]
+    fn insert_get_basic() {
+        let t = sample();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.get(p("10.1.0.0/16")), Some(&2));
+        assert_eq!(t.get(p("10.2.0.0/16")), None);
+        assert_eq!(t.get(p("10.0.0.0/9")), None); // junction, no value
+        assert!(t.contains_key(p("0.0.0.0/0")));
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut t = sample();
+        assert_eq!(t.insert(p("10.0.0.0/8"), 99), Some(0));
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.get(p("10.0.0.0/8")), Some(&99));
+    }
+
+    #[test]
+    fn insert_above_existing() {
+        let mut t = RadixTrie::new();
+        t.insert(p("10.1.0.0/16"), 1);
+        t.insert(p("10.0.0.0/8"), 2); // becomes parent of the /16
+        assert_eq!(t.get(p("10.1.0.0/16")), Some(&1));
+        assert_eq!(t.get(p("10.0.0.0/8")), Some(&2));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn get_mut_and_or_insert() {
+        let mut t = sample();
+        *t.get_mut(p("10.0.0.0/8")).unwrap() += 100;
+        assert_eq!(t.get(p("10.0.0.0/8")), Some(&100));
+        let v = t.get_or_insert_with(p("172.16.0.0/12"), || 7);
+        assert_eq!(*v, 7);
+        let v = t.get_or_insert_with(p("172.16.0.0/12"), || 8);
+        assert_eq!(*v, 7);
+        assert_eq!(t.len(), 7);
+    }
+
+    #[test]
+    fn remove_leaf_and_collapse() {
+        let mut t = RadixTrie::new();
+        t.insert(p("10.0.0.0/16"), 1);
+        t.insert(p("10.1.0.0/16"), 2);
+        // A junction at 10.0.0.0/15 now joins the two.
+        assert_eq!(t.remove(p("10.0.0.0/16")), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(p("10.1.0.0/16")), Some(&2));
+        assert_eq!(t.remove(p("10.1.0.0/16")), Some(2));
+        assert!(t.is_empty());
+        assert_eq!(t.remove(p("10.1.0.0/16")), None);
+    }
+
+    #[test]
+    fn remove_interior_keeps_children() {
+        let mut t = sample();
+        assert_eq!(t.remove(p("10.0.0.0/8")), Some(0));
+        assert_eq!(t.len(), 5);
+        // Children still reachable.
+        assert_eq!(t.get(p("10.0.0.0/16")), Some(&1));
+        assert_eq!(t.get(p("10.1.0.0/16")), Some(&2));
+        assert_eq!(t.get(p("10.1.128.0/17")), Some(&3));
+        // Removed key gone.
+        assert_eq!(t.get(p("10.0.0.0/8")), None);
+    }
+
+    #[test]
+    fn remove_missing_does_not_disturb() {
+        let mut t = sample();
+        assert_eq!(t.remove(p("10.255.0.0/16")), None);
+        assert_eq!(t.remove(p("10.0.0.0/9")), None); // junction position
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn longest_match_prefers_deepest() {
+        let t = sample();
+        assert_eq!(
+            t.longest_match(p("10.1.200.0/24")).map(|(k, _)| k),
+            Some(p("10.1.128.0/17"))
+        );
+        assert_eq!(
+            t.longest_match(p("10.1.1.0/24")).map(|(k, _)| k),
+            Some(p("10.1.0.0/16"))
+        );
+        assert_eq!(
+            t.longest_match(p("10.200.0.0/16")).map(|(k, _)| k),
+            Some(p("10.0.0.0/8"))
+        );
+        assert_eq!(
+            t.longest_match(p("8.8.8.8/32")).map(|(k, _)| k),
+            Some(p("0.0.0.0/0"))
+        );
+        // Exact key is its own longest match.
+        assert_eq!(
+            t.longest_match(p("10.0.0.0/8")).map(|(k, _)| k),
+            Some(p("10.0.0.0/8"))
+        );
+    }
+
+    #[test]
+    fn longest_match_empty() {
+        let t: RadixTrie<Prefix4, ()> = RadixTrie::new();
+        assert!(t.longest_match(p("1.2.3.4/32")).is_none());
+    }
+
+    #[test]
+    fn iter_covering_walks_ancestors() {
+        let t = sample();
+        let covering: Vec<_> = t.iter_covering(p("10.1.200.0/24")).map(|(k, _)| k).collect();
+        assert_eq!(
+            covering,
+            vec![p("0.0.0.0/0"), p("10.0.0.0/8"), p("10.1.0.0/16"), p("10.1.128.0/17")]
+        );
+        let covering: Vec<_> = t.iter_covering(p("172.16.0.0/12")).map(|(k, _)| k).collect();
+        assert_eq!(covering, vec![p("0.0.0.0/0")]);
+    }
+
+    #[test]
+    fn iter_covered_by_subtree() {
+        let t = sample();
+        let under: Vec<_> = t.iter_covered_by(p("10.0.0.0/8")).map(|(k, _)| k).collect();
+        assert_eq!(
+            under,
+            vec![p("10.0.0.0/8"), p("10.0.0.0/16"), p("10.1.0.0/16"), p("10.1.128.0/17")]
+        );
+        let under: Vec<_> = t.iter_covered_by(p("10.1.0.0/16")).map(|(k, _)| k).collect();
+        assert_eq!(under, vec![p("10.1.0.0/16"), p("10.1.128.0/17")]);
+        assert_eq!(t.iter_covered_by(p("11.0.0.0/8")).count(), 0);
+        // Query below every stored key.
+        let under: Vec<_> = t.iter_covered_by(p("10.1.128.0/18")).map(|(k, _)| k).collect();
+        assert!(under.is_empty());
+    }
+
+    #[test]
+    fn count_covered_by_respects_max_len() {
+        let t = sample();
+        assert_eq!(t.count_covered_by(p("10.0.0.0/8"), 32), 4);
+        assert_eq!(t.count_covered_by(p("10.0.0.0/8"), 16), 3);
+        assert_eq!(t.count_covered_by(p("10.0.0.0/8"), 8), 1);
+    }
+
+    #[test]
+    fn iter_sorted() {
+        let t = sample();
+        let keys: Vec<_> = t.keys().collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+        assert_eq!(keys.len(), 6);
+    }
+
+    #[test]
+    fn from_iter_and_extend() {
+        let mut t: RadixTrie<Prefix4, u8> =
+            [(p("10.0.0.0/8"), 1)].into_iter().collect();
+        t.extend([(p("11.0.0.0/8"), 2)]);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = sample();
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.iter().count(), 0);
+        t.insert(p("10.0.0.0/8"), 1);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn values_iterator() {
+        let t = sample();
+        let sum: u32 = t.values().sum();
+        assert_eq!(sum, 0 + 1 + 2 + 3 + 4 + 5);
+    }
+}

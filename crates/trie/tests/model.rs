@@ -1,0 +1,141 @@
+//! Model-based property tests: the radix trie must behave exactly like a
+//! `BTreeMap` under an arbitrary interleaving of operations, and its query
+//! operations must agree with brute-force scans.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use rpki_prefix::Prefix4;
+use rpki_trie::RadixTrie;
+
+fn arb_prefix() -> impl Strategy<Value = Prefix4> {
+    // A small bit-universe to force collisions, junctions, and deep nesting.
+    (any::<u8>(), 0u8..=8).prop_map(|(bits, len)| {
+        Prefix4::new_truncated((bits as u32) << 24, len)
+    })
+}
+
+fn arb_wide_prefix() -> impl Strategy<Value = Prefix4> {
+    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| Prefix4::new_truncated(bits, len))
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Prefix4, u32),
+    Remove(Prefix4),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => (arb_prefix(), any::<u32>()).prop_map(|(p, v)| Op::Insert(p, v)),
+            1 => arb_prefix().prop_map(Op::Remove),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    #[test]
+    fn behaves_like_btreemap(ops in arb_ops(), probes in prop::collection::vec(arb_prefix(), 20)) {
+        let mut trie = RadixTrie::new();
+        let mut model = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => {
+                    prop_assert_eq!(trie.insert(k, v), model.insert(k, v));
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(trie.remove(k), model.remove(&k));
+                }
+            }
+            prop_assert_eq!(trie.len(), model.len());
+        }
+        // Exhaustive agreement on the final state.
+        let trie_entries: Vec<_> = trie.iter().map(|(k, v)| (k, *v)).collect();
+        let model_entries: Vec<_> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(trie_entries, model_entries);
+        for probe in probes {
+            prop_assert_eq!(trie.get(probe), model.get(&probe));
+        }
+    }
+
+    #[test]
+    fn longest_match_agrees_with_scan(
+        entries in prop::collection::btree_map(arb_wide_prefix(), any::<u32>(), 0..100),
+        query in arb_wide_prefix(),
+    ) {
+        let trie: RadixTrie<Prefix4, u32> = entries.iter().map(|(k, v)| (*k, *v)).collect();
+        let expect = entries
+            .keys()
+            .filter(|k| k.covers(query))
+            .max_by_key(|k| k.len())
+            .copied();
+        prop_assert_eq!(trie.longest_match(query).map(|(k, _)| k), expect);
+    }
+
+    #[test]
+    fn covering_agrees_with_scan(
+        entries in prop::collection::btree_map(arb_wide_prefix(), any::<u32>(), 0..100),
+        query in arb_wide_prefix(),
+    ) {
+        let trie: RadixTrie<Prefix4, u32> = entries.iter().map(|(k, v)| (*k, *v)).collect();
+        let got: Vec<_> = trie.iter_covering(query).map(|(k, _)| k).collect();
+        let expect: Vec<_> = entries.keys().copied().filter(|k| k.covers(query)).collect();
+        prop_assert_eq!(got, expect); // both in ascending length order
+    }
+
+    #[test]
+    fn covered_by_agrees_with_scan(
+        entries in prop::collection::btree_map(arb_wide_prefix(), any::<u32>(), 0..100),
+        query in arb_wide_prefix(),
+    ) {
+        let trie: RadixTrie<Prefix4, u32> = entries.iter().map(|(k, v)| (*k, *v)).collect();
+        let got: Vec<_> = trie.iter_covered_by(query).map(|(k, _)| k).collect();
+        let expect: Vec<_> = entries.keys().copied().filter(|k| query.covers(*k)).collect();
+        prop_assert_eq!(got, expect); // sorted order matches BTreeMap order
+    }
+
+    #[test]
+    fn count_covered_matches_filtered_scan(
+        entries in prop::collection::btree_map(arb_prefix(), any::<u32>(), 0..60),
+        query in arb_prefix(),
+        max_len in 0u8..=8,
+    ) {
+        let trie: RadixTrie<Prefix4, u32> = entries.iter().map(|(k, v)| (*k, *v)).collect();
+        let expect = entries
+            .keys()
+            .filter(|k| query.covers(**k) && k.len() <= max_len)
+            .count();
+        prop_assert_eq!(trie.count_covered_by(query, max_len), expect);
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete(
+        entries in prop::collection::btree_map(arb_wide_prefix(), any::<u32>(), 0..100),
+    ) {
+        let trie: RadixTrie<Prefix4, u32> = entries.iter().map(|(k, v)| (*k, *v)).collect();
+        let keys: Vec<_> = trie.keys().collect();
+        let expect: Vec<_> = entries.keys().copied().collect();
+        prop_assert_eq!(keys, expect);
+    }
+
+    #[test]
+    fn insert_remove_round_trip_leaves_no_trace(
+        base in prop::collection::btree_map(arb_prefix(), any::<u32>(), 0..40),
+        extra in prop::collection::vec(arb_prefix(), 0..20),
+    ) {
+        let mut trie: RadixTrie<Prefix4, u32> = base.iter().map(|(k, v)| (*k, *v)).collect();
+        // Insert then remove keys not in the base set; state must revert.
+        let fresh: Vec<_> = extra.into_iter().filter(|k| !base.contains_key(k)).collect();
+        for k in &fresh {
+            trie.insert(*k, 0xDEAD);
+        }
+        for k in &fresh {
+            trie.remove(*k);
+        }
+        let entries: Vec<_> = trie.iter().map(|(k, v)| (k, *v)).collect();
+        let expect: Vec<_> = base.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(entries, expect);
+    }
+}

@@ -1,0 +1,126 @@
+//! Operator audit: the §8 recommendations as a tool.
+//!
+//! Given an operator's ROAs and a view of what their ASes actually
+//! announce in BGP, this example (1) flags every vulnerable maxLength
+//! use with concrete hijackable prefixes, (2) proposes the minimal-ROA
+//! replacement, and (3) shows the compressed PDU feed so the router-load
+//! cost of going minimal stays bounded (§7).
+//!
+//! ```sh
+//! cargo run --example operator_audit
+//! ```
+
+use maxlength_rpki::core::lint::LintReport;
+use maxlength_rpki::core::wizard::{propose_roa, review_request};
+use maxlength_rpki::core::vulnerability::hijack_surface;
+use maxlength_rpki::prelude::*;
+
+fn main() {
+    // The operator's BGP announcements (say, from a looking glass).
+    let bgp: BgpTable = [
+        "203.0.112.0/20 => AS64500",
+        "203.0.112.0/22 => AS64500",
+        "203.0.116.0/22 => AS64500",
+        "198.51.100.0/24 => AS64500",
+        "2001:db8::/32 => AS64501",
+        "2001:db8:4000::/34 => AS64501",
+    ]
+    .iter()
+    .map(|s| s.parse::<RouteOrigin>().unwrap())
+    .collect();
+
+    // Their current ROAs, configured "conveniently" with maxLength.
+    let roas = vec![
+        Roa::new(
+            Asn(64500),
+            vec![
+                RoaPrefix::with_max_len("203.0.112.0/20".parse().unwrap(), 24),
+                RoaPrefix::exact("198.51.100.0/24".parse().unwrap()),
+            ],
+        )
+        .unwrap(),
+        Roa::new(
+            Asn(64501),
+            vec![RoaPrefix::with_max_len("2001:db8::/32".parse().unwrap(), 48)],
+        )
+        .unwrap(),
+    ];
+
+    // --- 1. Audit. --------------------------------------------------------
+    let vrps: Vec<Vrp> = roas.iter().flat_map(|r| r.vrps()).collect();
+    let census = MaxLengthCensus::analyze(&vrps, &bgp);
+    println!(
+        "audit: {} tuples, {} using maxLength, {} VULNERABLE to forged-origin \
+         subprefix hijacks\n",
+        census.total, census.max_len_using, census.vulnerable
+    );
+    for vrp in &vrps {
+        let surface = hijack_surface(vrp, &bgp, 3);
+        if surface.unannounced_count > 0 {
+            println!("  [!] {vrp}");
+            println!(
+                "      authorizes {} unannounced prefixes a hijacker can claim, e.g.:",
+                surface.unannounced_count
+            );
+            for example in &surface.examples {
+                println!("        {example} (announce \"{example}: <attacker>, {}\")", vrp.asn);
+            }
+        } else {
+            println!("  [ok] {vrp} (minimal)");
+        }
+    }
+
+    // --- 1b. The same audit as machine-checkable lint findings (RFC 9319
+    // style; `analyze <snapshot>` runs this over whole datasets). ----------
+    let lint = LintReport::lint(&roas, &bgp);
+    println!("\nlint findings:");
+    print!("{}", lint.render());
+    assert!(lint.has_critical());
+
+    // --- 2. Propose minimal ROAs (§8: same number of ROA objects). --------
+    println!("\nproposed minimal ROAs:");
+    let minimal = minimalize_roas(&roas, &bgp);
+    for m in &minimal {
+        match m.as_converted() {
+            Some(roa) => println!("  {roa}"),
+            None => println!("  (withdraw: validates nothing announced)"),
+        }
+    }
+
+    // --- 3. The PDU feed, before and after compress_roas (§7). ------------
+    let minimal_vrps: Vec<Vrp> = minimal
+        .iter()
+        .filter_map(|m| m.as_converted())
+        .flat_map(|r| r.vrps())
+        .collect();
+    let compressed = compress_roas(&minimal_vrps);
+    println!(
+        "\nrouter feed: {} PDUs today -> {} minimal -> {} after compress_roas",
+        vrps.len(),
+        minimal_vrps.len(),
+        compressed.len()
+    );
+    for vrp in &compressed {
+        println!("  {vrp}");
+    }
+
+    // The hijacks that the change defeats:
+    let before: VrpIndex = vrps.iter().copied().collect();
+    let after: VrpIndex = compressed.iter().copied().collect();
+    // --- 4. What the §8 RIR wizard would have done from the start. --------
+    println!("\nwhat an RIR wizard would propose for AS64500:");
+    let proposal = propose_roa(Asn(64500), &bgp);
+    println!("  {}", proposal.roa.as_ref().unwrap());
+    println!("\nand what it warns when typing the old request (203.0.112.0/20-24):");
+    for w in review_request("203.0.112.0/20".parse().unwrap(), Some(24), Asn(64500), &bgp) {
+        println!("  {w}");
+    }
+
+    let hijack: RouteOrigin = "203.0.120.0/24 => AS64500".parse().unwrap();
+    println!(
+        "\nforged-origin hijack of 203.0.120.0/24: {} before, {} after",
+        before.validate(&hijack),
+        after.validate(&hijack)
+    );
+    assert_eq!(after.validate(&hijack), ValidationState::Invalid);
+}

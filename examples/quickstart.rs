@@ -1,0 +1,81 @@
+//! Quickstart: the paper's running example (BU's 168.122.0.0/16, AS 111)
+//! in a few lines — how maxLength creates a hijack, and what fixes it.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use maxlength_rpki::prelude::*;
+
+fn main() {
+    // AS 111 announces its /16 and one de-aggregated /24 (paper §3).
+    let announced: Vec<RouteOrigin> = vec![
+        "168.122.0.0/16 => AS111".parse().unwrap(),
+        "168.122.225.0/24 => AS111".parse().unwrap(),
+    ];
+    let bgp: BgpTable = announced.iter().collect();
+
+    // --- The convenient-but-dangerous ROA: maxLength 24 (§3). -----------
+    let careless: VrpIndex = ["168.122.0.0/16-24 => AS111".parse::<Vrp>().unwrap()]
+        .into_iter()
+        .collect();
+
+    // Both legitimate announcements are Valid...
+    for route in &announced {
+        assert_eq!(careless.validate(route), ValidationState::Valid);
+    }
+    // ...but so is the forged-origin subprefix hijack of §4:
+    let hijack: RouteOrigin = "168.122.0.0/24 => AS111".parse().unwrap();
+    println!(
+        "non-minimal ROA: hijacker announcing \"168.122.0.0/24: AS666, AS111\" is {}",
+        careless.validate(&hijack)
+    );
+    assert_eq!(careless.validate(&hijack), ValidationState::Valid);
+
+    // Quantify the exposure: every authorized-but-unannounced prefix.
+    let vrp: Vrp = "168.122.0.0/16-24 => AS111".parse().unwrap();
+    let surface = maxlength_rpki::core::vulnerability::hijack_surface(&vrp, &bgp, 3);
+    println!(
+        "exposed prefixes: {} (e.g. {})",
+        surface.unannounced_count,
+        surface.examples[0]
+    );
+
+    // --- The fix: a minimal ROA (§5/§8). ---------------------------------
+    let minimal_vrps = minimalize_vrps(&[vrp], &bgp);
+    let minimal: VrpIndex = minimal_vrps.iter().copied().collect();
+    println!(
+        "minimal ROA authorizes exactly: {}",
+        minimal_vrps
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    for route in &announced {
+        assert_eq!(minimal.validate(route), ValidationState::Valid);
+    }
+    println!(
+        "minimal ROA: the same hijack announcement is now {}",
+        minimal.validate(&hijack)
+    );
+    assert_eq!(minimal.validate(&hijack), ValidationState::Invalid);
+
+    // --- And compress_roas keeps router load down (§7). ------------------
+    let fig2: Vec<Vrp> = [
+        "87.254.32.0/19 => AS31283",
+        "87.254.32.0/20 => AS31283",
+        "87.254.48.0/20 => AS31283",
+        "87.254.32.0/21 => AS31283",
+    ]
+    .iter()
+    .map(|s| s.parse().unwrap())
+    .collect();
+    let compressed = compress_roas(&fig2);
+    println!(
+        "compress_roas: {} PDUs -> {} PDUs, still minimal",
+        fig2.len(),
+        compressed.len()
+    );
+    assert_eq!(compressed.len(), 2);
+}
