@@ -30,11 +30,9 @@ fn bench_compress_scaling(c: &mut Criterion) {
     for scale in [0.01, 0.05, 0.25] {
         let (vrps, _) = dataset(scale);
         group.throughput(Throughput::Elements(vrps.len() as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(vrps.len()),
-            &vrps,
-            |b, vrps| b.iter(|| compress_roas(vrps)),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(vrps.len()), &vrps, |b, vrps| {
+            b.iter(|| compress_roas(vrps))
+        });
     }
     group.finish();
 }
@@ -46,11 +44,9 @@ fn bench_compress_full_deployment(c: &mut Criterion) {
         let (_, bgp) = dataset(scale);
         let full = full_deployment_minimal(&bgp);
         group.throughput(Throughput::Elements(full.len() as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(full.len()),
-            &full,
-            |b, full| b.iter(|| compress_roas(full)),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(full.len()), &full, |b, full| {
+            b.iter(|| compress_roas(full))
+        });
     }
     group.finish();
 }
@@ -79,7 +75,9 @@ fn bench_ablation_input_order(c: &mut Criterion) {
     // Deterministic shuffle.
     let mut state = 0x9E3779B97F4A7C15u64;
     for i in (1..vrps.len()).rev() {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         vrps.swap(i, (state % (i as u64 + 1)) as usize);
     }
     group.bench_function("shuffled", move |b| b.iter(|| compress_roas(&vrps)));

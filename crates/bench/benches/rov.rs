@@ -59,6 +59,47 @@ fn bench_validation(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_table_validation(c: &mut Criterion) {
+    // The tentpole comparison: the same whole-table validation on the
+    // mutable trie, on the frozen snapshot, and on the frozen snapshot
+    // with the parallel reduction — at two world scales.
+    for scale in [0.05, 0.2] {
+        let world = World::generate(GeneratorConfig {
+            scale,
+            ..GeneratorConfig::default()
+        });
+        let snap = world.snapshot(7);
+        let vrps = snap.vrps();
+        let index: VrpIndex = vrps.iter().copied().collect();
+        let frozen = index.freeze();
+        let routes: Vec<RouteOrigin> = snap.routes.clone();
+
+        // All three engines must tally identically before we time them.
+        let expect = index.validate_table(routes.iter());
+        assert_eq!(frozen.validate_table(routes.iter()), expect);
+        assert_eq!(frozen.validate_table_par(&routes), expect);
+
+        let mut group = c.benchmark_group(format!("rov/validate_table/scale-{scale}"));
+        group.throughput(Throughput::Elements(routes.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("sequential_trie", routes.len()),
+            &routes,
+            |b, routes| b.iter(|| index.validate_table(routes.iter())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("frozen", routes.len()),
+            &routes,
+            |b, routes| b.iter(|| frozen.validate_table(routes.iter())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("frozen_parallel", routes.len()),
+            &routes,
+            |b, routes| b.iter(|| frozen.validate_table_par(routes)),
+        );
+        group.finish();
+    }
+}
+
 fn bench_index_build(c: &mut Criterion) {
     let world = World::generate(GeneratorConfig {
         scale: 0.05,
@@ -87,35 +128,33 @@ fn bench_revalidation(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("ablation/revalidation");
     group.sample_size(20);
-    group.bench_function(
-        BenchmarkId::new("incremental", snap.routes.len()),
-        |b| {
-            b.iter_batched(
-                || RevalidationEngine::new(snap.routes.iter().copied(), vrps.iter().copied()),
-                |mut engine| engine.announce_vrp(delta),
-                criterion::BatchSize::LargeInput,
-            )
-        },
-    );
-    group.bench_function(
-        BenchmarkId::new("full_table", snap.routes.len()),
-        |b| {
-            b.iter_batched(
-                || {
-                    let mut engine = RevalidationEngine::new(
-                        snap.routes.iter().copied(),
-                        vrps.iter().copied(),
-                    );
-                    engine.announce_vrp(delta);
-                    engine
-                },
-                |mut engine| engine.revalidate_all(),
-                criterion::BatchSize::LargeInput,
-            )
-        },
-    );
+    group.bench_function(BenchmarkId::new("incremental", snap.routes.len()), |b| {
+        b.iter_batched(
+            || RevalidationEngine::new(snap.routes.iter().copied(), vrps.iter().copied()),
+            |mut engine| engine.announce_vrp(delta),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function(BenchmarkId::new("full_table", snap.routes.len()), |b| {
+        b.iter_batched(
+            || {
+                let mut engine =
+                    RevalidationEngine::new(snap.routes.iter().copied(), vrps.iter().copied());
+                engine.announce_vrp(delta);
+                engine
+            },
+            |mut engine| engine.revalidate_all(),
+            criterion::BatchSize::LargeInput,
+        )
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_validation, bench_index_build, bench_revalidation);
+criterion_group!(
+    benches,
+    bench_validation,
+    bench_table_validation,
+    bench_index_build,
+    bench_revalidation
+);
 criterion_main!(benches);

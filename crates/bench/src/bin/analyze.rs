@@ -69,12 +69,16 @@ fn main() {
     println!(
         "\nlint: {} findings ({} critical)",
         report.findings.len(),
-        report
-            .at(maxlength_core::Severity::Critical)
-            .count()
+        report.at(maxlength_core::Severity::Critical).count()
     );
     for f in report.findings.iter().take(lint_top) {
-        println!("  {} [{}] {} — {}", f.severity, f.rule.code(), f.vrp, f.detail);
+        println!(
+            "  {} [{}] {} — {}",
+            f.severity,
+            f.rule.code(),
+            f.vrp,
+            f.detail
+        );
     }
     if report.findings.len() > lint_top {
         println!("  ... {} more", report.findings.len() - lint_top);

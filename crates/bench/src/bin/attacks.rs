@@ -17,6 +17,7 @@ fn main() {
 
     for rov_fraction in [1.0, 0.5] {
         let t0 = std::time::Instant::now();
+        // Per-trial seed derivation makes this bit-identical to `.run()`.
         let report = AttackExperiment {
             topology: TopologyConfig {
                 n,
@@ -26,7 +27,7 @@ fn main() {
             rov_fraction,
             seed: 99,
         }
-        .run();
+        .run_par();
         eprintln!(
             "topology n={n}, {trials} attacker/victim samples, ROV adoption {:.0}% ({:.1?})",
             rov_fraction * 100.0,
@@ -61,9 +62,11 @@ fn main() {
         bgpsim::experiment::RoaConfig::NonMinimalMaxLen,
         &fractions,
     );
-    println!("
+    println!(
+        "
 === mean interception vs ROV adoption ===
-");
+"
+    );
     print!("{:<52}", "attack / ROA");
     for f in fractions {
         print!(" {:>6.0}%", f * 100.0);

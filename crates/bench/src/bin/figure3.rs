@@ -19,7 +19,10 @@ fn main() {
             bgp: s.routes.iter().collect(),
         })
         .collect();
-    eprintln!("snapshots ready ({:.1?}); computing all scenarios ...", t0.elapsed());
+    eprintln!(
+        "snapshots ready ({:.1?}); computing all scenarios ...",
+        t0.elapsed()
+    );
     let t1 = std::time::Instant::now();
     let timeline = Timeline::compute(&snapshots);
     eprintln!("timeline computed in {:.1?}\n", t1.elapsed());

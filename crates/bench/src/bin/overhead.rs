@@ -8,8 +8,10 @@
 //! the *ratio* between the two scenarios (~15x) is the comparable shape.
 
 use maxlength_core::bounds::full_deployment_minimal;
-use maxlength_core::compress::compress_roas;
-use rpki_bench::harness::{final_snapshot, scale_from_env, world};
+use maxlength_core::compress::{compress_roas, compress_roas_parallel};
+use rpki_bench::harness::{final_snapshot, scale_from_env, threads_from_env, world};
+use rpki_roa::RouteOrigin;
+use rpki_rov::VrpIndex;
 
 fn peak_rss_mb() -> Option<f64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
@@ -52,7 +54,62 @@ fn main() {
         full_time.as_secs_f64() / today_time.as_secs_f64().max(1e-9),
         36.0 / 2.4
     );
+
+    // §7.2's suggested optimization: parallelize across per-(ASN, AFI)
+    // tries. Output is identical; only the wall clock moves.
+    let threads = threads_from_env();
+    let t2 = std::time::Instant::now();
+    let full_par = compress_roas_parallel(&full, threads);
+    let par_time = t2.elapsed();
+    assert_eq!(full_par.len(), full_compressed.len(), "parallel must match");
+    println!(
+        "full, {threads:>2} threads  : {:>8} -> {:>8} tuples in {:>10.2?}   ({:.1}x speedup)",
+        full.len(),
+        full_par.len(),
+        par_time,
+        full_time.as_secs_f64() / par_time.as_secs_f64().max(1e-9)
+    );
+
+    // The validation hot path: mutable trie vs frozen snapshot vs
+    // frozen + parallel, all over the same table.
+    println!("\nRFC 6811 whole-table validation (same inputs, three engines):");
+    let routes: Vec<RouteOrigin> = bgp.iter().collect();
+    let index: VrpIndex = vrps.iter().copied().collect();
+    let t3 = std::time::Instant::now();
+    let seq = index.validate_table(routes.iter());
+    let trie_time = t3.elapsed();
+    println!(
+        "mutable trie      : {:>8} routes in {:>10.2?}   ({})",
+        routes.len(),
+        trie_time,
+        seq
+    );
+    let t4 = std::time::Instant::now();
+    let frozen = index.freeze();
+    let freeze_time = t4.elapsed();
+    let t5 = std::time::Instant::now();
+    let frozen_seq = frozen.validate_table(routes.iter());
+    let frozen_time = t5.elapsed();
+    assert_eq!(frozen_seq, seq, "frozen snapshot must agree with builder");
+    println!(
+        "frozen snapshot   : {:>8} routes in {:>10.2?}   (freeze took {:.2?}; {:.1}x vs trie)",
+        routes.len(),
+        frozen_time,
+        freeze_time,
+        trie_time.as_secs_f64() / frozen_time.as_secs_f64().max(1e-9)
+    );
+    let t6 = std::time::Instant::now();
+    let frozen_par = frozen.validate_table_par(&routes);
+    let par_val_time = t6.elapsed();
+    assert_eq!(frozen_par, seq, "parallel reduction must agree");
+    println!(
+        "frozen, {threads:>2} threads: {:>8} routes in {:>10.2?}   ({:.1}x vs trie)",
+        routes.len(),
+        par_val_time,
+        trie_time.as_secs_f64() / par_val_time.as_secs_f64().max(1e-9)
+    );
+
     if let Some(mb) = peak_rss_mb() {
-        println!("peak RSS          : {mb:.0} MB (whole process, including the dataset)");
+        println!("\npeak RSS          : {mb:.0} MB (whole process, including the dataset)");
     }
 }

@@ -2,16 +2,18 @@
 //! vulnerable fraction, the minimalization cost, and the full-deployment
 //! compression bound.
 
-use maxlength_core::bounds::{max_compression_ratio, max_permissive_lower_bound};
-use maxlength_core::compress::compress_roas;
-use maxlength_core::minimal::minimalize_vrps;
-use maxlength_core::vulnerability::{hijack_surface, MaxLengthCensus};
 use maxlength_core::bounds::full_deployment_minimal;
-use rpki_bench::harness::{final_snapshot, scale_from_env, world};
+use maxlength_core::bounds::{max_compression_ratio, max_permissive_lower_bound};
+use maxlength_core::compress::compress_roas_parallel;
+use maxlength_core::minimal::minimalize_vrps_par;
+use maxlength_core::vulnerability::{hijack_surface, MaxLengthCensus};
+use rpki_bench::harness::{final_snapshot, scale_from_env, threads_from_env, world};
+use rpki_rov::FrozenVrpIndex;
 
 fn main() {
     let scale = scale_from_env();
-    eprintln!("generating world at scale {scale} ...");
+    let threads = threads_from_env();
+    eprintln!("generating world at scale {scale} ({threads} threads) ...");
     let world = world(scale);
     let (snap, vrps, bgp) = final_snapshot(&world);
     println!(
@@ -22,8 +24,23 @@ fn main() {
         bgp.len()
     );
 
+    // --- "7.6% of pairs match a ROA" (§2) -------------------------------
+    // Compile the VRP set into a frozen snapshot once, then validate the
+    // whole table in parallel.
+    let frozen: FrozenVrpIndex = vrps.iter().copied().collect();
+    let routes: Vec<_> = bgp.iter().collect();
+    let summary = frozen.validate_table_par(&routes);
+    println!("RFC 6811 table validation (paper §2: 7.6% of pairs Valid):");
+    println!(
+        "  {} (Valid {:.1}%, Invalid {:.1}%, NotFound {:.1}%)\n",
+        summary,
+        100.0 * summary.valid_fraction(),
+        100.0 * summary.invalid_fraction(),
+        100.0 * summary.not_found_fraction(),
+    );
+
     // --- "Using maxLength almost always creates vulnerabilities" --------
-    let census = MaxLengthCensus::analyze(&vrps, &bgp);
+    let census = MaxLengthCensus::analyze_par(&vrps, &bgp);
     println!("maxLength census (paper: 4,630 prefixes = ~12%; 84% vulnerable):");
     println!(
         "  prefixes with maxLength > length : {:>8} ({:.1}% of tuples)",
@@ -61,7 +78,7 @@ fn main() {
     }
 
     // --- "Benefit? Fewer prefixes included in ROAs" ----------------------
-    let minimal = minimalize_vrps(&vrps, &bgp);
+    let minimal = minimalize_vrps_par(&vrps, &bgp);
     let added = minimal.len() as i64 - vrps.len() as i64;
     println!("\nminimalization (paper: 13K additional prefixes, +33% PDUs):");
     println!("  minimal, no-maxLength PDUs       : {:>8}", minimal.len());
@@ -70,7 +87,7 @@ fn main() {
         added,
         100.0 * added as f64 / vrps.len() as f64
     );
-    let minimal_compressed = compress_roas(&minimal);
+    let minimal_compressed = compress_roas_parallel(&minimal, threads);
     println!(
         "  after compress_roas              : {:>8} ({:.2}% compression)",
         minimal_compressed.len(),
@@ -78,7 +95,7 @@ fn main() {
     );
 
     // --- "Benefit? Reducing load on routers" -----------------------------
-    let compressed = compress_roas(&vrps);
+    let compressed = compress_roas_parallel(&vrps, threads);
     println!("\nstatus-quo compression (paper: 39,949 -> 33,615 = 15.90%):");
     println!(
         "  {} -> {} ({:.2}% compression)",
@@ -88,7 +105,7 @@ fn main() {
     );
 
     let full = full_deployment_minimal(&bgp);
-    let full_compressed = compress_roas(&full);
+    let full_compressed = compress_roas_parallel(&full, threads);
     let bound = max_permissive_lower_bound(&bgp);
     println!("\nfull deployment (paper: 776,945 pairs; bound 729,371 = 6.2% max):");
     println!("  minimal PDUs (= announced pairs) : {:>8}", full.len());

@@ -1,11 +1,12 @@
 //! Regenerates Table 1: PDU counts for the seven scenarios.
 
 use maxlength_core::Table1;
-use rpki_bench::harness::{final_snapshot, scale_from_env, world};
+use rpki_bench::harness::{final_snapshot, scale_from_env, threads_from_env, world};
 
 fn main() {
     let scale = scale_from_env();
-    eprintln!("generating world at scale {scale} ...");
+    let threads = threads_from_env();
+    eprintln!("generating world at scale {scale} ({threads} threads) ...");
     let t0 = std::time::Instant::now();
     let world = world(scale);
     let (snap, vrps, bgp) = final_snapshot(&world);
@@ -18,7 +19,7 @@ fn main() {
         t0.elapsed()
     );
     let t1 = std::time::Instant::now();
-    let table = Table1::compute(&vrps, &bgp);
+    let table = Table1::compute_par(&vrps, &bgp, threads);
     eprintln!("computed Table 1 in {:.1?}\n", t1.elapsed());
     println!("Table 1 (paper: 39,949 / 33,615 / 52,745 / 49,308 / 776,945 / 730,008 / 729,371)\n");
     print!("{table}");

@@ -1,16 +1,51 @@
-//! Scale handling shared by all harness binaries.
+//! Scale and threading knobs shared by all harness binaries.
 
 use maxlength_core::BgpTable;
 use rpki_datasets::{DatasetSnapshot, GeneratorConfig, World};
 use rpki_roa::Vrp;
 
 /// Reads the `MAXLENGTH_SCALE` environment variable (default 1.0 = paper
-/// scale; set e.g. 0.05 for a quick run).
+/// scale; set e.g. 0.05 for a quick run). Anything that is not a
+/// positive finite number warns on stderr and falls back to 1.0
+/// instead of silently running at full scale (or with an empty world).
 pub fn scale_from_env() -> f64 {
-    std::env::var("MAXLENGTH_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1.0)
+    match std::env::var("MAXLENGTH_SCALE") {
+        Ok(raw) => match raw.parse::<f64>() {
+            // NaN, infinities, and non-positive values all parse as f64
+            // but silently produce empty or absurd worlds — reject them
+            // alongside outright garbage.
+            Ok(scale) if scale.is_finite() && scale > 0.0 => scale,
+            _ => {
+                eprintln!(
+                    "warning: MAXLENGTH_SCALE={raw:?} is not a positive number; \
+                     using scale 1.0"
+                );
+                1.0
+            }
+        },
+        Err(_) => 1.0,
+    }
+}
+
+/// The worker-thread count for the parallel batch paths:
+/// `RAYON_NUM_THREADS` if set to a positive integer (warning on garbage,
+/// matching [`scale_from_env`]'s behaviour), else the machine's
+/// available parallelism.
+///
+/// Delegates the actual resolution to [`rayon::current_num_threads`] —
+/// the count the rayon-backed paths in the same binary use — and only
+/// layers the warning on top, so the two can never diverge.
+pub fn threads_from_env() -> usize {
+    let threads = rayon::current_num_threads();
+    if let Ok(raw) = std::env::var("RAYON_NUM_THREADS") {
+        if raw.parse::<usize>().map(|n| n > 0) != Ok(true) {
+            eprintln!(
+                "warning: RAYON_NUM_THREADS={raw:?} is not a positive integer; \
+                 using {threads} threads"
+            );
+        }
+    }
+    threads
 }
 
 /// Generates the world at the requested scale.
@@ -27,4 +62,34 @@ pub fn final_snapshot(world: &World) -> (DatasetSnapshot, Vec<Vrp>, BgpTable) {
     let vrps = snap.vrps();
     let bgp: BgpTable = snap.routes.iter().collect();
     (snap, vrps, bgp)
+}
+
+#[cfg(test)]
+mod tests {
+    /// Env-var behaviours; one test so the harness's test threads never
+    /// interleave mutations of shared process environment.
+    #[test]
+    fn env_knobs_parse_and_fall_back() {
+        std::env::remove_var("MAXLENGTH_SCALE");
+        assert_eq!(super::scale_from_env(), 1.0);
+        std::env::set_var("MAXLENGTH_SCALE", "0.25");
+        assert_eq!(super::scale_from_env(), 0.25);
+        std::env::set_var("MAXLENGTH_SCALE", "not-a-number");
+        assert_eq!(super::scale_from_env(), 1.0); // warns, falls back
+        for parses_but_bogus in ["nan", "inf", "-1", "0"] {
+            std::env::set_var("MAXLENGTH_SCALE", parses_but_bogus);
+            assert_eq!(super::scale_from_env(), 1.0, "{parses_but_bogus}");
+        }
+        std::env::remove_var("MAXLENGTH_SCALE");
+
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert!(super::threads_from_env() >= 1);
+        std::env::set_var("RAYON_NUM_THREADS", "3");
+        assert_eq!(super::threads_from_env(), 3);
+        std::env::set_var("RAYON_NUM_THREADS", "zero");
+        assert!(super::threads_from_env() >= 1); // warns, falls back
+        std::env::set_var("RAYON_NUM_THREADS", "0");
+        assert!(super::threads_from_env() >= 1); // zero is not a thread count
+        std::env::remove_var("RAYON_NUM_THREADS");
+    }
 }

@@ -22,7 +22,11 @@ fn gen_then_analyze_round_trip() {
         .args([dir.to_str().unwrap(), "0.004", "123"])
         .output()
         .expect("run gen_dataset");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let listing: Vec<PathBuf> = std::fs::read_dir(&dir)
         .unwrap()
         .map(|e| e.unwrap().path())

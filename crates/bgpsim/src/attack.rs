@@ -118,7 +118,10 @@ impl AttackOutcome {
 /// `victim_prefix`, or if `policies.len() != topology.len()`.
 pub fn run_attack(kind: AttackKind, setup: &AttackSetup<'_>) -> AttackOutcome {
     let t = setup.topology;
-    assert_ne!(setup.attacker, setup.victim, "attacker must differ from victim");
+    assert_ne!(
+        setup.attacker, setup.victim,
+        "attacker must differ from victim"
+    );
     assert!(
         setup.victim_prefix.covers(setup.sub_prefix),
         "sub_prefix must be inside victim_prefix"
@@ -289,8 +292,7 @@ pub fn run_forged_origin_trial(trial: &ForgedOriginTrial<'_>) -> AttackOutcome {
         if a == trial.attacker || a == trial.victim {
             continue;
         }
-        let chosen = target_routes.routes[a]
-            .or_else(|| fallbacks.iter().find_map(|p| p.routes[a]));
+        let chosen = target_routes.routes[a].or_else(|| fallbacks.iter().find_map(|p| p.routes[a]));
         match chosen {
             Some(info) if info.delivers_to == trial.attacker => outcome.intercepted += 1,
             Some(_) => outcome.legitimate += 1,
@@ -330,12 +332,7 @@ mod tests {
         }
     }
 
-    fn run(
-        w: &World,
-        kind: AttackKind,
-        vrps: &VrpIndex,
-        policy: RovPolicy,
-    ) -> AttackOutcome {
+    fn run(w: &World, kind: AttackKind, vrps: &VrpIndex, policy: RovPolicy) -> AttackOutcome {
         let policies = vec![policy; w.topology.len()];
         run_attack(
             kind,
@@ -369,7 +366,12 @@ mod tests {
     fn subprefix_hijack_without_rpki_captures_everything() {
         let w = world();
         let empty = VrpIndex::new();
-        let outcome = run(&w, AttackKind::SubprefixHijack, &empty, RovPolicy::AcceptAll);
+        let outcome = run(
+            &w,
+            AttackKind::SubprefixHijack,
+            &empty,
+            RovPolicy::AcceptAll,
+        );
         assert_eq!(outcome.interception_fraction(), 1.0);
         assert_eq!(outcome.disconnected, 0);
     }
@@ -565,8 +567,9 @@ mod trial_tests {
             "203.0.116.0/24".parse().unwrap(),
         ];
         let roa_parent: Prefix = "203.0.112.0/20".parse().unwrap();
-        let vrps: VrpIndex =
-            [Vrp::new(roa_parent, 24, t.asn(victim))].into_iter().collect();
+        let vrps: VrpIndex = [Vrp::new(roa_parent, 24, t.asn(victim))]
+            .into_iter()
+            .collect();
         let outcome = run_forged_origin_trial(&ForgedOriginTrial {
             topology: &t,
             victim,
@@ -589,8 +592,7 @@ mod trial_tests {
         let left: Prefix = "10.0.0.0/17".parse().unwrap();
         let right: Prefix = "10.0.128.0/17".parse().unwrap();
         let announced = vec![parent, left, right];
-        let vrps: VrpIndex =
-            [Vrp::new(parent, 17, t.asn(victim))].into_iter().collect();
+        let vrps: VrpIndex = [Vrp::new(parent, 17, t.asn(victim))].into_iter().collect();
         let outcome = run_forged_origin_trial(&ForgedOriginTrial {
             topology: &t,
             victim,

@@ -5,6 +5,7 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 use rpki_prefix::Prefix;
 use rpki_roa::Vrp;
@@ -123,15 +124,17 @@ impl ExperimentReport {
 }
 
 impl AttackExperiment {
-    /// Runs every (attack, ROA configuration) cell.
-    pub fn run(&self) -> ExperimentReport {
-        let topology = Topology::generate(self.topology);
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let stubs = topology.stubs();
-        assert!(stubs.len() >= 2, "need at least two stubs");
+    /// Domain separator keeping the policy stream disjoint from every
+    /// per-trial stream: `trial_pair` uses `seed ^ trial`, so a plain
+    /// `seed` here would replay trial 0's words for the deployment
+    /// draw, correlating ROV placement with the first sample.
+    const POLICY_DOMAIN: u64 = 0xD6E8_FEB8_6659_FD93;
 
-        // Per-AS ROV policies, fixed across cells for comparability.
-        let policies: Vec<RovPolicy> = (0..topology.len())
+    /// Per-AS ROV policies, fixed across cells for comparability.
+    /// Derived from the base seed alone, never from per-trial state.
+    fn policies(&self, topology: &Topology) -> Vec<RovPolicy> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ Self::POLICY_DOMAIN);
+        (0..topology.len())
             .map(|_| {
                 if rng.gen_bool(self.rov_fraction) {
                     RovPolicy::DropInvalid
@@ -139,60 +142,127 @@ impl AttackExperiment {
                     RovPolicy::AcceptAll
                 }
             })
-            .collect();
+            .collect()
+    }
 
-        // Attacker/victim pairs, shared across cells.
-        let pairs: Vec<(usize, usize)> = (0..self.trials)
-            .map(|_| loop {
-                let v = *stubs.choose(&mut rng).expect("non-empty");
-                let a = *stubs.choose(&mut rng).expect("non-empty");
-                if a != v {
-                    return (v, a);
-                }
-            })
-            .collect();
+    /// The attacker/victim pair of one trial, derived from its own
+    /// `StdRng::seed_from_u64(seed ^ trial)` stream. Trials share no RNG
+    /// state, so they can run in any order — or concurrently — and
+    /// sample identical pairs; this is what makes [`Self::run_par`]
+    /// bit-identical to [`Self::run`].
+    fn trial_pair(&self, stubs: &[usize], trial: usize) -> (usize, usize) {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ trial as u64);
+        loop {
+            let v = *stubs.choose(&mut rng).expect("non-empty");
+            let a = *stubs.choose(&mut rng).expect("non-empty");
+            if a != v {
+                return (v, a);
+            }
+        }
+    }
 
+    /// One trial of one cell: build the victim's ROA configuration and
+    /// measure the attacker's interception.
+    fn trial_fraction(
+        &self,
+        topology: &Topology,
+        policies: &[RovPolicy],
+        stubs: &[usize],
+        kind: AttackKind,
+        roa: RoaConfig,
+        trial: usize,
+    ) -> f64 {
         let p: Prefix = "168.122.0.0/16".parse().expect("static");
         let q: Prefix = "168.122.0.0/24".parse().expect("static");
+        let (victim, attacker) = self.trial_pair(stubs, trial);
+        let vrps: VrpIndex = match roa {
+            RoaConfig::NoRoa => VrpIndex::new(),
+            RoaConfig::NonMinimalMaxLen => [Vrp::new(p, 24, topology.asn(victim))]
+                .into_iter()
+                .collect(),
+            RoaConfig::Minimal => [Vrp::exact(p, topology.asn(victim))].into_iter().collect(),
+        };
+        run_attack(
+            kind,
+            &AttackSetup {
+                topology,
+                victim,
+                attacker,
+                victim_prefix: p,
+                sub_prefix: q,
+                vrps: &vrps,
+                policies,
+            },
+        )
+        .interception_fraction()
+    }
+
+    /// Folds the per-trial interception fractions — **in trial order** —
+    /// into one report cell. Both the sequential and the parallel path
+    /// feed this the same ordered vector, so their floating-point
+    /// reductions are bit-identical.
+    fn cell(&self, kind: AttackKind, roa: RoaConfig, fractions: Vec<f64>) -> ExperimentCell {
+        let mean = fractions.iter().sum::<f64>() / fractions.len().max(1) as f64;
+        let min = fractions.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = fractions.iter().copied().fold(0.0, f64::max);
+        ExperimentCell {
+            kind,
+            roa,
+            mean_interception: mean,
+            min_interception: if min.is_finite() { min } else { 0.0 },
+            max_interception: max,
+        }
+    }
+
+    /// Runs every (attack, ROA configuration) cell sequentially.
+    pub fn run(&self) -> ExperimentReport {
+        let topology = Topology::generate(self.topology);
+        let stubs = topology.stubs();
+        assert!(stubs.len() >= 2, "need at least two stubs");
+        let policies = self.policies(&topology);
 
         let mut cells = Vec::new();
         for kind in AttackKind::ALL {
             for roa in RoaConfig::ALL {
-                let mut fractions = Vec::with_capacity(pairs.len());
-                for &(victim, attacker) in &pairs {
-                    let vrps: VrpIndex = match roa {
-                        RoaConfig::NoRoa => VrpIndex::new(),
-                        RoaConfig::NonMinimalMaxLen => {
-                            [Vrp::new(p, 24, topology.asn(victim))].into_iter().collect()
-                        }
-                        RoaConfig::Minimal => {
-                            [Vrp::exact(p, topology.asn(victim))].into_iter().collect()
-                        }
-                    };
-                    let outcome = run_attack(
-                        kind,
-                        &AttackSetup {
-                            topology: &topology,
-                            victim,
-                            attacker,
-                            victim_prefix: p,
-                            sub_prefix: q,
-                            vrps: &vrps,
-                            policies: &policies,
-                        },
-                    );
-                    fractions.push(outcome.interception_fraction());
-                }
-                let mean = fractions.iter().sum::<f64>() / fractions.len().max(1) as f64;
-                let min = fractions.iter().copied().fold(f64::INFINITY, f64::min);
-                let max = fractions.iter().copied().fold(0.0, f64::max);
-                cells.push(ExperimentCell {
-                    kind,
-                    roa,
-                    mean_interception: mean,
-                    min_interception: if min.is_finite() { min } else { 0.0 },
-                    max_interception: max,
-                });
+                let fractions: Vec<f64> = (0..self.trials)
+                    .map(|trial| {
+                        self.trial_fraction(&topology, &policies, &stubs, kind, roa, trial)
+                    })
+                    .collect();
+                cells.push(self.cell(kind, roa, fractions));
+            }
+        }
+        ExperimentReport {
+            cells,
+            rov_fraction: self.rov_fraction,
+        }
+    }
+
+    /// [`Self::run`] with the trials of each cell fanned out over worker
+    /// threads (`RAYON_NUM_THREADS` honored).
+    ///
+    /// Trials are independent by construction — each derives its own
+    /// `StdRng::seed_from_u64(seed ^ trial)` — and the ordered
+    /// per-trial results are reduced exactly as the sequential path
+    /// reduces them, so the report is **bit-identical** to
+    /// [`Self::run`] (asserted by the `parallel_equals_sequential`
+    /// test).
+    pub fn run_par(&self) -> ExperimentReport {
+        let topology = Topology::generate(self.topology);
+        let stubs = topology.stubs();
+        assert!(stubs.len() >= 2, "need at least two stubs");
+        let policies = self.policies(&topology);
+
+        let mut cells = Vec::new();
+        for kind in AttackKind::ALL {
+            for roa in RoaConfig::ALL {
+                let fractions: Vec<f64> = (0..self.trials)
+                    .into_par_iter()
+                    .map(|trial| {
+                        self.trial_fraction(&topology, &policies, &stubs, kind, roa, trial)
+                    })
+                    .collect();
+                cells.push(self.cell(kind, roa, fractions));
             }
         }
         ExperimentReport {
@@ -305,6 +375,50 @@ mod tests {
     fn deterministic() {
         assert_eq!(report(), report());
     }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        // The per-trial `seed ^ trial` derivation makes the parallel
+        // report bit-identical to the sequential one — every cell, every
+        // float.
+        for seed in [5, 99] {
+            let experiment = AttackExperiment {
+                topology: TopologyConfig {
+                    n: 300,
+                    tier1: 5,
+                    ..TopologyConfig::default()
+                },
+                trials: 6,
+                rov_fraction: 0.7,
+                seed,
+            };
+            assert_eq!(experiment.run(), experiment.run_par());
+        }
+    }
+
+    #[test]
+    fn trials_are_order_independent() {
+        // Same experiment, same pair per trial index regardless of how
+        // many other trials ran first.
+        let experiment = AttackExperiment {
+            topology: TopologyConfig {
+                n: 300,
+                tier1: 5,
+                ..TopologyConfig::default()
+            },
+            trials: 8,
+            rov_fraction: 1.0,
+            seed: 21,
+        };
+        let topology = Topology::generate(experiment.topology);
+        let stubs = topology.stubs();
+        let forward: Vec<_> = (0..8).map(|t| experiment.trial_pair(&stubs, t)).collect();
+        let backward: Vec<_> = (0..8)
+            .rev()
+            .map(|t| experiment.trial_pair(&stubs, t))
+            .collect();
+        assert_eq!(forward, backward.into_iter().rev().collect::<Vec<_>>());
+    }
 }
 
 /// Interception of one attack/ROA cell as ROV adoption varies — quantifies
@@ -322,7 +436,9 @@ pub struct AdoptionSweep {
 
 impl AttackExperiment {
     /// Sweeps ROV adoption over `fractions` for one (attack, ROA) cell,
-    /// holding topology and attacker/victim samples fixed.
+    /// holding topology and attacker/victim samples fixed. Each sweep
+    /// point runs its trials in parallel ([`Self::run_par`]), which is
+    /// result-identical to the sequential path.
     pub fn adoption_sweep(
         &self,
         kind: AttackKind,
@@ -335,7 +451,7 @@ impl AttackExperiment {
                 rov_fraction: fraction,
                 ..*self
             }
-            .run();
+            .run_par();
             points.push((fraction, report.cell(kind, roa).mean_interception));
         }
         AdoptionSweep { kind, roa, points }

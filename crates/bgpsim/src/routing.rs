@@ -219,10 +219,10 @@ pub fn propagate(
     let mut heap: BinaryHeap<Reverse<(Key, usize)>> = BinaryHeap::new();
     let mut pending: Vec<Option<RouteInfo>> = vec![None; n];
     let offer_down = |from_info: RouteInfo,
-                          from: usize,
-                          pending: &mut Vec<Option<RouteInfo>>,
-                          heap: &mut BinaryHeap<Reverse<(Key, usize)>>,
-                          routes: &Vec<Option<RouteInfo>>| {
+                      from: usize,
+                      pending: &mut Vec<Option<RouteInfo>>,
+                      heap: &mut BinaryHeap<Reverse<(Key, usize)>>,
+                      routes: &Vec<Option<RouteInfo>>| {
         for &(customer, rel) in topology.neighbors(from) {
             if rel != Relationship::Customer || routes[customer].is_some() {
                 continue;
@@ -462,12 +462,22 @@ mod forwarding_tests {
         let stubs = t.stubs();
         let (a, b) = (stubs[1], stubs[stubs.len() - 2]);
         let seeds = [
-            Seed { at: a, path_len: 0, claimed_origin: t.asn(a) },
-            Seed { at: b, path_len: 0, claimed_origin: t.asn(b) },
+            Seed {
+                at: a,
+                path_len: 0,
+                claimed_origin: t.asn(a),
+            },
+            Seed {
+                at: b,
+                path_len: 0,
+                claimed_origin: t.asn(b),
+            },
         ];
         let prop = propagate(&t, &seeds, &accept_all);
         for from in 0..t.len() {
-            let Some(info) = prop.routes[from] else { continue };
+            let Some(info) = prop.routes[from] else {
+                continue;
+            };
             let path = prop.forwarding_path(from).expect("routed AS has a path");
             assert_eq!(*path.first().unwrap(), from);
             // Data plane agrees with the control plane's advertised endpoint.
@@ -500,7 +510,11 @@ mod forwarding_tests {
         let stub = t.stubs()[0];
         let prop = propagate(
             &t,
-            &[Seed { at: stub, path_len: 0, claimed_origin: t.asn(stub) }],
+            &[Seed {
+                at: stub,
+                path_len: 0,
+                claimed_origin: t.asn(stub),
+            }],
             &accept_all,
         );
         for from in 0..t.len() {

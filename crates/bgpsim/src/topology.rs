@@ -166,7 +166,9 @@ impl Topology {
 
     /// All stub AS indices.
     pub fn stubs(&self) -> Vec<usize> {
-        (self.tier1..self.len()).filter(|&a| self.is_stub(a)).collect()
+        (self.tier1..self.len())
+            .filter(|&a| self.is_stub(a))
+            .collect()
     }
 
     /// The public AS number of index `a`.
@@ -272,7 +274,11 @@ mod tests {
 
     #[test]
     fn flipped_is_involution() {
-        for rel in [Relationship::Customer, Relationship::Provider, Relationship::Peer] {
+        for rel in [
+            Relationship::Customer,
+            Relationship::Provider,
+            Relationship::Peer,
+        ] {
             assert_eq!(rel.flipped().flipped(), rel);
         }
     }

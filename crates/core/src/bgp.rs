@@ -181,7 +181,11 @@ mod tests {
 
     #[test]
     fn ancestor_same_origin() {
-        let t = table(&["10.0.0.0/8 => AS1", "10.1.0.0/16 => AS1", "10.2.0.0/16 => AS2"]);
+        let t = table(&[
+            "10.0.0.0/8 => AS1",
+            "10.1.0.0/16 => AS1",
+            "10.2.0.0/16 => AS2",
+        ]);
         // 10.1.0.0/16 by AS1 is a de-aggregate of AS1's /8.
         assert!(t.has_ancestor_same_origin("10.1.0.0/16".parse().unwrap(), Asn(1)));
         // AS2's /16 has no same-origin ancestor.
@@ -195,7 +199,7 @@ mod tests {
         let t = table(&[
             "168.122.0.0/16 => AS111",
             "168.122.225.0/24 => AS111",
-            "168.122.0.0/25 => AS111",  // beyond maxLength below
+            "168.122.0.0/25 => AS111",   // beyond maxLength below
             "168.122.128.0/17 => AS666", // wrong origin
         ]);
         let vrp: Vrp = "168.122.0.0/16-24 => AS111".parse().unwrap();
@@ -207,7 +211,11 @@ mod tests {
 
     #[test]
     fn iter_yields_every_pair() {
-        let t = table(&["10.0.0.0/8 => AS1", "10.0.0.0/8 => AS2", "2001:db8::/32 => AS3"]);
+        let t = table(&[
+            "10.0.0.0/8 => AS1",
+            "10.0.0.0/8 => AS2",
+            "2001:db8::/32 => AS3",
+        ]);
         let all: Vec<_> = t.iter().collect();
         assert_eq!(all.len(), 3);
         assert_eq!(all.len(), t.len());

@@ -60,7 +60,11 @@ mod tests {
 
     #[test]
     fn minimal_is_one_tuple_per_pair() {
-        let table = bgp(&["10.0.0.0/8 => AS1", "10.0.0.0/16 => AS1", "11.0.0.0/8 => AS2"]);
+        let table = bgp(&[
+            "10.0.0.0/8 => AS1",
+            "10.0.0.0/16 => AS1",
+            "11.0.0.0/8 => AS2",
+        ]);
         let minimal = full_deployment_minimal(&table);
         assert_eq!(minimal.len(), 3);
         assert!(minimal.iter().all(|v| !v.uses_max_len()));
@@ -70,8 +74,8 @@ mod tests {
     fn lower_bound_drops_deaggregates() {
         let table = bgp(&[
             "10.0.0.0/8 => AS1",
-            "10.0.0.0/16 => AS1",  // de-aggregate of AS1's /8: swallowed
-            "10.1.0.0/16 => AS2",  // different origin: kept
+            "10.0.0.0/16 => AS1", // de-aggregate of AS1's /8: swallowed
+            "10.1.0.0/16 => AS2", // different origin: kept
             "11.0.0.0/8 => AS2",
         ]);
         let bound = max_permissive_lower_bound(&table);
@@ -85,7 +89,11 @@ mod tests {
 
     #[test]
     fn lower_bound_equals_pairs_without_deaggregation() {
-        let table = bgp(&["10.0.0.0/8 => AS1", "11.0.0.0/8 => AS2", "2001:db8::/32 => AS3"]);
+        let table = bgp(&[
+            "10.0.0.0/8 => AS1",
+            "11.0.0.0/8 => AS2",
+            "2001:db8::/32 => AS3",
+        ]);
         assert_eq!(max_permissive_lower_bound(&table).len(), table.len());
         assert_eq!(max_compression_ratio(&table), 0.0);
     }

@@ -138,8 +138,7 @@ impl LevelTrie {
         let mut stack: Vec<(Tup, u8)> = Vec::new();
         for tup in tuples {
             while let Some((top, _)) = stack.last() {
-                let covers =
-                    top.len <= tup.len && (tup.bits & mask128(top.len)) == top.bits;
+                let covers = top.len <= tup.len && (tup.bits & mask128(top.len)) == top.bits;
                 if covers {
                     break;
                 }
@@ -247,32 +246,29 @@ pub fn compress_roas_parallel(vrps: &[Vrp], threads: usize) -> Vec<Vrp> {
         }
         return collect_groups(groups);
     }
-    let mut shards: Vec<Vec<((Asn, Afi), LevelTrie)>> =
-        (0..threads).map(|_| Vec::new()).collect();
+    let mut shards: Vec<Vec<((Asn, Afi), LevelTrie)>> = (0..threads).map(|_| Vec::new()).collect();
     for (i, entry) in groups.into_iter().enumerate() {
         shards[i % threads].push(entry);
     }
-    let compressed: Vec<Vec<((Asn, Afi), LevelTrie)>> =
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = shards
-                .into_iter()
-                .map(|mut shard| {
-                    scope.spawn(move |_| {
-                        for (_, trie) in shard.iter_mut() {
-                            trie.compress();
-                        }
-                        shard
-                    })
+    let compressed: Vec<Vec<((Asn, Afi), LevelTrie)>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .map(|mut shard| {
+                scope.spawn(move |_| {
+                    for (_, trie) in shard.iter_mut() {
+                        trie.compress();
+                    }
+                    shard
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("compression worker panicked"))
-                .collect()
-        })
-        .expect("scope never panics after joins");
-    let merged: HashMap<(Asn, Afi), LevelTrie> =
-        compressed.into_iter().flatten().collect();
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("compression worker panicked"))
+            .collect()
+    })
+    .expect("scope never panics after joins");
+    let merged: HashMap<(Asn, Afi), LevelTrie> = compressed.into_iter().flatten().collect();
     collect_groups(merged)
 }
 
@@ -282,6 +278,9 @@ pub fn compress_roas_parallel(vrps: &[Vrp], threads: usize) -> Vec<Vrp> {
 /// ablation bench and as a differential-testing oracle.
 pub fn compress_roas_naive(vrps: &[Vrp]) -> Vec<Vrp> {
     use std::collections::BTreeMap;
+    /// A planned merge: the two siblings to remove and the parent tuple
+    /// (key + maxLength) replacing them.
+    type Merge = ((Asn, Prefix), (Asn, Prefix), (Asn, Prefix), u8);
     // (asn, prefix) -> max_len, merging duplicates like the fast path.
     let mut set: BTreeMap<(Asn, Prefix), u8> = BTreeMap::new();
     for vrp in vrps {
@@ -293,7 +292,7 @@ pub fn compress_roas_naive(vrps: &[Vrp]) -> Vec<Vrp> {
         // backtracking processes children before parents, and merge results
         // differ if a shallower pair consumes a node that deeper tuples
         // still need as their parent.
-        let mut change: Option<((Asn, Prefix), (Asn, Prefix), (Asn, Prefix), u8)> = None;
+        let mut change: Option<Merge> = None;
         for (&(asn, prefix), &val) in &set {
             if !prefix.is_left_child() {
                 continue;
@@ -307,8 +306,7 @@ pub fn compress_roas_naive(vrps: &[Vrp]) -> Vec<Vrp> {
             let (Some(sib), Some(parent)) = (prefix.sibling(), prefix.parent()) else {
                 continue;
             };
-            let (Some(&sval), Some(&pval)) = (set.get(&(asn, sib)), set.get(&(asn, parent)))
-            else {
+            let (Some(&sval), Some(&pval)) = (set.get(&(asn, sib)), set.get(&(asn, parent))) else {
                 continue;
             };
             let new_parent = pval.max(val.min(sval));
@@ -621,15 +619,20 @@ mod parallel_tests {
                     let parent: Prefix =
                         format!("10.{}.{}.0/23", asn % 200, i * 2).parse().unwrap();
                     input.push(Vrp::exact(parent, Asn(asn)));
-                    let sib: Prefix =
-                        format!("10.{}.{}.0/24", asn % 200, i * 2 + 1).parse().unwrap();
+                    let sib: Prefix = format!("10.{}.{}.0/24", asn % 200, i * 2 + 1)
+                        .parse()
+                        .unwrap();
                     input.push(Vrp::exact(sib, Asn(asn)));
                 }
             }
         }
         let serial = compress_roas(&input);
         for threads in [1, 2, 4, 7] {
-            assert_eq!(compress_roas_parallel(&input, threads), serial, "{threads} threads");
+            assert_eq!(
+                compress_roas_parallel(&input, threads),
+                serial,
+                "{threads} threads"
+            );
         }
     }
 

@@ -56,6 +56,6 @@ pub mod wizard;
 pub use bgp::BgpTable;
 pub use compress::{compress_roas, compress_roas_full, compress_roas_parallel};
 pub use lint::{LintReport, Severity};
-pub use minimal::{minimalize_roas, minimalize_vrps};
+pub use minimal::{minimalize_roas, minimalize_vrps, minimalize_vrps_par};
 pub use scenarios::{Scenario, ScenarioRow, Table1};
 pub use vulnerability::MaxLengthCensus;

@@ -110,8 +110,7 @@ impl LintReport {
 
         for vrp in &vrps {
             let surface = hijack_surface(vrp, bgp, 3);
-            let announced =
-                bgp.count_announced_under(vrp.prefix, vrp.max_len, vrp.asn);
+            let announced = bgp.count_announced_under(vrp.prefix, vrp.max_len, vrp.asn);
 
             if vrp.asn.is_zero() {
                 if vrp.uses_max_len() {
@@ -150,8 +149,7 @@ impl LintReport {
                     vrp: *vrp,
                     rule: Rule::StaleAuthorization,
                     severity: Severity::Warning,
-                    detail: "validates nothing currently announced; withdraw or update"
-                        .to_string(),
+                    detail: "validates nothing currently announced; withdraw or update".to_string(),
                 });
             } else if surface.unannounced_count > 0 {
                 let examples = surface
@@ -333,16 +331,12 @@ mod tests {
     #[test]
     fn redundant_tuple_flagged() {
         let table = bgp(&["10.0.0.0/16 => AS1", "10.0.5.0/24 => AS1"]);
-        let roas = vec![roa(
-            1,
-            &[("10.0.0.0/16", Some(24)), ("10.0.5.0/24", None)],
-        )];
+        let roas = vec![roa(1, &[("10.0.0.0/16", Some(24)), ("10.0.5.0/24", None)])];
         let report = LintReport::lint(&roas, &table);
         assert!(report
             .findings
             .iter()
-            .any(|f| f.rule == Rule::RedundantTuple
-                && f.vrp.prefix.to_string() == "10.0.5.0/24"));
+            .any(|f| f.rule == Rule::RedundantTuple && f.vrp.prefix.to_string() == "10.0.5.0/24"));
     }
 
     #[test]
@@ -376,10 +370,7 @@ mod tests {
     #[test]
     fn findings_sorted_by_severity() {
         let table = bgp(&["10.0.0.0/16 => AS1"]);
-        let roas = vec![roa(
-            1,
-            &[("10.0.0.0/16", Some(24)), ("99.0.0.0/8", None)],
-        )];
+        let roas = vec![roa(1, &[("10.0.0.0/16", Some(24)), ("99.0.0.0/8", None)])];
         let report = LintReport::lint(&roas, &table);
         let severities: Vec<_> = report.findings.iter().map(|f| f.severity).collect();
         let mut sorted = severities.clone();

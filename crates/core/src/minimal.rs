@@ -11,6 +11,7 @@
 
 use std::collections::BTreeSet;
 
+use rayon::prelude::*;
 use rpki_roa::{Roa, RoaPrefix, RouteOrigin, Vrp};
 
 use crate::BgpTable;
@@ -27,6 +28,22 @@ pub fn minimalize_vrps(vrps: &[Vrp], bgp: &BgpTable) -> Vec<Vrp> {
     for vrp in vrps {
         out.extend(bgp.routes_validated_by(vrp));
     }
+    out.into_iter()
+        .map(|r| Vrp::exact(r.prefix, r.origin))
+        .collect()
+}
+
+/// [`minimalize_vrps`] with the per-tuple BGP subtree scans fanned out
+/// over worker threads (`RAYON_NUM_THREADS` honored). The per-tuple
+/// validated-route lists are merged through the same ordered set, so the
+/// output is identical to the sequential path — property-tested in
+/// `tests/props.rs`.
+pub fn minimalize_vrps_par(vrps: &[Vrp], bgp: &BgpTable) -> Vec<Vrp> {
+    let validated: Vec<Vec<RouteOrigin>> = vrps
+        .par_iter()
+        .map(|vrp| bgp.routes_validated_by(vrp).collect())
+        .collect();
+    let out: BTreeSet<RouteOrigin> = validated.into_iter().flatten().collect();
     out.into_iter()
         .map(|r| Vrp::exact(r.prefix, r.origin))
         .collect()
@@ -155,6 +172,29 @@ mod tests {
     }
 
     #[test]
+    fn parallel_minimalize_equals_sequential() {
+        let table = bgp(&[
+            "168.122.0.0/16 => AS111",
+            "168.122.225.0/24 => AS111",
+            "10.0.0.0/16 => AS1",
+            "10.0.0.0/17 => AS1",
+            "2001:db8::/32 => AS2",
+        ]);
+        let input = vrps(&[
+            "168.122.0.0/16-24 => AS111",
+            "10.0.0.0/8-17 => AS1",
+            "10.0.0.0/16 => AS1",
+            "2001:db8::/32-48 => AS2",
+            "99.0.0.0/8 => AS9",
+        ]);
+        assert_eq!(
+            minimalize_vrps(&input, &table),
+            minimalize_vrps_par(&input, &table)
+        );
+        assert!(minimalize_vrps_par(&[], &table).is_empty());
+    }
+
+    #[test]
     fn minimalize_roas_preserves_object_count() {
         let table = bgp(&[
             "168.122.0.0/16 => AS111",
@@ -191,13 +231,25 @@ mod tests {
             "10.0.128.0/17 => AS1",
         ]);
         // Every subprefix of the /16 up to /17 is announced: minimal.
-        assert!(vrp_is_minimal(&"10.0.0.0/16-17 => AS1".parse().unwrap(), &table));
+        assert!(vrp_is_minimal(
+            &"10.0.0.0/16-17 => AS1".parse().unwrap(),
+            &table
+        ));
         // Up to /18: the /18s are unannounced: not minimal.
-        assert!(!vrp_is_minimal(&"10.0.0.0/16-18 => AS1".parse().unwrap(), &table));
+        assert!(!vrp_is_minimal(
+            &"10.0.0.0/16-18 => AS1".parse().unwrap(),
+            &table
+        ));
         // No maxLength and announced: minimal.
-        assert!(vrp_is_minimal(&"10.0.0.0/16 => AS1".parse().unwrap(), &table));
+        assert!(vrp_is_minimal(
+            &"10.0.0.0/16 => AS1".parse().unwrap(),
+            &table
+        ));
         // No maxLength and NOT announced: not minimal either.
-        assert!(!vrp_is_minimal(&"11.0.0.0/16 => AS1".parse().unwrap(), &table));
+        assert!(!vrp_is_minimal(
+            &"11.0.0.0/16 => AS1".parse().unwrap(),
+            &table
+        ));
     }
 
     #[test]

@@ -62,13 +62,9 @@ impl Scenario {
             Scenario::Today => "Today",
             Scenario::TodayCompressed => "Today (compressed)",
             Scenario::TodayMinimal => "Today, minimal ROAs, no maxLength",
-            Scenario::TodayMinimalCompressed => {
-                "Today, minimal ROAs, with maxLength (compressed)"
-            }
+            Scenario::TodayMinimalCompressed => "Today, minimal ROAs, with maxLength (compressed)",
             Scenario::FullMinimal => "Full deployment, minimal ROAs, no maxLength",
-            Scenario::FullMinimalCompressed => {
-                "Full deployment, minimal ROAs, with maxLength"
-            }
+            Scenario::FullMinimalCompressed => "Full deployment, minimal ROAs, with maxLength",
             Scenario::FullLowerBound => "Full deployment, lower bound (max permissive ROAs)",
         }
     }
@@ -96,13 +92,9 @@ impl Scenario {
             }
             Scenario::TodayCompressed => compress_roas(vrps),
             Scenario::TodayMinimal => minimalize_vrps(vrps, bgp),
-            Scenario::TodayMinimalCompressed => {
-                compress_roas(&minimalize_vrps(vrps, bgp))
-            }
+            Scenario::TodayMinimalCompressed => compress_roas(&minimalize_vrps(vrps, bgp)),
             Scenario::FullMinimal => full_deployment_minimal(bgp),
-            Scenario::FullMinimalCompressed => {
-                compress_roas(&full_deployment_minimal(bgp))
-            }
+            Scenario::FullMinimalCompressed => compress_roas(&full_deployment_minimal(bgp)),
             Scenario::FullLowerBound => max_permissive_lower_bound(bgp),
         }
     }
@@ -147,6 +139,45 @@ impl Table1 {
             row(
                 Scenario::FullMinimalCompressed,
                 compress_roas(&full_minimal).len(),
+            ),
+            row(
+                Scenario::FullLowerBound,
+                max_permissive_lower_bound(bgp).len(),
+            ),
+        ];
+        Table1 { rows }
+    }
+
+    /// [`Self::compute`] with the two expensive stages parallelized:
+    /// the minimalization scans fan out per tuple
+    /// ([`crate::minimal::minimalize_vrps_par`]) and each compression
+    /// pass shards its per-(ASN, AFI) tries over `threads` workers
+    /// ([`crate::compress::compress_roas_parallel`]). Both stages are
+    /// output-identical to their sequential forms, so the table equals
+    /// [`Self::compute`] exactly.
+    pub fn compute_par(vrps: &[Vrp], bgp: &BgpTable, threads: usize) -> Table1 {
+        use crate::compress::compress_roas_parallel;
+        use crate::minimal::minimalize_vrps_par;
+        let mut today = vrps.to_vec();
+        today.sort_unstable();
+        today.dedup();
+        let today_minimal = minimalize_vrps_par(vrps, bgp);
+        let full_minimal = full_deployment_minimal(bgp);
+        let rows = vec![
+            row(Scenario::Today, today.len()),
+            row(
+                Scenario::TodayCompressed,
+                compress_roas_parallel(&today, threads).len(),
+            ),
+            row(Scenario::TodayMinimal, today_minimal.len()),
+            row(
+                Scenario::TodayMinimalCompressed,
+                compress_roas_parallel(&today_minimal, threads).len(),
+            ),
+            row(Scenario::FullMinimal, full_minimal.len()),
+            row(
+                Scenario::FullMinimalCompressed,
+                compress_roas_parallel(&full_minimal, threads).len(),
             ),
             row(
                 Scenario::FullLowerBound,
@@ -270,10 +301,7 @@ mod tests {
     #[test]
     fn secure_column_matches_paper() {
         let secure: Vec<bool> = Scenario::ALL.iter().map(|s| s.secure()).collect();
-        assert_eq!(
-            secure,
-            vec![false, false, true, true, true, true, false]
-        );
+        assert_eq!(secure, vec![false, false, true, true, true, true, false]);
     }
 
     #[test]

@@ -181,7 +181,11 @@ mod tests {
 
     #[test]
     fn series_lengths_match_snapshots() {
-        let snaps = vec![snapshot("1", false), snapshot("2", false), snapshot("3", true)];
+        let snaps = vec![
+            snapshot("1", false),
+            snapshot("2", false),
+            snapshot("3", true),
+        ];
         let tl = Timeline::compute(&snaps);
         for s in tl.figure3a().iter().chain(tl.figure3b().iter()) {
             assert_eq!(s.points.len(), 3);

@@ -38,14 +38,8 @@ pub struct RoaProposal {
 /// Builds the §8 proposal: enumerate the AS's announcements from the
 /// looking glass, authorize exactly those, compress losslessly.
 pub fn propose_roa(asn: Asn, looking_glass: &BgpTable) -> RoaProposal {
-    let covers: Vec<RouteOrigin> = looking_glass
-        .iter()
-        .filter(|r| r.origin == asn)
-        .collect();
-    let exact: Vec<Vrp> = covers
-        .iter()
-        .map(|r| Vrp::exact(r.prefix, asn))
-        .collect();
+    let covers: Vec<RouteOrigin> = looking_glass.iter().filter(|r| r.origin == asn).collect();
+    let exact: Vec<Vrp> = covers.iter().map(|r| Vrp::exact(r.prefix, asn)).collect();
     let compressed = compress_roas(&exact);
     let roa = vrps_to_roas(&compressed).into_iter().next();
     RoaProposal { asn, roa, covers }
@@ -188,10 +182,7 @@ mod tests {
         assert_eq!(roa.prefixes()[0].max_len, Some(17));
         // Still minimal: authorizes exactly the three announcements.
         let authorized: Vec<Vrp> = roa.vrps().collect();
-        assert_eq!(
-            crate::compress::expand_authorized(&authorized).len(),
-            3
-        );
+        assert_eq!(crate::compress::expand_authorized(&authorized).len(), 3);
     }
 
     #[test]
@@ -206,12 +197,7 @@ mod tests {
     fn review_flags_the_careless_request() {
         // The §4 misconfiguration typed into the form.
         let lg = glass(&["168.122.0.0/16 => AS111", "168.122.225.0/24 => AS111"]);
-        let warnings = review_request(
-            "168.122.0.0/16".parse().unwrap(),
-            Some(24),
-            Asn(111),
-            &lg,
-        );
+        let warnings = review_request("168.122.0.0/16".parse().unwrap(), Some(24), Asn(111), &lg);
         assert!(warnings
             .iter()
             .any(|w| matches!(w, RequestWarning::ForgedOriginRisk { exposed: 509, .. })));
@@ -227,8 +213,7 @@ mod tests {
     #[test]
     fn review_accepts_minimal_request() {
         let lg = glass(&["168.122.0.0/16 => AS111"]);
-        let warnings =
-            review_request("168.122.0.0/16".parse().unwrap(), None, Asn(111), &lg);
+        let warnings = review_request("168.122.0.0/16".parse().unwrap(), None, Asn(111), &lg);
         assert!(warnings.is_empty());
     }
 

@@ -23,9 +23,7 @@ fn arb_roa() -> impl Strategy<Value = Roa> {
             let entries: Vec<RoaPrefix> = entries
                 .into_iter()
                 .map(|(p, ml)| match ml {
-                    Some(extra) => {
-                        RoaPrefix::with_max_len(p, (p.len() + extra).min(p.max_len()))
-                    }
+                    Some(extra) => RoaPrefix::with_max_len(p, (p.len() + extra).min(p.max_len())),
                     None => RoaPrefix::exact(p),
                 })
                 .collect();

@@ -10,11 +10,11 @@ use proptest::prelude::*;
 use rpki_prefix::{Prefix, Prefix4};
 use rpki_roa::{Asn, RouteOrigin, Vrp};
 
+use maxlength_core::bounds::{full_deployment_minimal, max_permissive_lower_bound};
 use maxlength_core::compress::{
     compress_roas, compress_roas_full, compress_roas_naive, expand_authorized,
 };
 use maxlength_core::minimal::{minimalize_vrps, vrp_is_minimal};
-use maxlength_core::bounds::{full_deployment_minimal, max_permissive_lower_bound};
 use maxlength_core::{BgpTable, MaxLengthCensus, Scenario, Table1};
 
 /// Prefixes drawn from a tiny universe (4 leading-bit patterns × lengths

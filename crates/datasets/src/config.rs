@@ -2,9 +2,7 @@
 //! knobs (seed, scale, weeks) the harness exposes.
 
 /// The eight weekly snapshot labels of Figure 3.
-pub const WEEK_LABELS: [&str; 8] = [
-    "4/13", "4/20", "4/27", "5/4", "5/11", "5/18", "5/25", "6/1",
-];
+pub const WEEK_LABELS: [&str; 8] = ["4/13", "4/20", "4/27", "5/4", "5/11", "5/18", "5/25", "6/1"];
 
 /// Per-class entity counts. At `scale = 1.0` these reproduce the paper's
 /// 6/1/2017 aggregates (see the crate docs for the calibration table and
@@ -201,18 +199,20 @@ mod tests {
             + c.scattered_pairs;
         assert_eq!(minimal, 52_745);
         // Status-quo compression: triples merge 3→1.
-        let compressed =
-            c.expected_tuples() - 2 * (c.adopter_triple_stale + c.adopter_triple_live);
+        let compressed = c.expected_tuples() - 2 * (c.adopter_triple_stale + c.adopter_triple_live);
         assert_eq!(compressed, 33_615);
         // Full-deployment lower bound: pairs minus same-origin descendants.
-        let descendants = 2 * (c.deagg_depth1 + c.adopter_maxlen_safe
-            + c.adopter_triple_live + c.adopter_maxlen_deep)
+        let descendants = 2
+            * (c.deagg_depth1
+                + c.adopter_maxlen_safe
+                + c.adopter_triple_live
+                + c.adopter_maxlen_deep)
             + 6 * c.deagg_depth2
             + (c.deagg_partial + c.adopter_maxlen_partial);
         assert_eq!(c.expected_pairs() - descendants, 729_372); // paper: 729,371
-        // Full-deployment compressed: bound + partial de-aggregations.
-        let full_compressed = c.expected_pairs() - descendants
-            + (c.deagg_partial + c.adopter_maxlen_partial);
+                                                               // Full-deployment compressed: bound + partial de-aggregations.
+        let full_compressed =
+            c.expected_pairs() - descendants + (c.deagg_partial + c.adopter_maxlen_partial);
         assert_eq!(full_compressed, 730_009); // paper: 730,008
     }
 

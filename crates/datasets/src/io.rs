@@ -112,8 +112,7 @@ pub fn from_str(text: &str) -> Result<DatasetSnapshot, LoadError> {
                 roas.push(Roa::new(asn, entries).map_err(|_| bad())?);
             }
             Some("bgp") => {
-                let prefix: Prefix =
-                    fields.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                let prefix: Prefix = fields.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
                 let asn: Asn = fields.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
                 if fields.next().is_some() {
                     return Err(bad());
@@ -123,7 +122,11 @@ pub fn from_str(text: &str) -> Result<DatasetSnapshot, LoadError> {
             _ => return Err(bad()),
         }
     }
-    Ok(DatasetSnapshot { label, roas, routes })
+    Ok(DatasetSnapshot {
+        label,
+        roas,
+        routes,
+    })
 }
 
 /// `prefix` or `prefix-maxlen`, with the dash searched after the slash so
@@ -178,10 +181,8 @@ mod tests {
             ..GeneratorConfig::default()
         });
         let snap = world.snapshot(0);
-        let path = std::env::temp_dir().join(format!(
-            "maxlength-dataset-{}.txt",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("maxlength-dataset-{}.txt", std::process::id()));
         save(&snap, &path).unwrap();
         let back = load(&path).unwrap();
         assert_eq!(back, snap);
@@ -190,7 +191,10 @@ mod tests {
 
     #[test]
     fn rejects_missing_header() {
-        assert!(matches!(from_str("bgp 1.0.0.0/8 AS1"), Err(LoadError::BadHeader)));
+        assert!(matches!(
+            from_str("bgp 1.0.0.0/8 AS1"),
+            Err(LoadError::BadHeader)
+        ));
         assert!(matches!(from_str(""), Err(LoadError::BadHeader)));
     }
 
@@ -199,8 +203,8 @@ mod tests {
         let base = "# maxlength-dataset v1\n";
         for bad in [
             "roa notanasn 10.0.0.0/8",
-            "roa AS1 10.0.0.0/8-4",  // maxLength below prefix length
-            "roa AS1",                // empty prefix set
+            "roa AS1 10.0.0.0/8-4", // maxLength below prefix length
+            "roa AS1",              // empty prefix set
             "bgp 10.0.0.0/8",
             "bgp 10.0.0.0/8 AS1 extra",
             "unknown directive",

@@ -48,8 +48,11 @@ mod tests {
             ],
         )
         .unwrap();
-        let roa2 =
-            Roa::new(Asn(2), vec![RoaPrefix::exact("12.0.0.0/8".parse().unwrap())]).unwrap();
+        let roa2 = Roa::new(
+            Asn(2),
+            vec![RoaPrefix::exact("12.0.0.0/8".parse().unwrap())],
+        )
+        .unwrap();
         let snap = DatasetSnapshot {
             label: "6/1".into(),
             roas: vec![roa1, roa2],

@@ -39,7 +39,7 @@ impl SpaceAllocator {
     /// Panics if the IPv4 space is exhausted — at paper scale the
     /// generator uses well under half of it.
     pub fn alloc_v4(&mut self, len: u8) -> Prefix4 {
-        assert!(len >= 1 && len <= 32, "allocation length {len}");
+        assert!((1..=32).contains(&len), "allocation length {len}");
         let size = 1u64 << (32 - len as u32);
         let base = self.cursor_v4.div_ceil(size) * size;
         assert!(base + size <= 1 << 32, "IPv4 space exhausted");
@@ -49,7 +49,7 @@ impl SpaceAllocator {
 
     /// Allocates the next free IPv6 prefix of length `len`.
     pub fn alloc_v6(&mut self, len: u8) -> Prefix6 {
-        assert!(len >= 4 && len <= 128, "allocation length {len}");
+        assert!((4..=128).contains(&len), "allocation length {len}");
         let size = 1u128 << (128 - len as u32);
         let base = self.cursor_v6.div_ceil(size) * size;
         self.cursor_v6 = base + size;
@@ -78,13 +78,20 @@ mod tests {
             got.push(a.alloc_v4(len));
         }
         for (i, p) in got.iter().enumerate() {
-            assert_eq!(p.bits() & (!0u32 >> p.len()).wrapping_shl(0) & !mask(p.len()), 0);
+            assert_eq!(
+                p.bits() & (!0u32 >> p.len()).wrapping_shl(0) & !mask(p.len()),
+                0
+            );
             for q in &got[i + 1..] {
                 assert!(!p.overlaps(*q), "{p} overlaps {q}");
             }
         }
         fn mask(len: u8) -> u32 {
-            if len == 0 { 0 } else { u32::MAX << (32 - len as u32) }
+            if len == 0 {
+                0
+            } else {
+                u32::MAX << (32 - len as u32)
+            }
         }
     }
 

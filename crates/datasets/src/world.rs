@@ -112,9 +112,7 @@ impl Allocation {
                 let l = self.prefix.left_child().expect("parent length bounded");
                 vec![own(self.prefix), own(l)]
             }
-            Category::AdopterScattered => {
-                self.scattered.iter().map(|&p| own(p)).collect()
-            }
+            Category::AdopterScattered => self.scattered.iter().map(|&p| own(p)).collect(),
         }
     }
 
@@ -169,9 +167,8 @@ impl World {
 
         // --- Adopter entities -------------------------------------------
         let mut adopters: Vec<Category> = Vec::new();
-        let push_n = |v: &mut Vec<Category>, c: Category, n: usize| {
-            v.extend(std::iter::repeat(c).take(n))
-        };
+        let push_n =
+            |v: &mut Vec<Category>, c: Category, n: usize| v.extend(std::iter::repeat_n(c, n));
         push_n(&mut adopters, Category::AdopterExact, counts.adopter_exact);
         push_n(&mut adopters, Category::AdopterStale, counts.adopter_stale);
         push_n(
@@ -243,9 +240,21 @@ impl World {
         // --- Non-adopter entities ----------------------------------------
         let mut non_adopters: Vec<Category> = Vec::new();
         push_n(&mut non_adopters, Category::Plain, counts.plain);
-        push_n(&mut non_adopters, Category::DeaggDepth1, counts.deagg_depth1);
-        push_n(&mut non_adopters, Category::DeaggDepth2, counts.deagg_depth2);
-        push_n(&mut non_adopters, Category::DeaggPartial, counts.deagg_partial);
+        push_n(
+            &mut non_adopters,
+            Category::DeaggDepth1,
+            counts.deagg_depth1,
+        );
+        push_n(
+            &mut non_adopters,
+            Category::DeaggDepth2,
+            counts.deagg_depth2,
+        );
+        push_n(
+            &mut non_adopters,
+            Category::DeaggPartial,
+            counts.deagg_partial,
+        );
         non_adopters.shuffle(&mut rng);
 
         let mut asn = 100_000u32;
@@ -330,13 +339,13 @@ impl World {
                 } else {
                     // De-aggregating networks hold mid-size blocks; keep
                     // room for two levels of children above /24.
-                    *[18u8, 19, 20, 20, 21, 21, 22, 22].choose(rng).expect("non-empty")
+                    *[18u8, 19, 20, 20, 21, 21, 22, 22]
+                        .choose(rng)
+                        .expect("non-empty")
                 };
                 let prefix = space.alloc(v6, len);
                 let max_len = match category {
-                    Category::AdopterMaxLenSafe | Category::AdopterMaxLenPartial => {
-                        Some(len + 1)
-                    }
+                    Category::AdopterMaxLenSafe | Category::AdopterMaxLenPartial => Some(len + 1),
                     Category::AdopterMaxLenDeep => Some(len + rng.gen_range(2..=4)),
                     _ => None,
                 };
@@ -354,14 +363,12 @@ impl World {
                 let prefix = space.alloc(v6, len);
                 let even_slots = 1u64 << (scatter_len - len - 1);
                 let want = scattered_count.max(1).min(even_slots as usize);
-                let idx =
-                    rand::seq::index::sample(rng, even_slots as usize, want).into_vec();
+                let idx = rand::seq::index::sample(rng, even_slots as usize, want).into_vec();
                 let mut scattered: Vec<Prefix> = idx
                     .into_iter()
                     .map(|i| {
                         let offset = (i as u128) * 2;
-                        let bits =
-                            prefix.bits_u128() | (offset << (128 - scatter_len as u32));
+                        let bits = prefix.bits_u128() | (offset << (128 - scatter_len as u32));
                         Prefix::from_bits_u128(prefix.afi(), bits, scatter_len)
                             .expect("offset stays inside the allocation")
                     })
@@ -414,12 +421,12 @@ impl World {
             .into_iter()
             .filter_map(|(asn, entries)| Roa::new(asn, entries).ok())
             .collect();
-        let label = WEEK_LABELS
-            .get(week)
-            .copied()
-            .unwrap_or("week")
-            .to_string();
-        DatasetSnapshot { label, roas, routes }
+        let label = WEEK_LABELS.get(week).copied().unwrap_or("week").to_string();
+        DatasetSnapshot {
+            label,
+            roas,
+            routes,
+        }
     }
 
     /// All weekly snapshots in order.
@@ -574,11 +581,7 @@ mod v6_share_tests {
         let share = v6 as f64 / snap.routes.len() as f64;
         assert!((0.02..=0.09).contains(&share), "v6 share {share}");
         // And ROA entries follow the same mix.
-        let v6_tuples = snap
-            .vrps()
-            .iter()
-            .filter(|v| v.prefix.is_v6())
-            .count();
+        let v6_tuples = snap.vrps().iter().filter(|v| v.prefix.is_v6()).count();
         assert!(v6_tuples > 0);
     }
 

@@ -41,8 +41,10 @@ impl Prefix {
         matches!(self, Prefix::V6(_))
     }
 
-    /// The prefix length.
+    /// The prefix length. (A length of 0 is the default route, not an
+    /// "empty" prefix — there is deliberately no `is_empty`.)
     #[inline]
+    #[allow(clippy::len_without_is_empty)]
     pub const fn len(self) -> u8 {
         match self {
             Prefix::V4(p) => p.len(),
@@ -285,10 +287,15 @@ mod tests {
 
     #[test]
     fn bits_u128_round_trip() {
-        for s in ["10.0.0.0/8", "168.122.225.0/24", "2001:db8::/32", "::/0", "0.0.0.0/0"] {
+        for s in [
+            "10.0.0.0/8",
+            "168.122.225.0/24",
+            "2001:db8::/32",
+            "::/0",
+            "0.0.0.0/0",
+        ] {
             let pre = p(s);
-            let back =
-                Prefix::from_bits_u128(pre.afi(), pre.bits_u128(), pre.len()).unwrap();
+            let back = Prefix::from_bits_u128(pre.afi(), pre.bits_u128(), pre.len()).unwrap();
             assert_eq!(pre, back);
         }
     }

@@ -79,8 +79,10 @@ impl Prefix4 {
         self.bits
     }
 
-    /// The prefix length.
+    /// The prefix length. (A length of 0 is the default route, not an
+    /// "empty" prefix — there is deliberately no `is_empty`.)
     #[inline]
+    #[allow(clippy::len_without_is_empty)]
     pub const fn len(self) -> u8 {
         self.len
     }
@@ -356,7 +358,13 @@ mod tests {
 
     #[test]
     fn parse_display_round_trip() {
-        for s in ["0.0.0.0/0", "10.0.0.0/8", "168.122.0.0/16", "168.122.225.0/24", "1.2.3.4/32"] {
+        for s in [
+            "0.0.0.0/0",
+            "10.0.0.0/8",
+            "168.122.0.0/16",
+            "168.122.225.0/24",
+            "1.2.3.4/32",
+        ] {
             assert_eq!(p(s).to_string(), s);
         }
     }

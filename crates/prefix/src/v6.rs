@@ -70,8 +70,10 @@ impl Prefix6 {
         self.bits
     }
 
-    /// The prefix length.
+    /// The prefix length. (A length of 0 is the default route, not an
+    /// "empty" prefix — there is deliberately no `is_empty`.)
     #[inline]
+    #[allow(clippy::len_without_is_empty)]
     pub const fn len(self) -> u8 {
         self.len
     }

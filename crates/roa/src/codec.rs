@@ -98,10 +98,7 @@ pub fn decode_roa(data: &[u8]) -> Result<Roa, DerError> {
     Ok(roa)
 }
 
-fn read_address_family(
-    r: &mut Reader<'_>,
-    prefixes: &mut Vec<RoaPrefix>,
-) -> Result<(), DerError> {
+fn read_address_family(r: &mut Reader<'_>, prefixes: &mut Vec<RoaPrefix>) -> Result<(), DerError> {
     r.read_sequence(|r| {
         let family = r.read_octet_string()?;
         // SIZE (2..3): an optional third octet carries a SAFI we ignore.

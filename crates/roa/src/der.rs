@@ -285,9 +285,7 @@ impl<'a> Reader<'a> {
     /// Reads the next TLV, demanding a specific tag.
     pub fn read_expect(&mut self, expected: Tag) -> Result<&'a [u8], DerError> {
         match self.peek_tag() {
-            Some(found) if found != expected => {
-                Err(DerError::UnexpectedTag { expected, found })
-            }
+            Some(found) if found != expected => Err(DerError::UnexpectedTag { expected, found }),
             None => Err(DerError::Truncated),
             _ => Ok(self.read_tlv()?.1),
         }
@@ -401,7 +399,19 @@ mod tests {
 
     #[test]
     fn integer_round_trip() {
-        for v in [0u32, 1, 42, 127, 128, 255, 256, 31283, 65535, 1 << 24, u32::MAX] {
+        for v in [
+            0u32,
+            1,
+            42,
+            127,
+            128,
+            255,
+            256,
+            31283,
+            65535,
+            1 << 24,
+            u32::MAX,
+        ] {
             let bytes = encode_u32(v);
             let mut r = Reader::new(&bytes);
             assert_eq!(r.read_u32().unwrap(), v, "value {v}");

@@ -254,26 +254,22 @@ mod parallel_tests {
 
     #[test]
     fn parallel_scan_matches_serial() {
-        let dir = std::env::temp_dir().join(format!(
-            "rpki-roa-parscan-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("rpki-roa-parscan-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(dir.join("sub")).unwrap();
         for i in 0..40u32 {
             let prefix: Prefix = format!("10.{}.0.0/16", i).parse().unwrap();
             let roa = Roa::new(Asn(i + 1), vec![RoaPrefix::exact(prefix)]).unwrap();
             let where_ = if i % 2 == 0 { "" } else { "sub/" };
-            fs::write(
-                dir.join(format!("{where_}{i:03}.roa")),
-                seal_roa(&roa),
-            )
-            .unwrap();
+            fs::write(dir.join(format!("{where_}{i:03}.roa")), seal_roa(&roa)).unwrap();
         }
         // One corrupt object.
         let mut bad = seal_roa(
-            &Roa::new(Asn(99), vec![RoaPrefix::exact("99.0.0.0/8".parse().unwrap())])
-                .unwrap(),
+            &Roa::new(
+                Asn(99),
+                vec![RoaPrefix::exact("99.0.0.0/8".parse().unwrap())],
+            )
+            .unwrap(),
         );
         let last = bad.len() - 1;
         bad[last] ^= 1;
@@ -291,10 +287,8 @@ mod parallel_tests {
 
     #[test]
     fn parallel_scan_empty_dir() {
-        let dir = std::env::temp_dir().join(format!(
-            "rpki-roa-parscan-empty-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("rpki-roa-parscan-empty-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         let result = scan_dir_parallel(&dir, 4).unwrap();

@@ -123,11 +123,7 @@ impl RevalidationEngine {
 
     /// Applies a whole rtr-style delta (announcements and withdrawals),
     /// revalidating the union of affected subtrees once.
-    pub fn apply_delta(
-        &mut self,
-        announced: &[Vrp],
-        withdrawn: &[Vrp],
-    ) -> Vec<StateChange> {
+    pub fn apply_delta(&mut self, announced: &[Vrp], withdrawn: &[Vrp]) -> Vec<StateChange> {
         let mut touched: Vec<Vrp> = Vec::new();
         for vrp in announced {
             if self.vrps.insert(*vrp) {
@@ -186,17 +182,25 @@ impl RevalidationEngine {
     /// Full revalidation from scratch (the naive baseline the ablation
     /// bench compares against). Returns the changes it found; the result
     /// state is identical to the incremental path by construction.
+    ///
+    /// The bulk path freezes the VRP set once
+    /// ([`VrpIndex::freeze`]) and validates the whole table against the
+    /// flat snapshot — one compilation pays for the table-sized scan.
     pub fn revalidate_all(&mut self) -> Vec<StateChange> {
         let routes: Vec<RouteOrigin> = self
             .routes
             .iter()
             .flat_map(|(_, bucket)| bucket.iter().map(|(r, _)| *r))
             .collect();
+        let frozen = self.vrps.freeze();
         let mut changes = Vec::new();
         for route in routes {
-            let new = self.vrps.validate(&route);
+            let new = frozen.validate(&route);
             let bucket = self.routes.get_mut(route.prefix).expect("tracked");
-            let slot = bucket.iter_mut().find(|(r, _)| *r == route).expect("tracked");
+            let slot = bucket
+                .iter_mut()
+                .find(|(r, _)| *r == route)
+                .expect("tracked");
             if slot.1 != new {
                 changes.push(StateChange {
                     route,
@@ -208,6 +212,19 @@ impl RevalidationEngine {
         }
         changes.sort_by_key(|c| c.route);
         changes
+    }
+
+    /// Validates the tracked table against a frozen snapshot of the
+    /// current VRP set across worker threads, tallying outcomes — the
+    /// "router reload" summary without mutating any per-route state.
+    /// Identical to folding [`VrpIndex::validate_table`] over the table.
+    pub fn bulk_summary_par(&self) -> crate::ValidationSummary {
+        let routes: Vec<RouteOrigin> = self
+            .routes
+            .iter()
+            .flat_map(|(_, bucket)| bucket.iter().map(|(r, _)| *r))
+            .collect();
+        self.vrps.freeze().validate_table_par(&routes)
     }
 }
 
@@ -263,9 +280,7 @@ mod tests {
             Some(ValidationState::NotFound)
         );
         // Old states recorded correctly.
-        assert!(changes
-            .iter()
-            .all(|c| c.old == ValidationState::NotFound));
+        assert!(changes.iter().all(|c| c.old == ValidationState::NotFound));
     }
 
     #[test]

@@ -1,10 +1,12 @@
 use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
 
 use rpki_prefix::Prefix;
 use rpki_roa::{Roa, RouteOrigin, Vrp};
 use rpki_trie::DualTrie;
 
-use crate::ValidationState;
+use crate::{FrozenVrpIndex, ValidationState};
 
 /// A trie-backed index over a set of VRPs, answering RFC 6811 queries in
 /// `O(prefix length)`.
@@ -85,7 +87,8 @@ impl VrpIndex {
     /// All VRPs that *match* `route` (cover it, within maxLength, same
     /// origin).
     pub fn matching<'a>(&'a self, route: &'a RouteOrigin) -> impl Iterator<Item = &'a Vrp> {
-        self.covering(route.prefix).filter(move |v| v.matches(route))
+        self.covering(route.prefix)
+            .filter(move |v| v.matches(route))
     }
 
     /// All VRPs whose prefix is covered by `prefix` — the subtree under a
@@ -117,20 +120,24 @@ impl VrpIndex {
         &self,
         routes: impl IntoIterator<Item = &'a RouteOrigin>,
     ) -> ValidationSummary {
-        let mut summary = ValidationSummary::default();
-        for route in routes {
-            match self.validate(route) {
-                ValidationState::Valid => summary.valid += 1,
-                ValidationState::Invalid => summary.invalid += 1,
-                ValidationState::NotFound => summary.not_found += 1,
-            }
-        }
-        summary
+        routes
+            .into_iter()
+            .map(|route| ValidationSummary::of(self.validate(route)))
+            .sum()
     }
 
     /// Iterates over all stored VRPs, grouped by prefix in sorted order.
     pub fn iter(&self) -> impl Iterator<Item = &Vrp> {
         self.trie.iter().flat_map(|(_, bucket)| bucket.iter())
+    }
+
+    /// Compiles the current VRP set into an immutable
+    /// [`FrozenVrpIndex`] snapshot: flat, cache-friendly arrays
+    /// answering the same queries with identical results (the
+    /// [snapshot-equivalence contract](crate::frozen)), shareable
+    /// across threads and consumed by the parallel batch APIs.
+    pub fn freeze(&self) -> FrozenVrpIndex {
+        FrozenVrpIndex::from(self)
     }
 }
 
@@ -164,6 +171,18 @@ pub struct ValidationSummary {
 }
 
 impl ValidationSummary {
+    /// The summary of a single outcome: one tally of 1, the others 0.
+    /// The unit the batch paths fold over.
+    pub fn of(state: ValidationState) -> ValidationSummary {
+        let mut summary = ValidationSummary::default();
+        match state {
+            ValidationState::Valid => summary.valid = 1,
+            ValidationState::Invalid => summary.invalid = 1,
+            ValidationState::NotFound => summary.not_found = 1,
+        }
+        summary
+    }
+
     /// Total announcements validated.
     pub fn total(&self) -> usize {
         self.valid + self.invalid + self.not_found
@@ -177,6 +196,48 @@ impl ValidationSummary {
         } else {
             self.valid as f64 / self.total() as f64
         }
+    }
+
+    /// The fraction of announcements that are Invalid — the share a
+    /// ROV-enforcing router would drop.
+    pub fn invalid_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.invalid as f64 / self.total() as f64
+        }
+    }
+
+    /// The fraction of announcements the RPKI says nothing about.
+    pub fn not_found_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.not_found as f64 / self.total() as f64
+        }
+    }
+}
+
+impl Add for ValidationSummary {
+    type Output = ValidationSummary;
+
+    fn add(mut self, rhs: ValidationSummary) -> ValidationSummary {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for ValidationSummary {
+    fn add_assign(&mut self, rhs: ValidationSummary) {
+        self.valid += rhs.valid;
+        self.invalid += rhs.invalid;
+        self.not_found += rhs.not_found;
+    }
+}
+
+impl Sum for ValidationSummary {
+    fn sum<I: Iterator<Item = ValidationSummary>>(iter: I) -> ValidationSummary {
+        iter.fold(ValidationSummary::default(), Add::add)
     }
 }
 
@@ -316,9 +377,7 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        let under: Vec<_> = index
-            .covered_by("10.0.0.0/8".parse().unwrap())
-            .collect();
+        let under: Vec<_> = index.covered_by("10.0.0.0/8".parse().unwrap()).collect();
         assert_eq!(under.len(), 2);
     }
 
@@ -342,6 +401,68 @@ mod tests {
     #[test]
     fn empty_summary_fraction() {
         assert_eq!(ValidationSummary::default().valid_fraction(), 0.0);
+        assert_eq!(ValidationSummary::default().invalid_fraction(), 0.0);
+    }
+
+    #[test]
+    fn summary_of_single_states() {
+        assert_eq!(
+            ValidationSummary::of(ValidationState::Valid),
+            ValidationSummary {
+                valid: 1,
+                invalid: 0,
+                not_found: 0
+            }
+        );
+        assert_eq!(ValidationSummary::of(ValidationState::Invalid).invalid, 1);
+        assert_eq!(
+            ValidationSummary::of(ValidationState::NotFound).not_found,
+            1
+        );
+        assert_eq!(ValidationSummary::of(ValidationState::Valid).total(), 1);
+    }
+
+    #[test]
+    fn summary_arithmetic() {
+        let a = ValidationSummary {
+            valid: 1,
+            invalid: 2,
+            not_found: 3,
+        };
+        let b = ValidationSummary {
+            valid: 10,
+            invalid: 20,
+            not_found: 30,
+        };
+        let sum = a + b;
+        assert_eq!(
+            sum,
+            ValidationSummary {
+                valid: 11,
+                invalid: 22,
+                not_found: 33
+            }
+        );
+        let mut acc = ValidationSummary::default();
+        acc += a;
+        acc += b;
+        assert_eq!(acc, sum);
+        let folded: ValidationSummary = [a, b, ValidationSummary::default()].into_iter().sum();
+        assert_eq!(folded, sum);
+        assert_eq!(folded.total(), 66);
+    }
+
+    #[test]
+    fn summary_fractions() {
+        let s = ValidationSummary {
+            valid: 1,
+            invalid: 3,
+            not_found: 4,
+        };
+        assert!((s.valid_fraction() - 0.125).abs() < 1e-12);
+        assert!((s.invalid_fraction() - 0.375).abs() < 1e-12);
+        assert!((s.not_found_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(ValidationSummary::default().not_found_fraction(), 0.0);
     }
 
     #[test]

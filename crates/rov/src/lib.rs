@@ -11,9 +11,24 @@
 //!   matches. Dropping these routes is what defeats (sub)prefix hijacks.
 //! * **NotFound** — no VRP covers the prefix; the RPKI says nothing.
 //!
-//! The [`VrpIndex`] provides trie-backed `O(prefix length)` classification
-//! and batch validation of entire tables, which the §6 measurement pipeline
-//! and the `bgpsim` attack experiments both build on.
+//! The crate is organized as a **builder → freeze → batch** pipeline:
+//!
+//! * [`VrpIndex`] — the mutable builder: a trie-backed index with
+//!   `O(prefix length)` classification and cheap insert/remove, fed by
+//!   the rtr delta stream and the dataset generator;
+//! * [`FrozenVrpIndex`] — an immutable, `Arc`-shareable compilation of
+//!   the trie into flat, cache-friendly arrays ([`VrpIndex::freeze`]),
+//!   answering the same queries with identical results (the
+//!   [snapshot-equivalence contract](frozen)) but without pointer
+//!   chasing;
+//! * [`FrozenVrpIndex::validate_table_par`] — embarrassingly-parallel
+//!   whole-table validation, reducing per-thread [`ValidationSummary`]
+//!   tallies with their `Add`/`Sum` impls; the §6 measurement pipeline
+//!   and the `bgpsim` attack experiments both build on it.
+//!
+//! [`RevalidationEngine`] composes both halves: incremental
+//! revalidation against the mutable index on every VRP delta, and
+//! frozen snapshots for the bulk revalidate-everything path.
 //!
 //! ```
 //! use rpki_rov::{VrpIndex, ValidationState};
@@ -43,11 +58,13 @@
 #![warn(missing_docs)]
 
 pub mod delta;
+pub mod frozen;
 mod index;
 mod policy;
 mod state;
 
 pub use delta::{RevalidationEngine, StateChange};
+pub use frozen::FrozenVrpIndex;
 pub use index::{ValidationSummary, VrpIndex};
 pub use policy::RovPolicy;
 pub use state::ValidationState;

@@ -2,9 +2,9 @@
 //! linear-scan reference implementation on arbitrary VRP sets and routes.
 
 use proptest::prelude::*;
-use rpki_prefix::{Prefix, Prefix4};
+use rpki_prefix::{Prefix, Prefix4, Prefix6};
 use rpki_roa::{Asn, RouteOrigin, Vrp};
-use rpki_rov::{ValidationState, VrpIndex};
+use rpki_rov::{FrozenVrpIndex, ValidationState, VrpIndex};
 
 /// Small universes so covering/matching cases actually collide.
 fn arb_prefix() -> impl Strategy<Value = Prefix> {
@@ -97,6 +97,100 @@ proptest! {
             .filter(|r| reference_validate(&vrps, r) == ValidationState::Valid)
             .count();
         prop_assert_eq!(summary.valid, valid_count);
+    }
+}
+
+mod frozen_props {
+    //! The snapshot-equivalence contract: `FrozenVrpIndex` must agree
+    //! with the mutable `VrpIndex` on every read query, for both
+    //! address families.
+
+    use super::*;
+
+    /// Small mixed-family universes so covering/matching collide often.
+    fn arb_prefix_mixed() -> impl Strategy<Value = Prefix> {
+        prop_oneof![
+            (0u32..16, 0u8..=6).prop_map(|(b, l)| Prefix::V4(Prefix4::new_truncated(b << 26, l))),
+            (0u128..16, 0u8..=6).prop_map(|(b, l)| Prefix::V6(Prefix6::new_truncated(b << 122, l))),
+        ]
+    }
+
+    fn arb_vrp_mixed() -> impl Strategy<Value = Vrp> {
+        (arb_prefix_mixed(), 0u8..=4, 0u32..5)
+            .prop_map(|(p, extra, asn)| Vrp::new(p, p.len().saturating_add(extra), Asn(asn)))
+    }
+
+    fn arb_route_mixed() -> impl Strategy<Value = RouteOrigin> {
+        (arb_prefix_mixed(), 0u32..5).prop_map(|(p, asn)| RouteOrigin::new(p, Asn(asn)))
+    }
+
+    fn sorted(vrps: Vec<Vrp>) -> Vec<Vrp> {
+        let mut v = vrps;
+        v.sort_unstable();
+        v
+    }
+
+    proptest! {
+        #[test]
+        fn frozen_agrees_on_validate(
+            vrps in prop::collection::vec(arb_vrp_mixed(), 0..60),
+            routes in prop::collection::vec(arb_route_mixed(), 1..40),
+        ) {
+            let index: VrpIndex = vrps.iter().copied().collect();
+            let frozen = index.freeze();
+            for route in &routes {
+                prop_assert_eq!(
+                    frozen.validate(route),
+                    index.validate(route),
+                    "route {} against {} vrps", route, vrps.len()
+                );
+            }
+        }
+
+        #[test]
+        fn frozen_agrees_on_covering_and_covered_by(
+            vrps in prop::collection::vec(arb_vrp_mixed(), 0..60),
+            query in arb_prefix_mixed(),
+        ) {
+            let index: VrpIndex = vrps.iter().copied().collect();
+            let frozen = index.freeze();
+            prop_assert_eq!(
+                sorted(frozen.covering(query).copied().collect()),
+                sorted(index.covering(query).copied().collect())
+            );
+            prop_assert_eq!(
+                sorted(frozen.covered_by(query).copied().collect()),
+                sorted(index.covered_by(query).copied().collect())
+            );
+            // Covering yields shortest-prefix-first, like the builder.
+            let lens: Vec<u8> =
+                frozen.covering(query).map(|v| v.prefix.len()).collect();
+            prop_assert!(lens.windows(2).all(|w| w[0] <= w[1]));
+        }
+
+        #[test]
+        fn frozen_preserves_set_and_summaries(
+            vrps in prop::collection::vec(arb_vrp_mixed(), 0..60),
+            routes in prop::collection::vec(arb_route_mixed(), 0..60),
+        ) {
+            let index: VrpIndex = vrps.iter().copied().collect();
+            let frozen = index.freeze();
+            prop_assert_eq!(frozen.len(), index.len());
+            prop_assert_eq!(
+                sorted(frozen.iter().copied().collect()),
+                sorted(index.iter().copied().collect())
+            );
+            // Direct compilation from the raw list equals freezing the
+            // builder.
+            let direct = FrozenVrpIndex::from_vrps(vrps.iter().copied());
+            prop_assert_eq!(direct.len(), frozen.len());
+            // Sequential and parallel table validation all agree with
+            // the builder.
+            let expect = index.validate_table(routes.iter());
+            prop_assert_eq!(frozen.validate_table(routes.iter()), expect);
+            prop_assert_eq!(frozen.validate_table_par(&routes), expect);
+            prop_assert_eq!(expect.total(), routes.len());
+        }
     }
 }
 

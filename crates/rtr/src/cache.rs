@@ -12,8 +12,10 @@
 
 use std::collections::BTreeSet;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use rpki_roa::Vrp;
+use rpki_rov::FrozenVrpIndex;
 
 use crate::pdu::{ErrorCode, Flags, Pdu, Timing};
 use crate::transport::{Transport, TransportError};
@@ -35,6 +37,11 @@ pub struct CacheServer {
     session_id: u16,
     serial: u32,
     vrps: BTreeSet<Vrp>,
+    /// The frozen compilation of `vrps` at the current serial: the flat
+    /// snapshot the serial flow serves full responses from, and the one
+    /// shared (cheaply, by `Arc`) with anything validating against this
+    /// cache's state.
+    snapshot: Arc<FrozenVrpIndex>,
     /// `history[i]` is the delta from `serial - history.len() + i` to the
     /// next serial.
     history: VecDeque<Delta>,
@@ -44,10 +51,13 @@ pub struct CacheServer {
 impl CacheServer {
     /// Creates a cache at serial 0 holding `vrps`.
     pub fn new(session_id: u16, vrps: &[Vrp]) -> CacheServer {
+        let vrps: BTreeSet<Vrp> = vrps.iter().copied().collect();
+        let snapshot = Arc::new(vrps.iter().copied().collect());
         CacheServer {
             session_id,
             serial: 0,
-            vrps: vrps.iter().copied().collect(),
+            vrps,
+            snapshot,
             history: VecDeque::new(),
             timing: Timing::default(),
         }
@@ -68,6 +78,15 @@ impl CacheServer {
         self.vrps.iter()
     }
 
+    /// The frozen snapshot of the VRP set at the current serial —
+    /// validate routes against the cache's exact served state without
+    /// copying it (the `Arc` clone is free; the snapshot is immutable by
+    /// construction and survives later [`CacheServer::update`] calls
+    /// unchanged).
+    pub fn snapshot(&self) -> Arc<FrozenVrpIndex> {
+        Arc::clone(&self.snapshot)
+    }
+
     /// Number of VRPs currently served — the router-load metric of §6.
     pub fn len(&self) -> usize {
         self.vrps.len()
@@ -81,6 +100,14 @@ impl CacheServer {
     /// Replaces the VRP set (a new validation run on the local cache),
     /// bumping the serial and recording the delta. Returns the
     /// Serial Notify PDU to push to connected routers.
+    ///
+    /// Rebuilds the frozen snapshot eagerly: a cache update is the "a
+    /// validation run completed" event, which in deployment happens on
+    /// the order of minutes, while the snapshot is read on every full
+    /// response and every [`CacheServer::snapshot`] reader. The freeze
+    /// itself is one sort over the set plus a node-count-sized filter
+    /// (see `rpki_rov::frozen`), so the eager rebuild stays well under
+    /// the cost of serializing even one full response.
     pub fn update(&mut self, new_vrps: &[Vrp]) -> Pdu {
         let new_set: BTreeSet<Vrp> = new_vrps.iter().copied().collect();
         let delta = Delta {
@@ -88,6 +115,7 @@ impl CacheServer {
             withdrawn: self.vrps.difference(&new_set).copied().collect(),
         };
         self.vrps = new_set;
+        self.snapshot = Arc::new(self.vrps.iter().copied().collect());
         self.serial = self.serial.wrapping_add(1);
         self.history.push_back(delta);
         while self.history.len() > HISTORY_WINDOW {
@@ -119,11 +147,13 @@ impl CacheServer {
     }
 
     fn full_response(&self) -> Vec<Pdu> {
-        let mut out = Vec::with_capacity(self.vrps.len() + 2);
+        // Serve the full set from the frozen snapshot's flat VRP array —
+        // a straight memory scan instead of a tree walk.
+        let mut out = Vec::with_capacity(self.snapshot.len() + 2);
         out.push(Pdu::CacheResponse {
             session_id: self.session_id,
         });
-        out.extend(self.vrps.iter().map(|&vrp| Pdu::Prefix {
+        out.extend(self.snapshot.iter().map(|&vrp| Pdu::Prefix {
             flags: Flags::Announce,
             vrp,
         }));
@@ -374,5 +404,50 @@ mod tests {
         assert_eq!(c.len(), 2);
         assert!(!c.is_empty());
         assert!(CacheServer::new(1, &[]).is_empty());
+    }
+
+    #[test]
+    fn snapshot_tracks_updates_and_old_handles_survive() {
+        use rpki_rov::ValidationState;
+        let mut c = cache();
+        let before = c.snapshot();
+        assert_eq!(before.len(), 2);
+        assert_eq!(
+            before.validate(&"10.0.0.0/8 => AS1".parse().unwrap()),
+            ValidationState::Valid
+        );
+        c.update(&[vrp("11.0.0.0/8 => AS3")]);
+        // The cache serves the new frozen state...
+        let after = c.snapshot();
+        assert_eq!(after.len(), 1);
+        assert_eq!(
+            after.validate(&"11.0.0.0/8 => AS3".parse().unwrap()),
+            ValidationState::Valid
+        );
+        assert_eq!(
+            after.validate(&"10.0.0.0/8 => AS1".parse().unwrap()),
+            ValidationState::NotFound
+        );
+        // ...while readers holding the old snapshot still see serial 0's
+        // world, immutably.
+        assert_eq!(before.len(), 2);
+    }
+
+    #[test]
+    fn full_response_serves_snapshot_set() {
+        let c = cache();
+        let response = c.handle(&Pdu::ResetQuery);
+        let served: Vec<Vrp> = response
+            .iter()
+            .filter_map(|p| match p {
+                Pdu::Prefix { vrp, .. } => Some(*vrp),
+                _ => None,
+            })
+            .collect();
+        let mut expect: Vec<Vrp> = c.vrps().copied().collect();
+        let mut got = served.clone();
+        expect.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(got, expect);
     }
 }

@@ -172,7 +172,11 @@ impl RouterClient {
                 Ok(false)
             }
             (ClientState::Receiving { reset }, Pdu::Prefix { flags, vrp }) => {
-                let set = if reset { &mut self.staging } else { &mut self.vrps };
+                let set = if reset {
+                    &mut self.staging
+                } else {
+                    &mut self.vrps
+                };
                 match flags {
                     Flags::Announce => {
                         if !set.insert(*vrp) {
@@ -187,7 +191,12 @@ impl RouterClient {
                 }
                 Ok(false)
             }
-            (ClientState::Receiving { reset }, Pdu::EndOfData { session_id, serial, .. }) => {
+            (
+                ClientState::Receiving { reset },
+                Pdu::EndOfData {
+                    session_id, serial, ..
+                },
+            ) => {
                 if Some(*session_id) != self.session_id {
                     self.reset();
                     return Err(unexpected(ClientState::Receiving { reset }));

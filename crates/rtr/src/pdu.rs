@@ -240,8 +240,7 @@ impl Pdu {
         buf.put_u8(version);
         buf.put_u8(self.type_code());
         match self {
-            Pdu::SerialNotify { session_id, serial }
-            | Pdu::SerialQuery { session_id, serial } => {
+            Pdu::SerialNotify { session_id, serial } | Pdu::SerialQuery { session_id, serial } => {
                 buf.put_u16(*session_id);
                 buf.put_u32(12);
                 buf.put_u32(*serial);
@@ -300,8 +299,7 @@ impl Pdu {
             }
         }
         debug_assert_eq!(
-            u32::from_be_bytes(buf[start + 4..start + 8].try_into().expect("4 bytes"))
-                as usize,
+            u32::from_be_bytes(buf[start + 4..start + 8].try_into().expect("4 bytes")) as usize,
             buf.len() - start,
             "declared length must equal encoded length"
         );
@@ -321,9 +319,7 @@ impl Pdu {
     /// `Ok(Some((pdu, consumed)))` on success.
     pub fn decode(data: &[u8]) -> Result<Option<(Pdu, usize)>, PduError> {
         match Pdu::decode_versioned(data)? {
-            Some((_, _, version)) if version != PROTOCOL_V1 => {
-                Err(PduError::BadVersion(version))
-            }
+            Some((_, _, version)) if version != PROTOCOL_V1 => Err(PduError::BadVersion(version)),
             other => Ok(other.map(|(pdu, used, _)| (pdu, used))),
         }
     }
@@ -659,10 +655,7 @@ mod tests {
     fn rejects_bad_lengths() {
         // Declared length below the header size.
         let raw = [PROTOCOL_V1, 2, 0, 0, 0, 0, 0, 4];
-        assert!(matches!(
-            Pdu::decode(&raw),
-            Err(PduError::BadLength { .. })
-        ));
+        assert!(matches!(Pdu::decode(&raw), Err(PduError::BadLength { .. })));
         // Reset query with trailing junk inside the declared length.
         let raw = [PROTOCOL_V1, 2, 0, 0, 0, 0, 0, 12, 0, 0, 0, 0];
         assert!(matches!(
@@ -771,7 +764,7 @@ mod v0_tests {
             },
             Pdu::Prefix {
                 flags: Flags::Announce,
-                vrp: "10.0.0.0/8-24 => AS1".parse::<rpki_roa::Vrp>().map(|vrp| vrp).unwrap(),
+                vrp: "10.0.0.0/8-24 => AS1".parse::<rpki_roa::Vrp>().unwrap(),
             },
         ] {
             let mut buf = BytesMut::new();
@@ -793,9 +786,7 @@ mod v0_tests {
     #[test]
     fn v1_end_of_data_must_not_be_12_bytes() {
         // A v1 frame with the v0 End of Data length is corrupt.
-        let raw = [
-            PROTOCOL_V1, 7, 0, 3, 0, 0, 0, 12, 0, 0, 0, 9,
-        ];
+        let raw = [PROTOCOL_V1, 7, 0, 3, 0, 0, 0, 12, 0, 0, 0, 9];
         assert!(matches!(
             Pdu::decode_versioned(&raw),
             Err(PduError::BadLength { type_code: 7, .. })
@@ -805,8 +796,30 @@ mod v0_tests {
     #[test]
     fn v0_end_of_data_must_not_carry_timing() {
         let raw = [
-            PROTOCOL_V0, 7, 0, 3, 0, 0, 0, 24, 0, 0, 0, 9, 0, 0, 14, 16, 0, 0, 2, 88,
-            0, 0, 28, 32,
+            PROTOCOL_V0,
+            7,
+            0,
+            3,
+            0,
+            0,
+            0,
+            24,
+            0,
+            0,
+            0,
+            9,
+            0,
+            0,
+            14,
+            16,
+            0,
+            0,
+            2,
+            88,
+            0,
+            0,
+            28,
+            32,
         ];
         assert!(matches!(
             Pdu::decode_versioned(&raw),

@@ -93,7 +93,9 @@ pub fn memory_pair() -> (MemoryTransport, MemoryTransport) {
 
 impl Transport for MemoryTransport {
     fn send(&mut self, pdu: &Pdu) -> Result<(), TransportError> {
-        self.tx.send(pdu.clone()).map_err(|_| TransportError::Closed)
+        self.tx
+            .send(pdu.clone())
+            .map_err(|_| TransportError::Closed)
     }
 
     fn recv(&mut self) -> Result<Pdu, TransportError> {
@@ -321,11 +323,9 @@ mod tests {
     #[test]
     fn tcp_multiple_routers() {
         let set = vrps(&["10.0.0.0/8 => AS1", "11.0.0.0/8 => AS2"]);
-        let server = TcpCacheServer::bind(
-            "127.0.0.1:0".parse().unwrap(),
-            CacheServer::new(3, &set),
-        )
-        .unwrap();
+        let server =
+            TcpCacheServer::bind("127.0.0.1:0".parse().unwrap(), CacheServer::new(3, &set))
+                .unwrap();
         let addr = server.local_addr();
         let accept_thread = thread::spawn(move || server.serve_connections(3));
 
@@ -387,10 +387,7 @@ mod tests {
         });
         let (stream, _) = listener.accept().unwrap();
         let mut t = TcpTransport::new(stream);
-        assert!(matches!(
-            t.recv(),
-            Err(TransportError::Protocol(_))
-        ));
+        assert!(matches!(t.recv(), Err(TransportError::Protocol(_))));
         writer.join().unwrap();
     }
 
@@ -441,7 +438,10 @@ mod notify_tests {
             if server.update_and_notify(&updated) >= 1 {
                 break;
             }
-            assert!(std::time::Instant::now() < deadline, "router never registered");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "router never registered"
+            );
             thread::yield_now();
         }
 
@@ -494,7 +494,10 @@ mod notify_tests {
             if n == 0 {
                 break;
             }
-            assert!(std::time::Instant::now() < deadline, "dead peer never pruned");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "dead peer never pruned"
+            );
             thread::yield_now();
         }
     }
@@ -509,11 +512,9 @@ mod error_report_tests {
     #[test]
     fn garbage_from_router_gets_error_report_then_close() {
         let set: Vec<Vrp> = vec!["10.0.0.0/8 => AS1".parse().unwrap()];
-        let server = TcpCacheServer::bind(
-            "127.0.0.1:0".parse().unwrap(),
-            CacheServer::new(4, &set),
-        )
-        .unwrap();
+        let server =
+            TcpCacheServer::bind("127.0.0.1:0".parse().unwrap(), CacheServer::new(4, &set))
+                .unwrap();
         let addr = server.local_addr();
         let accept = thread::spawn(move || server.serve_connections(1));
 

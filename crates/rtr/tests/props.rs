@@ -23,23 +23,36 @@ fn arb_vrp() -> impl Strategy<Value = Vrp> {
 
 fn arb_pdu() -> impl Strategy<Value = Pdu> {
     prop_oneof![
-        (any::<u16>(), any::<u32>())
-            .prop_map(|(s, n)| Pdu::SerialNotify { session_id: s, serial: n }),
-        (any::<u16>(), any::<u32>())
-            .prop_map(|(s, n)| Pdu::SerialQuery { session_id: s, serial: n }),
+        (any::<u16>(), any::<u32>()).prop_map(|(s, n)| Pdu::SerialNotify {
+            session_id: s,
+            serial: n
+        }),
+        (any::<u16>(), any::<u32>()).prop_map(|(s, n)| Pdu::SerialQuery {
+            session_id: s,
+            serial: n
+        }),
         Just(Pdu::ResetQuery),
         any::<u16>().prop_map(|s| Pdu::CacheResponse { session_id: s }),
         (any::<bool>(), arb_vrp()).prop_map(|(a, vrp)| Pdu::Prefix {
             flags: if a { Flags::Announce } else { Flags::Withdraw },
             vrp,
         }),
-        (any::<u16>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()).prop_map(
-            |(s, n, r, t, e)| Pdu::EndOfData {
+        (
+            any::<u16>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>()
+        )
+            .prop_map(|(s, n, r, t, e)| Pdu::EndOfData {
                 session_id: s,
                 serial: n,
-                timing: Timing { refresh: r, retry: t, expire: e },
-            }
-        ),
+                timing: Timing {
+                    refresh: r,
+                    retry: t,
+                    expire: e
+                },
+            }),
         Just(Pdu::CacheReset),
         (prop::collection::vec(any::<u8>(), 0..64), ".*{0,32}").prop_map(|(inner, text)| {
             Pdu::ErrorReport {

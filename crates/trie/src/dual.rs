@@ -110,38 +110,24 @@ impl<V> DualTrie<V> {
     /// Longest-prefix match within `key`'s family.
     pub fn longest_match(&self, key: Prefix) -> Option<(Prefix, &V)> {
         match key {
-            Prefix::V4(p) => self
-                .v4
-                .longest_match(p)
-                .map(|(k, v)| (Prefix::V4(k), v)),
-            Prefix::V6(p) => self
-                .v6
-                .longest_match(p)
-                .map(|(k, v)| (Prefix::V6(k), v)),
+            Prefix::V4(p) => self.v4.longest_match(p).map(|(k, v)| (Prefix::V4(k), v)),
+            Prefix::V6(p) => self.v6.longest_match(p).map(|(k, v)| (Prefix::V6(k), v)),
         }
     }
 
     /// All entries whose key covers `query`, shortest first.
     pub fn iter_covering(&self, query: Prefix) -> Box<dyn Iterator<Item = (Prefix, &V)> + '_> {
         match query {
-            Prefix::V4(p) => {
-                Box::new(self.v4.iter_covering(p).map(|(k, v)| (Prefix::V4(k), v)))
-            }
-            Prefix::V6(p) => {
-                Box::new(self.v6.iter_covering(p).map(|(k, v)| (Prefix::V6(k), v)))
-            }
+            Prefix::V4(p) => Box::new(self.v4.iter_covering(p).map(|(k, v)| (Prefix::V4(k), v))),
+            Prefix::V6(p) => Box::new(self.v6.iter_covering(p).map(|(k, v)| (Prefix::V6(k), v))),
         }
     }
 
     /// All entries whose key is covered by `query`, in sorted order.
     pub fn iter_covered_by(&self, query: Prefix) -> Box<dyn Iterator<Item = (Prefix, &V)> + '_> {
         match query {
-            Prefix::V4(p) => {
-                Box::new(self.v4.iter_covered_by(p).map(|(k, v)| (Prefix::V4(k), v)))
-            }
-            Prefix::V6(p) => {
-                Box::new(self.v6.iter_covered_by(p).map(|(k, v)| (Prefix::V6(k), v)))
-            }
+            Prefix::V4(p) => Box::new(self.v4.iter_covered_by(p).map(|(k, v)| (Prefix::V4(k), v))),
+            Prefix::V6(p) => Box::new(self.v6.iter_covered_by(p).map(|(k, v)| (Prefix::V6(k), v))),
         }
     }
 
@@ -204,7 +190,11 @@ mod tests {
         assert_eq!(t.get(p("10.0.0.0/8")), Some(&4));
         assert_eq!(t.get(p("2001:db8::/32")), Some(&6));
         // A v6 query never matches v4 content.
-        assert!(t.longest_match(p("::1/128")).map(|(k, _)| k) == Some(p("2001:db8::/32")).filter(|q| q.covers(p("::1/128"))) || t.longest_match(p("::1/128")).is_none());
+        assert!(
+            t.longest_match(p("::1/128")).map(|(k, _)| k)
+                == Some(p("2001:db8::/32")).filter(|q| q.covers(p("::1/128")))
+                || t.longest_match(p("::1/128")).is_none()
+        );
     }
 
     #[test]

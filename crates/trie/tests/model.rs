@@ -10,9 +10,7 @@ use rpki_trie::RadixTrie;
 
 fn arb_prefix() -> impl Strategy<Value = Prefix4> {
     // A small bit-universe to force collisions, junctions, and deep nesting.
-    (any::<u8>(), 0u8..=8).prop_map(|(bits, len)| {
-        Prefix4::new_truncated((bits as u32) << 24, len)
-    })
+    (any::<u8>(), 0u8..=8).prop_map(|(bits, len)| Prefix4::new_truncated((bits as u32) << 24, len))
 }
 
 fn arb_wide_prefix() -> impl Strategy<Value = Prefix4> {

@@ -11,8 +11,8 @@
 //! ```
 
 use maxlength_rpki::core::lint::LintReport;
-use maxlength_rpki::core::wizard::{propose_roa, review_request};
 use maxlength_rpki::core::vulnerability::hijack_surface;
+use maxlength_rpki::core::wizard::{propose_roa, review_request};
 use maxlength_rpki::prelude::*;
 
 fn main() {
@@ -41,7 +41,10 @@ fn main() {
         .unwrap(),
         Roa::new(
             Asn(64501),
-            vec![RoaPrefix::with_max_len("2001:db8::/32".parse().unwrap(), 48)],
+            vec![RoaPrefix::with_max_len(
+                "2001:db8::/32".parse().unwrap(),
+                48,
+            )],
         )
         .unwrap(),
     ];
@@ -63,7 +66,10 @@ fn main() {
                 surface.unannounced_count
             );
             for example in &surface.examples {
-                println!("        {example} (announce \"{example}: <attacker>, {}\")", vrp.asn);
+                println!(
+                    "        {example} (announce \"{example}: <attacker>, {}\")",
+                    vrp.asn
+                );
             }
         } else {
             println!("  [ok] {vrp} (minimal)");
@@ -112,7 +118,12 @@ fn main() {
     let proposal = propose_roa(Asn(64500), &bgp);
     println!("  {}", proposal.roa.as_ref().unwrap());
     println!("\nand what it warns when typing the old request (203.0.112.0/20-24):");
-    for w in review_request("203.0.112.0/20".parse().unwrap(), Some(24), Asn(64500), &bgp) {
+    for w in review_request(
+        "203.0.112.0/20".parse().unwrap(),
+        Some(24),
+        Asn(64500),
+        &bgp,
+    ) {
         println!("  {w}");
     }
 

@@ -37,8 +37,7 @@ fn main() {
     let surface = maxlength_rpki::core::vulnerability::hijack_surface(&vrp, &bgp, 3);
     println!(
         "exposed prefixes: {} (e.g. {})",
-        surface.unannounced_count,
-        surface.examples[0]
+        surface.unannounced_count, surface.examples[0]
     );
 
     // --- The fix: a minimal ROA (§5/§8). ---------------------------------

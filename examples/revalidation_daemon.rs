@@ -21,8 +21,8 @@ fn main() {
     let table: Vec<RouteOrigin> = [
         "168.122.0.0/16 => AS111",
         "168.122.225.0/24 => AS111",
-        "168.122.0.0/24 => AS666",  // a classic subprefix hijack attempt
-        "168.122.0.0/24 => AS111",  // a forged-origin subprefix hijack
+        "168.122.0.0/24 => AS666", // a classic subprefix hijack attempt
+        "168.122.0.0/24 => AS111", // a forged-origin subprefix hijack
         "10.0.0.0/8 => AS1",
     ]
     .iter()
@@ -38,7 +38,11 @@ fn main() {
     let mut engine = RevalidationEngine::new(table.iter().copied(), []);
     println!("initial states (no ROAs):");
     for route in &table {
-        println!("  {:<32} {}", route.to_string(), engine.state_of(route).unwrap());
+        println!(
+            "  {:<32} {}",
+            route.to_string(),
+            engine.state_of(route).unwrap()
+        );
     }
 
     // BU registers its ROA; the cache pushes a notify; the router pulls
@@ -104,4 +108,14 @@ fn main() {
         engine.state_of(&forged).unwrap(),
         engine.state_of(&classic).unwrap()
     );
+
+    // Cross-check: the cache's frozen snapshot — the exact state it
+    // serves at the current serial — agrees with the incrementally
+    // maintained engine on every tracked route.
+    let snapshot = cache.snapshot();
+    for route in &table {
+        assert_eq!(Some(snapshot.validate(route)), engine.state_of(route));
+    }
+    let summary = snapshot.validate_table_par(&table);
+    println!("cache snapshot cross-check: {summary}");
 }

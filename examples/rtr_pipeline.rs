@@ -49,7 +49,11 @@ fn main() {
 
     // --- 2. The local cache validates and scans (scan_roas). -------------
     let scan = scan_dir(&repo).expect("scan repository");
-    println!("scan_roas: {} ROAs -> {} PDUs", scan.roas.len(), scan.vrps().len());
+    println!(
+        "scan_roas: {} ROAs -> {} PDUs",
+        scan.roas.len(),
+        scan.vrps().len()
+    );
     print!("{}", scan.to_scan_lines());
 
     // --- 3. compress_roas post-processes the PDU list (§7.1). ------------
@@ -82,18 +86,22 @@ fn main() {
         router.serial()
     );
 
+    // Builder → freeze: the synchronized VRP set is read-only until the
+    // next rtr delta, so the router validates against a frozen snapshot.
     let index: VrpIndex = router.vrps().iter().copied().collect();
+    let frozen = index.freeze();
     let updates = [
-        "87.254.32.0/20 => AS31283",  // legitimate de-aggregate
-        "168.122.0.0/16 => AS111",    // legitimate
-        "168.122.0.0/24 => AS111",    // forged-origin subprefix hijack try
-        "87.254.40.0/21 => AS31283",  // the prefix §7 warns about
-        "8.8.8.0/24 => AS15169",      // not in the RPKI
+        "87.254.32.0/20 => AS31283", // legitimate de-aggregate
+        "168.122.0.0/16 => AS111",   // legitimate
+        "168.122.0.0/24 => AS111",   // forged-origin subprefix hijack try
+        "87.254.40.0/21 => AS31283", // the prefix §7 warns about
+        "8.8.8.0/24 => AS15169",     // not in the RPKI
     ];
-    println!("\nrouter validates incoming BGP updates:");
+    println!("\nrouter validates incoming BGP updates (frozen snapshot):");
     for update in updates {
         let route: RouteOrigin = update.parse().unwrap();
-        println!("  {:<30} -> {}", update, index.validate(&route));
+        assert_eq!(frozen.validate(&route), index.validate(&route));
+        println!("  {:<30} -> {}", update, frozen.validate(&route));
     }
 
     drop(transport);

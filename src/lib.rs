@@ -62,5 +62,5 @@ pub mod prelude {
     pub use rpki_datasets::{DatasetSnapshot, GeneratorConfig, World};
     pub use rpki_prefix::{Afi, Prefix, Prefix4, Prefix6};
     pub use rpki_roa::{Asn, Roa, RoaPrefix, RouteOrigin, Vrp};
-    pub use rpki_rov::{RovPolicy, ValidationState, VrpIndex};
+    pub use rpki_rov::{FrozenVrpIndex, RovPolicy, ValidationState, ValidationSummary, VrpIndex};
 }

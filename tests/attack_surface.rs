@@ -23,11 +23,7 @@ fn stage(
     policies: &[RovPolicy],
 ) -> Option<(f64, bool)> {
     let victim_asn = topology.asn(victim);
-    let announced: Vec<Prefix> = alloc
-        .announcements()
-        .iter()
-        .map(|r| r.prefix)
-        .collect();
+    let announced: Vec<Prefix> = alloc.announcements().iter().map(|r| r.prefix).collect();
     let vrps_translated: Vec<Vrp> = alloc
         .roa_entries()
         .iter()
@@ -48,16 +44,11 @@ fn stage(
     // hijacker can do against a minimal tuple).
     let ml_vrp = vrps_translated.iter().find(|v| v.uses_max_len())?;
     let surface = hijack_surface(ml_vrp, &bgp, 1);
-    let target = surface
-        .examples
-        .first()
-        .copied()
-        .or_else(|| {
-            announced
-                .iter()
-                .copied()
-                .find(|p| ml_vrp.prefix.covers(*p) && p.len() <= ml_vrp.max_len && p.len() > ml_vrp.prefix.len())
-        })?;
+    let target = surface.examples.first().copied().or_else(|| {
+        announced.iter().copied().find(|p| {
+            ml_vrp.prefix.covers(*p) && p.len() <= ml_vrp.max_len && p.len() > ml_vrp.prefix.len()
+        })
+    })?;
 
     let index: VrpIndex = vrps_translated.into_iter().collect();
     let outcome = run_forged_origin_trial(&ForgedOriginTrial {
@@ -102,8 +93,7 @@ fn census_verdicts_match_attack_outcomes() {
         if !relevant {
             continue;
         }
-        let Some((fraction, vulnerable)) =
-            stage(&topology, victim, attacker, alloc, &policies)
+        let Some((fraction, vulnerable)) = stage(&topology, victim, attacker, alloc, &policies)
         else {
             continue;
         };
@@ -132,7 +122,10 @@ fn census_verdicts_match_attack_outcomes() {
             break;
         }
     }
-    assert!(tested_vulnerable >= 12, "sampled {tested_vulnerable} vulnerable");
+    assert!(
+        tested_vulnerable >= 12,
+        "sampled {tested_vulnerable} vulnerable"
+    );
     assert!(tested_safe >= 6, "sampled {tested_safe} safe");
 }
 
@@ -164,8 +157,7 @@ fn minimalized_world_resists_every_staged_attack() {
             continue;
         }
         let victim_asn = topology.asn(victim);
-        let announced: Vec<Prefix> =
-            alloc.announcements().iter().map(|r| r.prefix).collect();
+        let announced: Vec<Prefix> = alloc.announcements().iter().map(|r| r.prefix).collect();
         let bgp: BgpTable = announced
             .iter()
             .map(|&p| RouteOrigin::new(p, victim_asn))

@@ -48,7 +48,10 @@ fn table1_shape_matches_paper() {
     assert!(today_c < today);
     assert!(today < minimal, "minimalization adds PDUs today");
     assert!(minimal_c < minimal);
-    assert!(today_c < minimal_c, "status quo stays smaller, its cost is security");
+    assert!(
+        today_c < minimal_c,
+        "status quo stays smaller, its cost is security"
+    );
     assert!(bound < full_c && full_c < full);
 
     // Paper ratios (6/1/2017): 15.90% status-quo compression.
@@ -62,16 +65,25 @@ fn table1_shape_matches_paper() {
     // "Even with compress_roas, we still have 23% more tuples than the
     // status quo."
     let extra = minimal_c as f64 / today as f64 - 1.0;
-    assert!((0.18..=0.28).contains(&extra), "minimal-compressed overhead {extra}");
+    assert!(
+        (0.18..=0.28).contains(&extra),
+        "minimal-compressed overhead {extra}"
+    );
 
     // "13K additional prefixes" ≈ +32% over the 39,949.
     let growth = minimal as f64 / today as f64 - 1.0;
-    assert!((0.27..=0.37).contains(&growth), "minimalization growth {growth}");
+    assert!(
+        (0.27..=0.37).contains(&growth),
+        "minimalization growth {growth}"
+    );
 
     // Full deployment: ≈6.0% compression, ≈6.1% bound; compressed within a
     // whisker of the bound (gap 637/730,008 ≈ 0.09%).
     let c3 = t.compression(Scenario::FullMinimal, Scenario::FullMinimalCompressed);
-    assert!((0.045..=0.075).contains(&c3), "full-deployment compression {c3}");
+    assert!(
+        (0.045..=0.075).contains(&c3),
+        "full-deployment compression {c3}"
+    );
     let gap = full_c as f64 / bound as f64 - 1.0;
     assert!(gap < 0.01, "compress_roas is near-optimal, gap {gap}");
 
@@ -125,9 +137,7 @@ fn figure3_series_shapes() {
         let t = &point.table;
         assert!(t.pdus(Scenario::TodayCompressed) <= t.pdus(Scenario::Today));
         assert!(t.pdus(Scenario::Today) <= t.pdus(Scenario::TodayMinimal));
-        assert!(
-            t.pdus(Scenario::TodayMinimalCompressed) <= t.pdus(Scenario::TodayMinimal)
-        );
+        assert!(t.pdus(Scenario::TodayMinimalCompressed) <= t.pdus(Scenario::TodayMinimal));
     }
     // Series grow over the window (the paper's upward slopes).
     let a = tl.figure3a();

@@ -1,0 +1,70 @@
+//! Acceptance gate for the frozen-snapshot pipeline: on the generated
+//! world at `MAXLENGTH_SCALE=0.05`, `FrozenVrpIndex::validate_table_par`
+//! must produce a `ValidationSummary` identical to the mutable builder's
+//! `VrpIndex::validate_table`, and the parallel experiment must equal
+//! the sequential one bit for bit.
+
+use maxlength_rpki::datasets::{DatasetSnapshot, GeneratorConfig, World};
+use maxlength_rpki::roa::RouteOrigin;
+use maxlength_rpki::rov::VrpIndex;
+
+fn snapshot_at_half_scale() -> DatasetSnapshot {
+    World::generate(GeneratorConfig {
+        scale: 0.05,
+        ..GeneratorConfig::default()
+    })
+    .snapshot(7)
+}
+
+#[test]
+fn frozen_parallel_summary_equals_builder_at_scale_005() {
+    let snap = snapshot_at_half_scale();
+    let vrps = snap.vrps();
+    let routes: Vec<RouteOrigin> = snap.routes.clone();
+    assert!(routes.len() > 10_000, "world too small: {}", routes.len());
+
+    let index: VrpIndex = vrps.iter().copied().collect();
+    let expect = index.validate_table(routes.iter());
+
+    let frozen = index.freeze();
+    assert_eq!(frozen.len(), index.len());
+    assert_eq!(frozen.validate_table(routes.iter()), expect);
+    assert_eq!(frozen.validate_table_par(&routes), expect);
+
+    // The generated world is calibrated so adopters announce what their
+    // ROAs authorize: Valid and NotFound both occur (Invalid need not —
+    // the generator models no hijacks in the baseline table).
+    assert!(expect.valid > 0);
+    assert!(expect.not_found > 0);
+    assert_eq!(expect.total(), routes.len());
+    assert!(expect.valid_fraction() > 0.0 && expect.valid_fraction() < 1.0);
+}
+
+#[test]
+fn frozen_spot_agreement_on_individual_routes() {
+    let snap = snapshot_at_half_scale();
+    let index: VrpIndex = snap.vrps().iter().copied().collect();
+    let frozen = index.freeze();
+    // Spot-check per-route agreement across the table (every 53rd route
+    // keeps this fast while touching all regions of the space).
+    for route in snap.routes.iter().step_by(53) {
+        assert_eq!(frozen.validate(route), index.validate(route), "{route}");
+    }
+}
+
+#[test]
+fn parallel_experiment_is_bit_identical() {
+    use maxlength_rpki::bgpsim::experiment::AttackExperiment;
+    use maxlength_rpki::bgpsim::topology::TopologyConfig;
+    let experiment = AttackExperiment {
+        topology: TopologyConfig {
+            n: 400,
+            tier1: 6,
+            ..TopologyConfig::default()
+        },
+        trials: 10,
+        rov_fraction: 0.8,
+        seed: 99,
+    };
+    assert_eq!(experiment.run(), experiment.run_par());
+}

@@ -7,8 +7,8 @@
 
 use std::thread;
 
-use maxlength_rpki::prelude::*;
 use maxlength_rpki::core::compress::expand_authorized;
+use maxlength_rpki::prelude::*;
 use maxlength_rpki::roa::envelope::{open_roa, seal_roa, EnvelopeError};
 use maxlength_rpki::roa::scan::scan_dir;
 use maxlength_rpki::rtr::cache::CacheServer;

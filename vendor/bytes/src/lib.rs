@@ -1,0 +1,317 @@
+//! Vendored, offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset of the bytes 1.x API the rtr stack uses:
+//! [`Bytes`], [`BytesMut`], and the [`Buf`]/[`BufMut`] traits with
+//! big-endian integer accessors. Unlike upstream, [`Bytes`] is a plain
+//! owned buffer (no reference-counted sharing) — `clone` copies, which is
+//! semantically identical and irrelevant at rtr PDU sizes.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Deref, DerefMut};
+
+/// An immutable byte buffer.
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    /// An empty buffer.
+    pub const fn new() -> Bytes {
+        Bytes(Vec::new())
+    }
+
+    /// Wraps a static slice (copied; upstream borrows, observably the
+    /// same).
+    pub fn from_static(data: &'static [u8]) -> Bytes {
+        Bytes(data.to_vec())
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes(data.to_vec())
+    }
+
+    /// Buffer length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` if the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes(v)
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes(v.to_vec())
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in &self.0 {
+            write!(f, "\\x{b:02x}")?;
+        }
+        write!(f, "\"")
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// An empty buffer.
+    pub const fn new() -> BytesMut {
+        BytesMut(Vec::new())
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// Buffer length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` if the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Reserves space for `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.0.reserve(additional);
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.0.extend_from_slice(data);
+    }
+
+    /// Removes and returns the first `at` bytes.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        let rest = self.0.split_off(at);
+        BytesMut(std::mem::replace(&mut self.0, rest))
+    }
+
+    /// Clears the buffer.
+    pub fn clear(&mut self) {
+        self.0.clear();
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        Bytes(self.0.clone()).fmt(f)
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(v: Vec<u8>) -> BytesMut {
+        BytesMut(v)
+    }
+}
+
+/// Sequential big-endian reads from a buffer.
+pub trait Buf {
+    /// Bytes remaining to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Skips `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let v = u16::from_be_bytes(self.chunk()[..2].try_into().expect("2 bytes"));
+        self.advance(2);
+        v
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let v = u32::from_be_bytes(self.chunk()[..4].try_into().expect("4 bytes"));
+        self.advance(4);
+        v
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let v = u64::from_be_bytes(self.chunk()[..8].try_into().expect("8 bytes"));
+        self.advance(8);
+        v
+    }
+
+    /// Reads a big-endian `u128`.
+    fn get_u128(&mut self) -> u128 {
+        let v = u128::from_be_bytes(self.chunk()[..16].try_into().expect("16 bytes"));
+        self.advance(16);
+        v
+    }
+
+    /// Copies `dst.len()` bytes out.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+/// Sequential big-endian writes into a buffer.
+pub trait BufMut {
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Writes one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Writes a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Writes a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Writes a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Writes a big-endian `u128`.
+    fn put_u128(&mut self, v: u128) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_integers() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(0xAB);
+        buf.put_u16(0x1234);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_u128(7);
+        let frozen = buf.freeze();
+        let mut view: &[u8] = &frozen;
+        assert_eq!(view.remaining(), 1 + 2 + 4 + 16);
+        assert_eq!(view.get_u8(), 0xAB);
+        assert_eq!(view.get_u16(), 0x1234);
+        assert_eq!(view.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(view.get_u128(), 7);
+        assert_eq!(view.remaining(), 0);
+    }
+
+    #[test]
+    fn split_to_takes_prefix() {
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(b"hello world");
+        let head = buf.split_to(5);
+        assert_eq!(&head[..], b"hello");
+        assert_eq!(&buf[..], b" world");
+    }
+
+    #[test]
+    fn bytes_constructors() {
+        assert!(Bytes::new().is_empty());
+        assert_eq!(&Bytes::from_static(b"abc")[..], b"abc");
+        assert_eq!(Bytes::copy_from_slice(b"xy").len(), 2);
+        assert_eq!(&Bytes::from(vec![1u8, 2])[..], &[1, 2]);
+    }
+
+    #[test]
+    fn advance_and_copy() {
+        let data = [1u8, 2, 3, 4, 5];
+        let mut view: &[u8] = &data;
+        view.advance(2);
+        let mut out = [0u8; 2];
+        view.copy_to_slice(&mut out);
+        assert_eq!(out, [3, 4]);
+        assert_eq!(view.remaining(), 1);
+    }
+}

@@ -1,0 +1,94 @@
+//! Vendored, offline stand-in for `crossbeam`, backed by the standard
+//! library: [`thread::scope`] over `std::thread::scope` and
+//! [`channel`] over `std::sync::mpsc`.
+
+#![forbid(unsafe_code)]
+
+pub mod thread {
+    //! Scoped threads with the crossbeam calling convention
+    //! (`scope(|s| ...)` returning a `Result`, `s.spawn(|_| ...)`).
+
+    use std::any::Any;
+
+    /// A scope handle; borrowed data outliving the scope may be used by
+    /// spawned threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle awaiting one scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (`Err` if it
+        /// panicked).
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure's argument mirrors
+        /// crossbeam's nested-scope parameter; callers in this workspace
+        /// ignore it (`|_|`).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(())),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned;
+    /// all spawned threads are joined before this returns. The `Result`
+    /// mirrors crossbeam's signature; with every child join handled by
+    /// the caller it is always `Ok`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope, 'a> FnOnce(&'a Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub mod channel {
+    //! MPSC channels with the crossbeam names, over `std::sync::mpsc`.
+
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender};
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = [1u32, 2, 3, 4];
+        let total: u32 = super::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u32>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn channel_round_trip() {
+        let (tx, rx) = super::channel::unbounded();
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+}

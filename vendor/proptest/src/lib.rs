@@ -1,0 +1,725 @@
+//! Vendored, offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest 1.x API this workspace's
+//! property tests use: the [`Strategy`] trait with `prop_map`, integer
+//! range and tuple strategies, `any::<T>()`, `Just`, collection
+//! strategies (`vec` / `btree_map` / `btree_set`), `prop::option::of`,
+//! `prop::sample::Index`, weighted [`prop_oneof!`], the [`proptest!`]
+//! test macro with `#![proptest_config(..)]`, and the
+//! `prop_assert!`/`prop_assert_eq!` macros.
+//!
+//! Differences from upstream, deliberate for an offline shim:
+//!
+//! * **No shrinking** — a failing case panics with the generated inputs
+//!   via the assertion message (all strategies used here have `Debug`
+//!   inputs in scope at the call site).
+//! * **String strategies ignore the regex** — a `&str` used as a
+//!   strategy yields random short printable-ASCII strings, which is what
+//!   every call site in this workspace (opaque text payloads) needs.
+//! * Generation is deterministic per test function (seeded from the
+//!   test's name), so failures reproduce across runs.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Run-loop configuration.
+
+    /// Configuration for a [`crate::proptest!`] block.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    /// The RNG driving generation: xoshiro256** seeded per test.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Derives a generator from a seed (SplitMix64 expansion).
+        pub fn seed_from_u64(seed: u64) -> TestRng {
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        /// Seeds deterministically from a test name (FNV-1a).
+        pub fn for_test(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1_0000_01b3);
+            }
+            TestRng::seed_from_u64(h)
+        }
+
+        /// The next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform draw in `0..span` (rejection sampling, `span > 0`).
+        pub fn below(&mut self, span: u64) -> u64 {
+            debug_assert!(span > 0);
+            if span.is_power_of_two() {
+                return self.next_u64() & (span - 1);
+            }
+            let zone = u64::MAX - (u64::MAX % span) - 1;
+            loop {
+                let v = self.next_u64();
+                if v <= zone {
+                    return v % span;
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { base: self, f }
+        }
+
+        /// Type-erases the strategy (used by [`crate::prop_oneof!`]).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Object-safe generation, for boxed strategies.
+    trait DynStrategy {
+        type Value;
+        fn dyn_generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy> DynStrategy for S {
+        type Value = S::Value;
+        fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<V>(Box<dyn DynStrategy<Value = V>>);
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.dyn_generate(rng)
+        }
+    }
+
+    /// The [`Strategy::prop_map`] combinator.
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// A strategy always yielding a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Weighted union of type-erased strategies
+    /// (built by [`crate::prop_oneof!`]).
+    pub struct Union<V> {
+        arms: Vec<(u32, BoxedStrategy<V>)>,
+        total: u64,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union; weights must sum to a positive value.
+        pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<V>)>) -> Union<V> {
+            let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! needs positive total weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let mut roll = rng.below(self.total);
+            for (w, s) in &self.arms {
+                if roll < *w as u64 {
+                    return s.generate(rng);
+                }
+                roll -= *w as u64;
+            }
+            unreachable!("weights covered the roll")
+        }
+    }
+
+    // --- integer / primitive range strategies ------------------------------
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.below(span) as $t)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo + (rng.below(span + 1) as $t)
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    // u128 ranges need widened arithmetic; implement separately.
+    impl Strategy for core::ops::Range<u128> {
+        type Value = u128;
+        fn generate(&self, rng: &mut TestRng) -> u128 {
+            assert!(self.start < self.end, "empty range strategy");
+            let span = self.end - self.start;
+            self.start + wide_below(rng, span)
+        }
+    }
+
+    impl Strategy for core::ops::RangeInclusive<u128> {
+        type Value = u128;
+        fn generate(&self, rng: &mut TestRng) -> u128 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty range strategy");
+            if lo == 0 && hi == u128::MAX {
+                return full_u128(rng);
+            }
+            lo + wide_below(rng, hi - lo + 1)
+        }
+    }
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for core::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty range strategy");
+            let unit = (rng.next_u64() >> 10) as f64 * (1.0 / ((1u64 << 54) - 1) as f64);
+            lo + unit * (hi - lo)
+        }
+    }
+
+    fn full_u128(rng: &mut TestRng) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+
+    fn wide_below(rng: &mut TestRng, span: u128) -> u128 {
+        debug_assert!(span > 0);
+        if span <= u64::MAX as u128 {
+            return rng.below(span as u64) as u128;
+        }
+        let zone = u128::MAX - (u128::MAX % span) - 1;
+        loop {
+            let v = full_u128(rng);
+            if v <= zone {
+                return v % span;
+            }
+        }
+    }
+
+    // --- tuples of strategies ---------------------------------------------
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+
+    // --- string strategies -------------------------------------------------
+
+    /// A `&str` used as a strategy yields short printable-ASCII strings.
+    /// The regex itself is ignored (see the crate docs).
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let len = rng.below(33) as usize;
+            (0..len)
+                .map(|_| (0x20 + rng.below(0x5f) as u8) as char)
+                .collect()
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — canonical strategies per type.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates one value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> u128 {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies: `vec`, `btree_map`, `btree_set`.
+
+    use std::collections::{BTreeMap, BTreeSet};
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Sizes accepted by collection strategies: an exact count or a
+    /// (half-open / inclusive) range.
+    pub trait SizeRange: Clone {
+        /// Draws a size.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty size range");
+            lo + rng.below((hi - lo + 1) as u64) as usize
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>`.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy for `BTreeMap`.
+    pub struct BTreeMapStrategy<K, V, R> {
+        key: K,
+        value: V,
+        size: R,
+    }
+
+    impl<K, V, R> Strategy for BTreeMapStrategy<K, V, R>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+        R: SizeRange,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            // Like upstream: draw up to `size` entries; key collisions
+            // collapse, so the result may be smaller.
+            let n = self.size.pick(rng);
+            (0..n)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+
+    /// A map of roughly `size` entries (key collisions collapse).
+    pub fn btree_map<K, V, R>(key: K, value: V, size: R) -> BTreeMapStrategy<K, V, R>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+        R: SizeRange,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    /// Strategy for `BTreeSet`.
+    pub struct BTreeSetStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S, R> Strategy for BTreeSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Ord,
+        R: SizeRange,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A set of roughly `size` elements (collisions collapse).
+    pub fn btree_set<S, R>(element: S, size: R) -> BTreeSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Ord,
+        R: SizeRange,
+    {
+        BTreeSetStrategy { element, size }
+    }
+}
+
+pub mod option {
+    //! `prop::option::of`.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Option<S::Value>`.
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // Upstream defaults to ~75% Some.
+            if rng.below(4) < 3 {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `Some` about 75% of the time, `None` otherwise.
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy(element)
+    }
+}
+
+pub mod sample {
+    //! `prop::sample::Index`.
+
+    use crate::arbitrary::Arbitrary;
+    use crate::test_runner::TestRng;
+
+    /// An index into a collection whose size is unknown at generation
+    /// time; resolved against a length with [`Index::index`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolves against a collection of `len` elements
+        /// (`len` must be non-zero).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Index {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything property tests import with `use proptest::prelude::*`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    pub mod prop {
+        //! The `prop::` module hierarchy.
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+    }
+}
+
+/// Builds a (possibly weighted) union of strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` running `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (@run $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let run = move || { $body };
+                // A panic in one case reports which case number failed.
+                let _ = case;
+                run();
+            }
+        }
+    )*};
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run $config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run $crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even() -> impl Strategy<Value = u32> {
+        (0u32..1000).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(a in 5u8..10, b in 3u32..=7, c in 0u128..=u128::MAX) {
+            prop_assert!((5..10).contains(&a));
+            prop_assert!((3..=7).contains(&b));
+            let _ = c;
+        }
+
+        #[test]
+        fn map_and_tuples(x in arb_even(), pair in (0u8..4, any::<bool>())) {
+            prop_assert_eq!(x % 2, 0);
+            prop_assert!(pair.0 < 4);
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in prop::collection::vec(0u8..255, 3..6),
+            exact in prop::collection::vec(any::<u32>(), 7usize),
+            m in prop::collection::btree_map(0u8..50, any::<u32>(), 0..10),
+            s in prop::collection::btree_set(0u16..100, 1..5),
+        ) {
+            prop_assert!((3..6).contains(&v.len()));
+            prop_assert_eq!(exact.len(), 7);
+            prop_assert!(m.len() < 10);
+            prop_assert!(!s.is_empty() || s.is_empty());
+        }
+
+        #[test]
+        fn oneof_and_just(v in prop_oneof![3 => Just(1u8), 1 => Just(2u8)]) {
+            prop_assert!(v == 1 || v == 2);
+        }
+
+        #[test]
+        fn option_and_index(o in prop::option::of(0u8..5), at in any::<prop::sample::Index>()) {
+            if let Some(x) = o {
+                prop_assert!(x < 5);
+            }
+            prop_assert!(at.index(10) < 10);
+        }
+
+        #[test]
+        fn string_strategy_is_short_ascii(s in ".*{0,32}") {
+            prop_assert!(s.len() <= 32);
+            prop_assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn config_cases_respected(_x in any::<u64>()) {
+            // Runs without exhausting time: 16 cases only.
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::for_test("same-name");
+        let mut b = crate::test_runner::TestRng::for_test("same-name");
+        let strat = prop::collection::vec(0u32..100, 0..20);
+        for _ in 0..50 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Vendored, offline stand-in for `rayon`.
+//!
+//! Provides the subset of the rayon API this workspace's batch paths use
+//! — `par_iter()` on slices, `into_par_iter()` on ranges and vectors,
+//! `map` / `sum` / `collect` / `for_each` — executed on `std::thread`
+//! scoped workers with **order-preserving, statically chunked** joins.
+//!
+//! Two properties the workspace's determinism contracts rely on:
+//!
+//! * `collect::<Vec<_>>` returns results in input order, exactly as
+//!   upstream rayon's indexed collect does;
+//! * `sum()` folds the per-element values in input order (partial sums
+//!   are computed per chunk and then folded left-to-right), so any
+//!   associative `Sum` — including the integer `ValidationSummary` —
+//!   reduces bit-identically to the sequential fold.
+//!
+//! Thread count comes from `RAYON_NUM_THREADS` (like upstream), else
+//! available parallelism.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// The number of worker threads parallel iterators fan out over:
+/// `RAYON_NUM_THREADS` if set and positive, else the machine's available
+/// parallelism.
+pub fn current_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        Some(n) if n > 0 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Runs `f` over every index chunk of `0..len` on scoped workers,
+/// returning the chunk results in chunk order.
+fn run_chunked<T, F>(len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let threads = current_num_threads().min(len.max(1));
+    if threads <= 1 || len <= 1 {
+        return if len == 0 {
+            Vec::new()
+        } else {
+            vec![f(0..len)]
+        };
+    }
+    let chunk = len.div_ceil(threads);
+    let ranges: Vec<Range<usize>> = (0..threads)
+        .map(|t| (t * chunk).min(len)..((t + 1) * chunk).min(len))
+        .filter(|r| !r.is_empty())
+        .collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges.into_iter().map(|r| scope.spawn(|| f(r))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon shim worker panicked"))
+            .collect()
+    })
+}
+
+/// Sources that can drive a parallel pipeline: indexed, splittable input.
+pub trait ParallelSource: Sized + Sync {
+    /// The element type produced.
+    type Item: Send;
+
+    /// Number of elements.
+    fn par_len(&self) -> usize;
+
+    /// The element at `index` (each index visited exactly once).
+    fn par_get(&self, index: usize) -> Self::Item;
+}
+
+/// Source over a borrowed slice (public only as an associated-type
+/// building block; name it never).
+pub struct SliceSource<'a, T>(&'a [T]);
+
+impl<'a, T: Sync> ParallelSource for SliceSource<'a, T> {
+    type Item = &'a T;
+
+    fn par_len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn par_get(&self, index: usize) -> &'a T {
+        &self.0[index]
+    }
+}
+
+/// Source over an index range (public only as an associated-type
+/// building block; name it never).
+pub struct RangeSource(Range<usize>);
+
+impl ParallelSource for RangeSource {
+    type Item = usize;
+
+    fn par_len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn par_get(&self, index: usize) -> usize {
+        self.0.start + index
+    }
+}
+
+/// A parallel iterator: a source plus a per-element transform.
+pub struct ParIter<S, F> {
+    source: S,
+    transform: F,
+}
+
+/// Types a parallel iterator can `collect()` into.
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from results in input order.
+    fn from_ordered_vec(v: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_vec(v: Vec<T>) -> Vec<T> {
+        v
+    }
+}
+
+impl<S, F, R> ParIter<S, F>
+where
+    S: ParallelSource,
+    F: Fn(S::Item) -> R + Sync,
+    R: Send,
+{
+    /// Maps every element through `f`.
+    pub fn map<G, Q>(self, f: G) -> ParIter<S, impl Fn(S::Item) -> Q + Sync>
+    where
+        G: Fn(R) -> Q + Sync,
+        Q: Send,
+    {
+        let prev = self.transform;
+        ParIter {
+            source: self.source,
+            transform: move |item| f(prev(item)),
+        }
+    }
+
+    /// Runs the pipeline, returning results in input order.
+    fn run(self) -> Vec<R> {
+        let len = self.source.par_len();
+        let source = &self.source;
+        let transform = &self.transform;
+        run_chunked(len, |range| {
+            range
+                .map(|i| transform(source.par_get(i)))
+                .collect::<Vec<R>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// Collects results in input order.
+    pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+        C::from_ordered_vec(self.run())
+    }
+
+    /// Sums the results. Per-chunk partial sums are folded in chunk
+    /// order, so associative-and-commutative `Sum` types (counters,
+    /// integers) reduce identically to the sequential fold.
+    pub fn sum<T>(self) -> T
+    where
+        T: std::iter::Sum<R> + std::iter::Sum<T> + Send,
+    {
+        let len = self.source.par_len();
+        let source = &self.source;
+        let transform = &self.transform;
+        run_chunked(len, |range| {
+            range.map(|i| transform(source.par_get(i))).sum::<T>()
+        })
+        .into_iter()
+        .sum()
+    }
+
+    /// Runs `f` on every result (effects only).
+    pub fn for_each<G>(self, f: G)
+    where
+        G: Fn(R) + Sync,
+    {
+        let len = self.source.par_len();
+        let source = &self.source;
+        let transform = &self.transform;
+        run_chunked(len, |range| {
+            for i in range {
+                f(transform(source.par_get(i)));
+            }
+        });
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.source.par_len()
+    }
+
+    /// `true` if there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.source.par_len() == 0
+    }
+}
+
+/// Borrowing conversion into a parallel iterator (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed element type.
+    type Item: Send + 'a;
+    /// The iterator type (opaque in practice).
+    type Iter;
+
+    /// A parallel iterator over borrowed elements.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParIter<SliceSource<'a, T>, fn(&'a T) -> &'a T>;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        ParIter {
+            source: SliceSource(self),
+            transform: |x| x,
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParIter<SliceSource<'a, T>, fn(&'a T) -> &'a T>;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        self.as_slice().par_iter()
+    }
+}
+
+/// Consuming conversion into a parallel iterator (`.into_par_iter()`).
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The iterator type (opaque in practice).
+    type Iter;
+
+    /// A parallel iterator consuming `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = ParIter<RangeSource, fn(usize) -> usize>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        ParIter {
+            source: RangeSource(self),
+            transform: |x| x,
+        }
+    }
+}
+
+pub mod prelude {
+    //! The traits parallel call sites need in scope.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let v: Vec<u64> = (0..100_000).collect();
+        let par: u64 = v.par_iter().map(|x| x % 7).sum();
+        let seq: u64 = v.iter().map(|x| x % 7).sum();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let squares: Vec<usize> = (0..1000).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares[31], 961);
+        assert_eq!(squares.len(), 1000);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let sum: u32 = (0..0).into_par_iter().map(|_| 1u32).sum();
+        assert_eq!(sum, 0);
+    }
+
+    #[test]
+    fn thread_env_respected() {
+        // With any RAYON_NUM_THREADS, results must be identical.
+        let v: Vec<u64> = (0..5000).collect();
+        let reference: Vec<u64> = v.iter().map(|x| x + 1).collect();
+        let got: Vec<u64> = v.par_iter().map(|x| x + 1).collect();
+        assert_eq!(got, reference);
+        assert!(super::current_num_threads() >= 1);
+    }
+}
