@@ -1,0 +1,116 @@
+//! Ablation for the live-churn pipeline: per-epoch incremental
+//! revalidation over the frozen snapshot chain vs the naive router that
+//! rebuilds and revalidates its whole table on every delta, on the same
+//! timeline, at two world scales.
+//!
+//! This is the §6 router-load claim in bench form: a cache refresh
+//! changes a few hundred VRPs out of tens of thousands, so revalidating
+//! only the covered routes must beat re-scanning the whole table — and
+//! by a growing margin as the table grows.
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use rpki_datasets::{
+    ChurnConfig, ChurnGenerator, ChurnProfile, ChurnTimeline, GeneratorConfig, World,
+};
+use rpki_roa::{RouteOrigin, Vrp};
+use rpki_rov::{ChainConfig, SnapshotChainEngine, ValidationState, VrpIndex};
+
+fn fixture(scale: f64) -> (Vec<RouteOrigin>, ChurnTimeline) {
+    let world = World::generate(GeneratorConfig {
+        scale,
+        ..GeneratorConfig::default()
+    });
+    let snap = world.snapshot(7);
+    let timeline = ChurnGenerator::new(
+        snap.vrps(),
+        ChurnConfig {
+            epochs: 8,
+            events_per_epoch: 64,
+            profile: ChurnProfile::Mixed,
+            ..ChurnConfig::default()
+        },
+    )
+    .generate();
+    (snap.routes, timeline)
+}
+
+fn replay_incremental(engine: &mut SnapshotChainEngine, timeline: &ChurnTimeline) -> usize {
+    timeline
+        .epochs
+        .iter()
+        .map(|e| engine.apply_epoch(&e.announced, &e.withdrawn).changes.len())
+        .sum()
+}
+
+/// The naive router: apply the delta to a plain set, rebuild + freeze the
+/// index, and revalidate the entire table — every epoch. No incremental
+/// machinery anywhere, so the timing is a fair baseline.
+fn replay_full(
+    routes: &[RouteOrigin],
+    timeline: &ChurnTimeline,
+) -> Vec<(RouteOrigin, ValidationState)> {
+    let mut set: BTreeSet<Vrp> = timeline.initial.iter().copied().collect();
+    let mut states = Vec::new();
+    for e in &timeline.epochs {
+        for v in &e.announced {
+            set.insert(*v);
+        }
+        for v in &e.withdrawn {
+            set.remove(v);
+        }
+        let frozen = set.iter().copied().collect::<VrpIndex>().freeze();
+        states = routes.iter().map(|r| (*r, frozen.validate(r))).collect();
+    }
+    states
+}
+
+fn bench_churn(c: &mut Criterion) {
+    for scale in [0.05, 0.2] {
+        let (routes, timeline) = fixture(scale);
+        let make_engine = || {
+            SnapshotChainEngine::new(
+                routes.iter().copied(),
+                timeline.initial.iter().copied(),
+                ChainConfig::default(),
+            )
+        };
+
+        // Both paths must land on identical states before we time them.
+        let mut incremental = make_engine();
+        replay_incremental(&mut incremental, &timeline);
+        let mut naive = replay_full(&routes, &timeline);
+        naive.sort_unstable_by_key(|(r, _)| *r);
+        assert_eq!(
+            incremental.states(),
+            naive,
+            "paths diverged at scale {scale}"
+        );
+
+        let mut group = c.benchmark_group(format!("churn/revalidate/scale-{scale}"));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(timeline.epochs.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("incremental_chain", routes.len()),
+            &timeline,
+            |bencher, timeline| {
+                bencher.iter_batched(
+                    make_engine,
+                    |mut engine| replay_incremental(&mut engine, timeline),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_revalidate_all", routes.len()),
+            &timeline,
+            |bencher, timeline| bencher.iter(|| replay_full(&routes, timeline)),
+        );
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_churn);
+criterion_main!(benches);

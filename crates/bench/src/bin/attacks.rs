@@ -4,16 +4,11 @@
 
 use bgpsim::experiment::AttackExperiment;
 use bgpsim::topology::TopologyConfig;
+use rpki_bench::harness::usize_from_env;
 
 fn main() {
-    let n: usize = std::env::var("MAXLENGTH_TOPOLOGY")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2000);
-    let trials: usize = std::env::var("MAXLENGTH_TRIALS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(30);
+    let n = usize_from_env("MAXLENGTH_TOPOLOGY", 2000);
+    let trials = usize_from_env("MAXLENGTH_TRIALS", 30);
 
     for rov_fraction in [1.0, 0.5] {
         let t0 = std::time::Instant::now();

@@ -48,6 +48,23 @@ pub fn threads_from_env() -> usize {
     threads
 }
 
+/// Reads a positive-integer knob from the environment, warning on
+/// garbage and falling back to `default` (matching [`scale_from_env`]'s
+/// behaviour) — used for `MAXLENGTH_EPOCHS`, `MAXLENGTH_CHURN`,
+/// `MAXLENGTH_TOPOLOGY`, and `MAXLENGTH_TRIALS`.
+pub fn usize_from_env(var: &str, default: usize) -> usize {
+    match std::env::var(var) {
+        Ok(raw) => match raw.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("warning: {var}={raw:?} is not a positive integer; using {default}");
+                default
+            }
+        },
+        Err(_) => default,
+    }
+}
+
 /// Generates the world at the requested scale.
 pub fn world(scale: f64) -> World {
     World::generate(GeneratorConfig {
@@ -91,5 +108,19 @@ mod tests {
         std::env::set_var("RAYON_NUM_THREADS", "0");
         assert!(super::threads_from_env() >= 1); // zero is not a thread count
         std::env::remove_var("RAYON_NUM_THREADS");
+
+        std::env::remove_var("MAXLENGTH_EPOCHS");
+        assert_eq!(super::usize_from_env("MAXLENGTH_EPOCHS", 24), 24);
+        std::env::set_var("MAXLENGTH_EPOCHS", "7");
+        assert_eq!(super::usize_from_env("MAXLENGTH_EPOCHS", 24), 7);
+        for garbage in ["banana", "0", "-3", "1.5"] {
+            std::env::set_var("MAXLENGTH_EPOCHS", garbage);
+            assert_eq!(
+                super::usize_from_env("MAXLENGTH_EPOCHS", 24),
+                24,
+                "{garbage}"
+            );
+        }
+        std::env::remove_var("MAXLENGTH_EPOCHS");
     }
 }

@@ -44,12 +44,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod config;
 pub mod io;
 pub mod snapshot;
 pub mod space;
 pub mod world;
 
+pub use churn::{ChurnConfig, ChurnEpoch, ChurnGenerator, ChurnProfile, ChurnTimeline};
 pub use config::{CategoryCounts, GeneratorConfig, WEEK_LABELS};
 pub use snapshot::DatasetSnapshot;
 pub use world::{Category, World};

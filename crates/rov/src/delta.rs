@@ -12,8 +12,8 @@
 //! control-plane counterpart of the rtr client's announce/withdraw stream.
 
 use rpki_roa::{RouteOrigin, Vrp};
-use rpki_trie::DualTrie;
 
+use crate::route_table::RouteTable;
 use crate::{ValidationState, VrpIndex};
 
 /// A route's state transition produced by a VRP delta.
@@ -32,9 +32,7 @@ pub struct StateChange {
 #[derive(Debug, Clone, Default)]
 pub struct RevalidationEngine {
     vrps: VrpIndex,
-    /// Routes grouped by prefix, with their current validation state.
-    routes: DualTrie<Vec<(RouteOrigin, ValidationState)>>,
-    route_count: usize,
+    routes: RouteTable,
 }
 
 impl RevalidationEngine {
@@ -47,8 +45,7 @@ impl RevalidationEngine {
         let vrps: VrpIndex = vrps.into_iter().collect();
         let mut engine = RevalidationEngine {
             vrps,
-            routes: DualTrie::new(),
-            route_count: 0,
+            routes: RouteTable::default(),
         };
         for route in routes {
             engine.insert_route(route);
@@ -59,44 +56,23 @@ impl RevalidationEngine {
     /// Adds a route (e.g. a BGP update), returning its validation state.
     /// Duplicate routes are ignored and re-report their current state.
     pub fn insert_route(&mut self, route: RouteOrigin) -> ValidationState {
-        let state = self.vrps.validate(&route);
-        let bucket = self.routes.get_or_insert_with(route.prefix, Vec::new);
-        if let Some((_, s)) = bucket.iter().find(|(r, _)| *r == route) {
-            return *s;
-        }
-        bucket.push((route, state));
-        self.route_count += 1;
-        state
+        let vrps = &self.vrps;
+        self.routes.insert_with(route, |r| vrps.validate(r))
     }
 
     /// Removes a route (a BGP withdrawal). Returns `true` if present.
     pub fn remove_route(&mut self, route: &RouteOrigin) -> bool {
-        let Some(bucket) = self.routes.get_mut(route.prefix) else {
-            return false;
-        };
-        let Some(at) = bucket.iter().position(|(r, _)| r == route) else {
-            return false;
-        };
-        bucket.swap_remove(at);
-        if bucket.is_empty() {
-            self.routes.remove(route.prefix);
-        }
-        self.route_count -= 1;
-        true
+        self.routes.remove(route)
     }
 
     /// Number of routes tracked.
     pub fn route_count(&self) -> usize {
-        self.route_count
+        self.routes.len()
     }
 
     /// The current state of a route, if tracked.
     pub fn state_of(&self, route: &RouteOrigin) -> Option<ValidationState> {
-        self.routes
-            .get(route.prefix)?
-            .iter()
-            .find(|(r, _)| r == route)
-            .map(|(_, s)| *s)
+        self.routes.state_of(route)
     }
 
     /// The VRP set currently applied.
@@ -110,7 +86,7 @@ impl RevalidationEngine {
         if !self.vrps.insert(vrp) {
             return Vec::new(); // duplicate: nothing can change
         }
-        self.revalidate_covered_by(vrp)
+        self.revalidate_covered_by(&[vrp])
     }
 
     /// Applies one VRP withdrawal, revalidating only the covered routes.
@@ -118,7 +94,7 @@ impl RevalidationEngine {
         if !self.vrps.remove(vrp) {
             return Vec::new();
         }
-        self.revalidate_covered_by(*vrp)
+        self.revalidate_covered_by(&[*vrp])
     }
 
     /// Applies a whole rtr-style delta (announcements and withdrawals),
@@ -135,48 +111,16 @@ impl RevalidationEngine {
                 touched.push(*vrp);
             }
         }
-        // Revalidate each affected subtree; dedup routes seen twice when
-        // deltas overlap.
-        let mut changes = Vec::new();
-        let mut seen: std::collections::BTreeSet<RouteOrigin> = Default::default();
-        for vrp in touched {
-            for change in self.revalidate_covered_by(vrp) {
-                if seen.insert(change.route) {
-                    changes.push(change);
-                }
-            }
-        }
-        changes
+        // Revalidate the union of affected subtrees once, deduplicated.
+        self.revalidate_covered_by(&touched)
     }
 
-    /// Revalidates every tracked route covered by `vrp.prefix` — the only
-    /// routes whose covering set changed.
-    fn revalidate_covered_by(&mut self, vrp: Vrp) -> Vec<StateChange> {
-        // Collect affected routes first (cannot mutate while iterating).
-        let affected: Vec<RouteOrigin> = self
-            .routes
-            .iter_covered_by(vrp.prefix)
-            .flat_map(|(_, bucket)| bucket.iter().map(|(r, _)| *r))
-            .collect();
-        let mut changes = Vec::new();
-        for route in affected {
-            let new = self.vrps.validate(&route);
-            let bucket = self.routes.get_mut(route.prefix).expect("route tracked");
-            let slot = bucket
-                .iter_mut()
-                .find(|(r, _)| *r == route)
-                .expect("route tracked");
-            if slot.1 != new {
-                changes.push(StateChange {
-                    route,
-                    old: slot.1,
-                    new,
-                });
-                slot.1 = new;
-            }
-        }
-        changes.sort_by_key(|c| c.route);
-        changes
+    /// Revalidates every tracked route covered by one of `vrps` — the
+    /// only routes whose covering set changed.
+    fn revalidate_covered_by(&mut self, vrps: &[Vrp]) -> Vec<StateChange> {
+        let affected = self.routes.covered_by(vrps);
+        let index = &self.vrps;
+        self.routes.reapply(&affected, |r| index.validate(r))
     }
 
     /// Full revalidation from scratch (the naive baseline the ablation
@@ -187,31 +131,9 @@ impl RevalidationEngine {
     /// ([`VrpIndex::freeze`]) and validates the whole table against the
     /// flat snapshot — one compilation pays for the table-sized scan.
     pub fn revalidate_all(&mut self) -> Vec<StateChange> {
-        let routes: Vec<RouteOrigin> = self
-            .routes
-            .iter()
-            .flat_map(|(_, bucket)| bucket.iter().map(|(r, _)| *r))
-            .collect();
+        let routes = self.routes.all_routes();
         let frozen = self.vrps.freeze();
-        let mut changes = Vec::new();
-        for route in routes {
-            let new = frozen.validate(&route);
-            let bucket = self.routes.get_mut(route.prefix).expect("tracked");
-            let slot = bucket
-                .iter_mut()
-                .find(|(r, _)| *r == route)
-                .expect("tracked");
-            if slot.1 != new {
-                changes.push(StateChange {
-                    route,
-                    old: slot.1,
-                    new,
-                });
-                slot.1 = new;
-            }
-        }
-        changes.sort_by_key(|c| c.route);
-        changes
+        self.routes.reapply(&routes, |r| frozen.validate(r))
     }
 
     /// Validates the tracked table against a frozen snapshot of the
@@ -219,11 +141,7 @@ impl RevalidationEngine {
     /// "router reload" summary without mutating any per-route state.
     /// Identical to folding [`VrpIndex::validate_table`] over the table.
     pub fn bulk_summary_par(&self) -> crate::ValidationSummary {
-        let routes: Vec<RouteOrigin> = self
-            .routes
-            .iter()
-            .flat_map(|(_, bucket)| bucket.iter().map(|(r, _)| *r))
-            .collect();
+        let routes = self.routes.all_routes();
         self.vrps.freeze().validate_table_par(&routes)
     }
 }

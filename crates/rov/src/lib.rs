@@ -57,12 +57,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chain;
 pub mod delta;
 pub mod frozen;
 mod index;
 mod policy;
+mod route_table;
 mod state;
 
+pub use chain::{ChainConfig, ChurnSummary, EpochReport, SnapshotChainEngine};
 pub use delta::{RevalidationEngine, StateChange};
 pub use frozen::FrozenVrpIndex;
 pub use index::{ValidationSummary, VrpIndex};

@@ -1,0 +1,137 @@
+//! The shared route-table bookkeeping behind both incremental engines.
+//!
+//! [`RevalidationEngine`](crate::RevalidationEngine) and
+//! [`SnapshotChainEngine`](crate::SnapshotChainEngine) differ only in
+//! *what they validate against* (a mutable trie vs a frozen base plus
+//! overlay); the route side — a prefix-indexed table of
+//! `(route, current state)` with affected-set collection and
+//! change-recording revalidation — is identical, so it lives here once.
+
+use std::collections::BTreeSet;
+
+use rpki_roa::{RouteOrigin, Vrp};
+use rpki_trie::DualTrie;
+
+use crate::{StateChange, ValidationState};
+
+/// A prefix-indexed route table tracking each route's validation state.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RouteTable {
+    /// Routes grouped by prefix, with their current validation state.
+    routes: DualTrie<Vec<(RouteOrigin, ValidationState)>>,
+    count: usize,
+}
+
+impl RouteTable {
+    /// Adds a route, computing its state with `validate` only when it is
+    /// new; duplicates re-report their tracked state.
+    pub(crate) fn insert_with(
+        &mut self,
+        route: RouteOrigin,
+        validate: impl FnOnce(&RouteOrigin) -> ValidationState,
+    ) -> ValidationState {
+        let state = validate(&route);
+        let bucket = self.routes.get_or_insert_with(route.prefix, Vec::new);
+        if let Some((_, s)) = bucket.iter().find(|(r, _)| *r == route) {
+            return *s;
+        }
+        bucket.push((route, state));
+        self.count += 1;
+        state
+    }
+
+    /// Removes a route. Returns `true` if it was tracked.
+    pub(crate) fn remove(&mut self, route: &RouteOrigin) -> bool {
+        let Some(bucket) = self.routes.get_mut(route.prefix) else {
+            return false;
+        };
+        let Some(at) = bucket.iter().position(|(r, _)| r == route) else {
+            return false;
+        };
+        bucket.swap_remove(at);
+        if bucket.is_empty() {
+            self.routes.remove(route.prefix);
+        }
+        self.count -= 1;
+        true
+    }
+
+    /// Number of routes tracked.
+    pub(crate) fn len(&self) -> usize {
+        self.count
+    }
+
+    /// The tracked state of a route.
+    pub(crate) fn state_of(&self, route: &RouteOrigin) -> Option<ValidationState> {
+        self.routes
+            .get(route.prefix)?
+            .iter()
+            .find(|(r, _)| r == route)
+            .map(|(_, s)| *s)
+    }
+
+    /// Every tracked route, in table iteration order.
+    pub(crate) fn all_routes(&self) -> Vec<RouteOrigin> {
+        self.routes
+            .iter()
+            .flat_map(|(_, bucket)| bucket.iter().map(|(r, _)| *r))
+            .collect()
+    }
+
+    /// Every tracked route with its state, sorted by route.
+    pub(crate) fn states_sorted(&self) -> Vec<(RouteOrigin, ValidationState)> {
+        let mut out: Vec<(RouteOrigin, ValidationState)> = self
+            .routes
+            .iter()
+            .flat_map(|(_, bucket)| bucket.iter().copied())
+            .collect();
+        out.sort_unstable_by_key(|(r, _)| *r);
+        out
+    }
+
+    /// The routes covered by any of `vrps`' prefixes — the only routes a
+    /// delta over those VRPs can re-classify — deduplicated across
+    /// overlapping subtrees.
+    pub(crate) fn covered_by(&self, vrps: &[Vrp]) -> Vec<RouteOrigin> {
+        let mut seen: BTreeSet<RouteOrigin> = BTreeSet::new();
+        let mut out = Vec::new();
+        for vrp in vrps {
+            for (_, bucket) in self.routes.iter_covered_by(vrp.prefix) {
+                for (route, _) in bucket {
+                    if seen.insert(*route) {
+                        out.push(*route);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Re-classifies `affected` with `validate`, updating tracked states
+    /// and returning every transition, sorted by route.
+    pub(crate) fn reapply(
+        &mut self,
+        affected: &[RouteOrigin],
+        validate: impl Fn(&RouteOrigin) -> ValidationState,
+    ) -> Vec<StateChange> {
+        let mut changes = Vec::new();
+        for route in affected {
+            let new = validate(route);
+            let bucket = self.routes.get_mut(route.prefix).expect("route tracked");
+            let slot = bucket
+                .iter_mut()
+                .find(|(r, _)| r == route)
+                .expect("route tracked");
+            if slot.1 != new {
+                changes.push(StateChange {
+                    route: *route,
+                    old: slot.1,
+                    new,
+                });
+                slot.1 = new;
+            }
+        }
+        changes.sort_by_key(|c| c.route);
+        changes
+    }
+}

@@ -1,0 +1,154 @@
+//! Differential property tests for the churn path: for arbitrary delta
+//! timelines over mixed IPv4 + IPv6 sets, the states accumulated by the
+//! incremental engines (`RevalidationEngine::apply_delta` and the
+//! snapshot-chain `SnapshotChainEngine::apply_epoch`, across every
+//! refreeze boundary) must be identical to rebuilding a fresh `VrpIndex`
+//! and validating every route from scratch at every epoch.
+
+use proptest::prelude::*;
+use rpki_prefix::{Prefix, Prefix4, Prefix6};
+use rpki_roa::{Asn, RouteOrigin, Vrp};
+use rpki_rov::{ChainConfig, RevalidationEngine, SnapshotChainEngine, ValidationState, VrpIndex};
+
+/// Small universes in both families so covering/matching cases collide.
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    prop_oneof![
+        (0u32..16, 0u8..=6).prop_map(|(b, l)| Prefix::V4(Prefix4::new_truncated(b << 26, l))),
+        (0u128..16, 0u8..=6).prop_map(|(b, l)| Prefix::V6(Prefix6::new_truncated(b << 122, l))),
+    ]
+}
+
+fn arb_vrp() -> impl Strategy<Value = Vrp> {
+    (arb_prefix(), 0u8..=4, 1u32..5)
+        .prop_map(|(p, extra, asn)| Vrp::new(p, p.len().saturating_add(extra), Asn(asn)))
+}
+
+fn arb_route() -> impl Strategy<Value = RouteOrigin> {
+    (arb_prefix(), 1u32..5).prop_map(|(p, asn)| RouteOrigin::new(p, Asn(asn)))
+}
+
+/// One epoch's worth of raw deltas. Announce/withdraw lists may overlap
+/// the current set arbitrarily (duplicates, absent withdrawals) — the
+/// engines must treat those as no-ops, exactly like a fresh rebuild does.
+fn arb_epoch() -> impl Strategy<Value = (Vec<Vrp>, Vec<Vrp>)> {
+    (
+        prop::collection::vec(arb_vrp(), 0..8),
+        prop::collection::vec(arb_vrp(), 0..8),
+    )
+}
+
+fn reference_states(vrps: &[Vrp], routes: &[RouteOrigin]) -> Vec<(RouteOrigin, ValidationState)> {
+    let index: VrpIndex = vrps.iter().copied().collect();
+    let mut out: Vec<(RouteOrigin, ValidationState)> =
+        routes.iter().map(|r| (*r, index.validate(r))).collect();
+    out.sort_unstable_by_key(|(r, _)| *r);
+    out.dedup();
+    out
+}
+
+/// Applies one epoch to the model set with the same net semantics the
+/// engines implement: withdrawals of VRPs also announced in the epoch are
+/// applied after the announcements (set semantics; order-free because
+/// clean epochs never overlap, and dirty ones resolve to "last writer",
+/// which here is the same as apply-announce-then-withdraw).
+fn model_apply(set: &mut std::collections::BTreeSet<Vrp>, announced: &[Vrp], withdrawn: &[Vrp]) {
+    for v in announced {
+        set.insert(*v);
+    }
+    for v in withdrawn {
+        set.remove(v);
+    }
+}
+
+proptest! {
+    #![proptest_config(proptest::test_runner::Config::with_cases(64))]
+
+    #[test]
+    fn chain_engine_matches_fresh_rebuild_every_epoch(
+        initial in prop::collection::vec(arb_vrp(), 0..30),
+        routes in prop::collection::vec(arb_route(), 1..40),
+        timeline in prop::collection::vec(arb_epoch(), 1..12),
+        refreeze_after in 1usize..12,
+    ) {
+        let mut model: std::collections::BTreeSet<Vrp> =
+            initial.iter().copied().collect();
+        let mut engine = SnapshotChainEngine::new(
+            routes.iter().copied(),
+            initial.iter().copied(),
+            ChainConfig { refreeze_after },
+        );
+        for (epoch, (announced, withdrawn)) in timeline.iter().enumerate() {
+            engine.apply_epoch(announced, withdrawn);
+            model_apply(&mut model, announced, withdrawn);
+
+            // The engine's logical set equals the model set ...
+            let current: Vec<Vrp> = model.iter().copied().collect();
+            prop_assert_eq!(
+                engine.current_vrps(),
+                current.clone(),
+                "epoch {}: logical set diverged",
+                epoch
+            );
+            // ... and every tracked state equals a from-scratch rebuild.
+            prop_assert_eq!(
+                engine.states(),
+                reference_states(&current, &routes),
+                "epoch {} (refreeze_after {})",
+                epoch,
+                refreeze_after
+            );
+        }
+    }
+
+    #[test]
+    fn apply_delta_matches_fresh_rebuild_every_epoch(
+        initial in prop::collection::vec(arb_vrp(), 0..30),
+        routes in prop::collection::vec(arb_route(), 1..40),
+        timeline in prop::collection::vec(arb_epoch(), 1..12),
+    ) {
+        let mut model: std::collections::BTreeSet<Vrp> =
+            initial.iter().copied().collect();
+        let mut engine = RevalidationEngine::new(
+            routes.iter().copied(),
+            initial.iter().copied(),
+        );
+        for (epoch, (announced, withdrawn)) in timeline.iter().enumerate() {
+            engine.apply_delta(announced, withdrawn);
+            model_apply(&mut model, announced, withdrawn);
+            let current: Vec<Vrp> = model.iter().copied().collect();
+            let reference = reference_states(&current, &routes);
+            for (route, expect) in &reference {
+                prop_assert_eq!(
+                    engine.state_of(route),
+                    Some(*expect),
+                    "epoch {}: {}",
+                    epoch,
+                    route
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chain_and_delta_engines_agree(
+        initial in prop::collection::vec(arb_vrp(), 0..25),
+        routes in prop::collection::vec(arb_route(), 1..30),
+        timeline in prop::collection::vec(arb_epoch(), 1..10),
+    ) {
+        let mut chain = SnapshotChainEngine::new(
+            routes.iter().copied(),
+            initial.iter().copied(),
+            ChainConfig { refreeze_after: 4 },
+        );
+        let mut flat = RevalidationEngine::new(
+            routes.iter().copied(),
+            initial.iter().copied(),
+        );
+        for (announced, withdrawn) in &timeline {
+            let chain_changes = chain.apply_epoch(announced, withdrawn).changes;
+            let flat_changes = flat.apply_delta(announced, withdrawn);
+            // Same transitions, reported identically (both sorted by route).
+            prop_assert_eq!(chain_changes, flat_changes);
+        }
+    }
+}

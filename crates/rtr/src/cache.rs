@@ -28,8 +28,9 @@ struct Delta {
 }
 
 /// How many deltas the cache keeps before answering old serials with
-/// Cache Reset (RFC 8210 leaves this to the implementation).
-const HISTORY_WINDOW: usize = 16;
+/// Cache Reset (RFC 8210 leaves this to the implementation). Public so
+/// the model-based session tests can mirror the aging behaviour exactly.
+pub const HISTORY_WINDOW: usize = 16;
 
 /// The rpki-rtr cache server state machine.
 #[derive(Debug, Clone)]
@@ -115,6 +116,62 @@ impl CacheServer {
             withdrawn: self.vrps.difference(&new_set).copied().collect(),
         };
         self.vrps = new_set;
+        self.commit(delta)
+    }
+
+    /// Applies a churn-style delta (announcements and withdrawals) instead
+    /// of a whole replacement set, bumping the serial and recording only
+    /// the **effective** changes. Returns the Serial Notify PDU.
+    ///
+    /// The lists are normalized defensively — this is the sharp edge a
+    /// naive `history.push_back(Delta { announced, withdrawn })` would
+    /// cut itself on:
+    ///
+    /// * announcing a VRP already served, or withdrawing one that is not,
+    ///   is dropped: recording such no-ops would make a later delta
+    ///   response emit records RFC 8210-conformant routers reject
+    ///   (duplicate announcement or withdrawal-of-unknown, error 7/6),
+    ///   desynchronizing the session even though the serial chain looks
+    ///   healthy;
+    /// * a VRP in **both** lists resolves as announce-then-withdraw (the
+    ///   withdrawal wins) — the same order `RevalidationEngine::apply_delta`
+    ///   and `SnapshotChainEngine::apply_epoch` use, so feeding one dirty
+    ///   delta to the session and an engine side by side cannot diverge.
+    ///   The intra-epoch flap that nets to nothing (announce of an absent
+    ///   VRP, then its withdrawal) cancels out of the recorded delta
+    ///   entirely; at most one record per VRP ever enters the history.
+    ///
+    /// Clean deltas (e.g. a `ChurnGenerator` epoch) pass through
+    /// unchanged, and the recorded delta always equals the set difference
+    /// between consecutive serials, exactly as [`CacheServer::update`]
+    /// records it.
+    pub fn update_delta(&mut self, announced: &[Vrp], withdrawn: &[Vrp]) -> Pdu {
+        let announced: BTreeSet<Vrp> = announced.iter().copied().collect();
+        let withdrawn: BTreeSet<Vrp> = withdrawn.iter().copied().collect();
+        let mut delta = Delta::default();
+        for &vrp in announced.iter() {
+            if self.vrps.insert(vrp) {
+                delta.announced.push(vrp);
+            }
+        }
+        for vrp in withdrawn.iter() {
+            if self.vrps.remove(vrp) {
+                // An announce applied earlier in this same delta cancels
+                // instead of leaving an announce+withdraw pair behind.
+                if let Some(at) = delta.announced.iter().position(|a| a == vrp) {
+                    delta.announced.swap_remove(at);
+                } else {
+                    delta.withdrawn.push(*vrp);
+                }
+            }
+        }
+        self.commit(delta)
+    }
+
+    /// The shared tail of every update: refreeze the snapshot, advance
+    /// the serial, record the delta in the aged history window, and
+    /// build the Serial Notify.
+    fn commit(&mut self, delta: Delta) -> Pdu {
         self.snapshot = Arc::new(self.vrps.iter().copied().collect());
         self.serial = self.serial.wrapping_add(1);
         self.history.push_back(delta);
@@ -394,6 +451,116 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn update_delta_applies_and_diffs_like_update() {
+        let mut by_set = cache();
+        let mut by_delta = cache();
+        by_set.update(&[vrp("10.0.0.0/8 => AS1"), vrp("11.0.0.0/8 => AS3")]);
+        by_delta.update_delta(
+            &[vrp("11.0.0.0/8 => AS3")],
+            &[vrp("2001:db8::/32-48 => AS2")],
+        );
+        assert_eq!(by_set.serial(), by_delta.serial());
+        let a: Vec<&Vrp> = by_set.vrps().collect();
+        let b: Vec<&Vrp> = by_delta.vrps().collect();
+        assert_eq!(a, b);
+        // Both record the identical delta for a router at serial 0.
+        let q = Pdu::SerialQuery {
+            session_id: 7,
+            serial: 0,
+        };
+        assert_eq!(by_set.handle(&q), by_delta.handle(&q));
+    }
+
+    #[test]
+    fn same_epoch_announce_and_withdraw_resolves_like_the_engines() {
+        // The sharp edge: one epoch both announces and withdraws the same
+        // VRP. The delta resolves announce-then-withdraw (withdrawal
+        // wins, matching the rov engines), and the history must never
+        // hold an announce+withdraw pair for one VRP — that pair in a
+        // delta response is a protocol violation on the router side.
+        let present = vrp("10.0.0.0/8 => AS1");
+        let absent = vrp("99.0.0.0/8 => AS9");
+        let mut c = cache();
+        c.update_delta(&[present, absent], &[present, absent]);
+        assert_eq!(c.serial(), 1, "serial chain advances normally");
+        // The present VRP is withdrawn; the absent one flapped up and
+        // down inside the epoch and cancelled out of the record.
+        let after: Vec<Vrp> = c.vrps().copied().collect();
+        assert_eq!(after, vec![vrp("2001:db8::/32-48 => AS2")]);
+        let response = c.handle(&Pdu::SerialQuery {
+            session_id: 7,
+            serial: 0,
+        });
+        let records: Vec<(Flags, Vrp)> = response
+            .iter()
+            .filter_map(|p| match p {
+                Pdu::Prefix { flags, vrp } => Some((*flags, *vrp)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(records, vec![(Flags::Withdraw, present)]);
+        assert!(matches!(
+            response.last(),
+            Some(Pdu::EndOfData { serial: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn dirty_delta_matches_engine_semantics() {
+        // Feeding the same dirty delta to the cache and to the
+        // snapshot-chain engine side by side must land on the same set —
+        // the invariant every session-plus-engine consumer relies on.
+        use rpki_rov::{ChainConfig, SnapshotChainEngine};
+        let initial = [vrp("10.0.0.0/8 => AS1"), vrp("11.0.0.0/8 => AS3")];
+        let announced = [vrp("10.0.0.0/8 => AS1"), vrp("12.0.0.0/8 => AS4")];
+        let withdrawn = [vrp("10.0.0.0/8 => AS1"), vrp("99.0.0.0/8 => AS9")];
+        let mut c = CacheServer::new(1, &initial);
+        c.update_delta(&announced, &withdrawn);
+        let mut engine = SnapshotChainEngine::new([], initial, ChainConfig::default());
+        engine.apply_epoch(&announced, &withdrawn);
+        let cache_set: Vec<Vrp> = c.vrps().copied().collect();
+        assert_eq!(cache_set, engine.current_vrps());
+    }
+
+    #[test]
+    fn update_delta_skips_noop_records() {
+        let mut c = cache();
+        // Announcing a served VRP and withdrawing an absent one are both
+        // no-ops and must not be recorded.
+        c.update_delta(&[vrp("10.0.0.0/8 => AS1")], &[vrp("99.0.0.0/8 => AS9")]);
+        assert_eq!(c.len(), 2);
+        let response = c.handle(&Pdu::SerialQuery {
+            session_id: 7,
+            serial: 0,
+        });
+        assert_eq!(response.len(), 2, "empty delta: CacheResponse + EOD only");
+    }
+
+    #[test]
+    fn update_delta_keeps_router_in_sync() {
+        use crate::client::RouterClient;
+        // Replay a dirty delta through a real client: the session must
+        // survive (this is the regression the normalization guards).
+        let mut c = CacheServer::new(9, &[vrp("10.0.0.0/8 => AS1")]);
+        let mut router = RouterClient::new();
+        for pdu in c.handle(&Pdu::ResetQuery) {
+            router.handle(&pdu).unwrap();
+        }
+        let flap = vrp("10.0.0.0/8 => AS1");
+        let fresh = vrp("12.0.0.0/8 => AS4");
+        c.update_delta(&[flap, fresh], &[flap]);
+        for pdu in c.handle(&router.query()) {
+            router
+                .handle(&pdu)
+                .expect("delta must not desync the router");
+        }
+        assert_eq!(router.serial(), c.serial());
+        let got: Vec<Vrp> = router.vrps().iter().copied().collect();
+        let expect: Vec<Vrp> = c.vrps().copied().collect();
+        assert_eq!(got, expect);
     }
 
     #[test]

@@ -44,8 +44,10 @@
 pub mod cache;
 pub mod client;
 pub mod pdu;
+pub mod session;
 pub mod transport;
 
 pub use cache::CacheServer;
 pub use client::RouterClient;
 pub use pdu::{Pdu, PduError, PROTOCOL_V0, PROTOCOL_V1};
+pub use session::{LiveSession, SessionError, SyncStats};

@@ -1,0 +1,222 @@
+//! A live cache ↔ router session: the churn stream as real PDUs.
+//!
+//! The sans-io state machines in [`cache`](crate::cache) and
+//! [`client`](crate::client) are exercised here as one long-running
+//! session over the in-memory transport: every epoch of a churn timeline
+//! becomes a [`CacheServer::update_delta`] call, the Serial Notify travels
+//! down the wire, the router answers with a Serial Query, and the delta
+//! response (or a Cache Reset, once the router has fallen behind the
+//! cache's history window) flows back — so incremental revalidation
+//! downstream consumes exactly what RFC 8210 put on the wire, not a
+//! function-call shortcut.
+//!
+//! [`LiveSession`] owns both endpoints plus the transport pair; tests,
+//! the `churn` bench bin, and `examples/live_cache.rs` all drive it.
+
+use rpki_roa::Vrp;
+
+use crate::cache::CacheServer;
+use crate::client::{ClientError, RouterClient};
+use crate::pdu::Pdu;
+use crate::transport::{memory_pair, MemoryTransport, Transport, TransportError};
+
+/// What one synchronization round did, counted on the wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SyncStats {
+    /// Prefix PDUs carrying the announce flag.
+    pub announced: usize,
+    /// Prefix PDUs carrying the withdraw flag.
+    pub withdrawn: usize,
+    /// Total PDUs the router received this round (including notifies,
+    /// Cache Response / End of Data framing, and any Cache Reset).
+    pub pdus: usize,
+    /// `true` if the cache answered with a Cache Reset and the router had
+    /// to rebuild its set from a full Reset Query response.
+    pub reset: bool,
+}
+
+/// Session failures: a protocol error on the router side or a broken
+/// transport.
+#[derive(Debug)]
+pub enum SessionError {
+    /// The router-side state machine rejected a PDU.
+    Client(ClientError),
+    /// The pipe between the endpoints failed.
+    Transport(TransportError),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Client(e) => write!(f, "client: {e}"),
+            SessionError::Transport(e) => write!(f, "transport: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<ClientError> for SessionError {
+    fn from(e: ClientError) -> Self {
+        // Keep transport failures in their own arm even when they arrive
+        // wrapped by the client.
+        match e {
+            ClientError::Transport(t) => SessionError::Transport(t),
+            other => SessionError::Client(other),
+        }
+    }
+}
+
+impl From<TransportError> for SessionError {
+    fn from(e: TransportError) -> Self {
+        SessionError::Transport(e)
+    }
+}
+
+/// A cache server and a router client joined by an in-memory transport,
+/// stepped serially: update the cache, then let the router catch up.
+#[derive(Debug)]
+pub struct LiveSession {
+    cache: CacheServer,
+    router: RouterClient,
+    /// The cache's end of the pipe.
+    cache_side: MemoryTransport,
+    /// The router's end of the pipe.
+    router_side: MemoryTransport,
+}
+
+impl LiveSession {
+    /// Wires a cache holding `vrps` to a fresh, unsynchronized router.
+    pub fn new(session_id: u16, vrps: &[Vrp]) -> LiveSession {
+        let (router_side, cache_side) = memory_pair();
+        LiveSession {
+            cache: CacheServer::new(session_id, vrps),
+            router: RouterClient::new(),
+            cache_side,
+            router_side,
+        }
+    }
+
+    /// The cache endpoint (e.g. to inspect serial/history state).
+    pub fn cache(&self) -> &CacheServer {
+        &self.cache
+    }
+
+    /// The router endpoint (e.g. to read the synchronized VRP set).
+    pub fn router(&self) -> &RouterClient {
+        &self.router
+    }
+
+    /// Applies one churn epoch to the cache, pushes the Serial Notify down
+    /// the wire, and runs the router's synchronization round to
+    /// completion. Returns the on-wire stats.
+    pub fn apply_epoch(
+        &mut self,
+        announced: &[Vrp],
+        withdrawn: &[Vrp],
+    ) -> Result<SyncStats, SessionError> {
+        let notify = self.cache.update_delta(announced, withdrawn);
+        self.cache_side.send(&notify)?;
+        self.synchronize()
+    }
+
+    /// One full synchronization round: the router sends the query its
+    /// state calls for, the cache serves it, and the router consumes the
+    /// response — following a Cache Reset with a Reset Query, exactly the
+    /// RFC 8210 §8 recovery path.
+    pub fn synchronize(&mut self) -> Result<SyncStats, SessionError> {
+        let mut stats = SyncStats::default();
+        // Bounded retries: a Cache Reset forces exactly one fallback to a
+        // Reset Query; anything beyond that is a protocol loop.
+        for _attempt in 0..2 {
+            self.router_side.send(&self.router.query())?;
+            self.cache.serve_one(&mut self.cache_side)?;
+            let mut reset = false;
+            loop {
+                let pdu = self.router_side.recv()?;
+                stats.pdus += 1;
+                match &pdu {
+                    Pdu::Prefix { flags, .. } => match flags {
+                        crate::pdu::Flags::Announce => stats.announced += 1,
+                        crate::pdu::Flags::Withdraw => stats.withdrawn += 1,
+                    },
+                    Pdu::CacheReset => {
+                        stats.reset = true;
+                        reset = true;
+                    }
+                    _ => {}
+                }
+                if self.router.handle(&pdu)? {
+                    return Ok(stats);
+                }
+                if reset {
+                    break; // fall back to a Reset Query
+                }
+            }
+        }
+        Err(SessionError::Transport(TransportError::Closed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vrp(s: &str) -> Vrp {
+        s.parse().unwrap()
+    }
+
+    fn vrps(list: &[&str]) -> Vec<Vrp> {
+        list.iter().map(|s| s.parse().unwrap()).collect()
+    }
+
+    #[test]
+    fn initial_sync_then_deltas() {
+        let mut s = LiveSession::new(21, &vrps(&["10.0.0.0/8 => AS1"]));
+        let stats = s.synchronize().unwrap();
+        assert_eq!(stats.announced, 1);
+        assert!(!stats.reset);
+        assert_eq!(s.router().vrps().len(), 1);
+
+        let stats = s
+            .apply_epoch(&[vrp("11.0.0.0/8 => AS2")], &[vrp("10.0.0.0/8 => AS1")])
+            .unwrap();
+        assert_eq!((stats.announced, stats.withdrawn), (1, 1));
+        assert_eq!(s.router().serial(), 1);
+        let got: Vec<Vrp> = s.router().vrps().iter().copied().collect();
+        assert_eq!(got, vrps(&["11.0.0.0/8 => AS2"]));
+    }
+
+    #[test]
+    fn router_mirrors_cache_across_many_epochs() {
+        let mut s = LiveSession::new(3, &vrps(&["10.0.0.0/8 => AS1"]));
+        s.synchronize().unwrap();
+        for i in 0u32..40 {
+            let fresh = vrp(&format!("10.{}.0.0/16 => AS{}", i % 200, 100 + i));
+            s.apply_epoch(&[fresh], &[]).unwrap();
+            let cache_set: Vec<&Vrp> = s.cache().vrps().collect();
+            let router_set: Vec<&Vrp> = s.router().vrps().iter().collect();
+            assert_eq!(cache_set, router_set, "epoch {i}");
+            assert_eq!(s.router().serial(), s.cache().serial());
+        }
+    }
+
+    #[test]
+    fn stale_router_recovers_via_cache_reset() {
+        let mut s = LiveSession::new(8, &vrps(&["10.0.0.0/8 => AS1"]));
+        s.synchronize().unwrap();
+        // Age the router's serial out of the history window without
+        // letting it catch up.
+        for i in 0u32..40 {
+            s.cache
+                .update_delta(&[vrp(&format!("172.16.{}.0/24 => AS7", i % 256))], &[]);
+        }
+        let stats = s.synchronize().unwrap();
+        assert!(stats.reset, "stale serial must force a Cache Reset");
+        // Recovery delivers the full current set.
+        let got: Vec<&Vrp> = s.router().vrps().iter().collect();
+        let expect: Vec<&Vrp> = s.cache().vrps().collect();
+        assert_eq!(got, expect);
+        assert_eq!(s.router().serial(), s.cache().serial());
+    }
+}

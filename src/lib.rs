@@ -59,8 +59,15 @@ pub mod prelude {
     pub use maxlength_core::scenarios::{Scenario, Table1};
     pub use maxlength_core::vulnerability::{hijack_surface, MaxLengthCensus};
     pub use maxlength_core::BgpTable;
-    pub use rpki_datasets::{DatasetSnapshot, GeneratorConfig, World};
+    pub use rpki_datasets::{
+        ChurnConfig, ChurnGenerator, ChurnProfile, ChurnTimeline, DatasetSnapshot, GeneratorConfig,
+        World,
+    };
     pub use rpki_prefix::{Afi, Prefix, Prefix4, Prefix6};
     pub use rpki_roa::{Asn, Roa, RoaPrefix, RouteOrigin, Vrp};
-    pub use rpki_rov::{FrozenVrpIndex, RovPolicy, ValidationState, ValidationSummary, VrpIndex};
+    pub use rpki_rov::{
+        ChainConfig, FrozenVrpIndex, RovPolicy, SnapshotChainEngine, ValidationState,
+        ValidationSummary, VrpIndex,
+    };
+    pub use rpki_rtr::LiveSession;
 }

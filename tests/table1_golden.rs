@@ -1,0 +1,68 @@
+//! Golden snapshot of Table 1: the seven scenario PDU counts on the
+//! generated world at scale 0.05 (default seed), frozen into a checked-in
+//! fixture. Any change to the dataset generator, the minimalization or
+//! compression pipeline, or the bounds — intended or not — fails this
+//! test loudly instead of silently shifting the reproduction.
+//!
+//! To bless an intended change:
+//!
+//! ```sh
+//! MAXLENGTH_BLESS=1 cargo test --test table1_golden
+//! ```
+//!
+//! and commit the updated `tests/golden/table1_scale_005.txt` alongside
+//! the change that moved the numbers.
+
+use maxlength_rpki::core::scenarios::Table1;
+use maxlength_rpki::core::BgpTable;
+use maxlength_rpki::datasets::{GeneratorConfig, World};
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/table1_scale_005.txt"
+);
+
+fn compute() -> Table1 {
+    let world = World::generate(GeneratorConfig {
+        scale: 0.05,
+        ..GeneratorConfig::default()
+    });
+    let snap = world.snapshot(7);
+    let vrps = snap.vrps();
+    let bgp: BgpTable = snap.routes.iter().collect();
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    Table1::compute_par(&vrps, &bgp, threads)
+}
+
+fn render(table: &Table1) -> String {
+    let mut out = String::from(
+        "# Table 1 PDU counts, generated world at scale 0.05 (default seed, week 6/1).\n\
+         # Regenerate with: MAXLENGTH_BLESS=1 cargo test --test table1_golden\n",
+    );
+    for row in &table.rows {
+        out.push_str(&format!(
+            "{:?}\t{}\t{}\n",
+            row.scenario,
+            row.pdus,
+            if row.secure { "secure" } else { "insecure" }
+        ));
+    }
+    out
+}
+
+#[test]
+fn table1_scenario_pdu_counts_match_golden_fixture() {
+    let got = render(&compute());
+    if std::env::var_os("MAXLENGTH_BLESS").is_some() {
+        std::fs::write(FIXTURE, &got).expect("write fixture");
+        return;
+    }
+    let want = std::fs::read_to_string(FIXTURE).expect(
+        "missing tests/golden/table1_scale_005.txt — run with MAXLENGTH_BLESS=1 to create it",
+    );
+    assert_eq!(
+        got, want,
+        "Table 1 scenario PDU counts moved; if intended, bless with \
+         MAXLENGTH_BLESS=1 cargo test --test table1_golden"
+    );
+}
