@@ -1,0 +1,51 @@
+//! Criterion ablation for the scenario-matrix runner: the parallel
+//! `(cell × trial)` fan-out vs the sequential fold on the same matrix —
+//! and the assertion, before any timing, that the two are bit-identical
+//! (the contract the golden fixture and `routing_props` pin down).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bgpsim::experiment::RoaConfig;
+use bgpsim::matrix::{ScenarioMatrix, TopologyFamily};
+use bgpsim::{DeploymentModel, TopologyConfig};
+
+fn matrix(n: usize) -> ScenarioMatrix {
+    ScenarioMatrix {
+        topologies: vec![TopologyFamily::new(TopologyConfig {
+            n,
+            tier1: 5,
+            ..TopologyConfig::default()
+        })],
+        strategies: ScenarioMatrix::standard_strategies(),
+        deployments: vec![
+            DeploymentModel::Uniform { p: 1.0 },
+            DeploymentModel::TopIspsFirst { p: 0.3 },
+        ],
+        roas: RoaConfig::ALL.to_vec(),
+        trials: 4,
+        seed: 2017,
+    }
+}
+
+fn bench_matrix(c: &mut Criterion) {
+    for n in [200, 500] {
+        let m = matrix(n);
+        // Equivalence before speed.
+        assert_eq!(m.run(), m.run_par(), "parallel diverged at n={n}");
+
+        let cells = m.cell_count() as u64;
+        let mut group = c.benchmark_group(format!("matrix/run/n-{n}"));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(cells));
+        group.bench_with_input(BenchmarkId::new("sequential", cells), &m, |b, m| {
+            b.iter(|| m.run())
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", cells), &m, |b, m| {
+            b.iter(|| m.run_par())
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_matrix);
+criterion_main!(benches);

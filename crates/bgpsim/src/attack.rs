@@ -112,90 +112,17 @@ impl AttackOutcome {
 
 /// Runs one attack and measures interception.
 ///
+/// Since the strategy generalization, each [`AttackKind`] *is* an
+/// [`crate::AttackerStrategy`]; this is the legacy entry point,
+/// equivalent to `run_strategy(&kind, setup)` — the dispatch is open,
+/// not a closed four-way match.
+///
 /// # Panics
 ///
 /// Panics if `attacker == victim`, if `sub_prefix` is not covered by
 /// `victim_prefix`, or if `policies.len() != topology.len()`.
 pub fn run_attack(kind: AttackKind, setup: &AttackSetup<'_>) -> AttackOutcome {
-    let t = setup.topology;
-    assert_ne!(
-        setup.attacker, setup.victim,
-        "attacker must differ from victim"
-    );
-    assert!(
-        setup.victim_prefix.covers(setup.sub_prefix),
-        "sub_prefix must be inside victim_prefix"
-    );
-    assert_eq!(setup.policies.len(), t.len());
-
-    let victim_asn = t.asn(setup.victim);
-    let attacker_asn = t.asn(setup.attacker);
-    let claimed = if kind.forged_origin() {
-        victim_asn
-    } else {
-        attacker_asn
-    };
-    let attacker_seed = Seed {
-        at: setup.attacker,
-        // A forged-origin path already carries the victim's ASN.
-        path_len: if kind.forged_origin() { 1 } else { 0 },
-        claimed_origin: claimed,
-    };
-    let victim_seed = Seed {
-        at: setup.victim,
-        path_len: 0,
-        claimed_origin: victim_asn,
-    };
-
-    // Import filter: RFC 6811 against the published VRPs, honoring each
-    // AS's policy. Validation sees the *claimed* origin.
-    let make_accept = |prefix: Prefix| {
-        let vrps = setup.vrps;
-        let policies = setup.policies;
-        move |at: usize, claimed_origin: Asn| -> bool {
-            let state = vrps.validate(&RouteOrigin::new(prefix, claimed_origin));
-            policies[at].permits(state)
-        }
-    };
-
-    // Propagate the victim's prefix (with the attacker competing on it if
-    // the attack is prefix-grained).
-    let accept_p = make_accept(setup.victim_prefix);
-    let mut p_seeds = vec![victim_seed];
-    if kind.same_prefix() {
-        p_seeds.push(attacker_seed);
-    }
-    let p_routes = propagate(t, &p_seeds, &accept_p);
-
-    // Propagate the subprefix if the attack announces one.
-    let q_routes: Option<Propagation> = if kind.same_prefix() {
-        None
-    } else {
-        let accept_q = make_accept(setup.sub_prefix);
-        Some(propagate(t, &[attacker_seed], &accept_q))
-    };
-
-    // Data plane: longest-prefix match toward an address in `q`.
-    let mut outcome = AttackOutcome {
-        intercepted: 0,
-        legitimate: 0,
-        disconnected: 0,
-    };
-    for a in 0..t.len() {
-        if a == setup.attacker || a == setup.victim {
-            continue;
-        }
-        let chosen = q_routes
-            .as_ref()
-            .and_then(|q| q.routes[a]) // longer match wins if present
-            .or(p_routes.routes[a]);
-        match chosen {
-            Some(info) if info.delivers_to == setup.attacker => outcome.intercepted += 1,
-            Some(_) => outcome.legitimate += 1,
-            None => outcome.disconnected += 1,
-        }
-    }
-    outcome
+    crate::strategy::run_strategy(&kind, setup)
 }
 
 /// A forged-origin subprefix trial against a victim with an arbitrary
@@ -242,17 +169,9 @@ pub fn run_forged_origin_trial(trial: &ForgedOriginTrial<'_>) -> AttackOutcome {
 
     // Propagate the attacked prefix: the attacker's forged announcement,
     // plus the victim's own if the victim announces exactly `target`.
-    let mut target_seeds = vec![Seed {
-        at: trial.attacker,
-        path_len: 1,
-        claimed_origin: victim_asn,
-    }];
+    let mut target_seeds = vec![Seed::forged(trial.attacker, victim_asn)];
     if trial.victim_prefixes.contains(&trial.target) {
-        target_seeds.push(Seed {
-            at: trial.victim,
-            path_len: 0,
-            claimed_origin: victim_asn,
-        });
+        target_seeds.push(Seed::origin(trial.victim, victim_asn));
     }
     let accept_target = make_accept(trial.target);
     let target_routes = propagate(t, &target_seeds, &accept_target);
@@ -271,15 +190,7 @@ pub fn run_forged_origin_trial(trial: &ForgedOriginTrial<'_>) -> AttackOutcome {
         .iter()
         .map(|&p| {
             let accept = make_accept(p);
-            propagate(
-                t,
-                &[Seed {
-                    at: trial.victim,
-                    path_len: 0,
-                    claimed_origin: victim_asn,
-                }],
-                &accept,
-            )
+            propagate(t, &[Seed::origin(trial.victim, victim_asn)], &accept)
         })
         .collect();
 

@@ -4,7 +4,7 @@
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use rayon::prelude::*;
 
 use rpki_prefix::Prefix;
@@ -12,6 +12,7 @@ use rpki_roa::Vrp;
 use rpki_rov::{RovPolicy, VrpIndex};
 
 use crate::attack::{run_attack, AttackKind, AttackSetup};
+use crate::deployment::DeploymentModel;
 use crate::topology::{Topology, TopologyConfig};
 
 /// The victim's ROA configuration under test.
@@ -39,6 +40,33 @@ impl RoaConfig {
             RoaConfig::NoRoa => "no ROA",
             RoaConfig::NonMinimalMaxLen => "non-minimal ROA (maxLength)",
             RoaConfig::Minimal => "minimal ROA",
+        }
+    }
+
+    /// The victim's published VRP set under this configuration: nothing,
+    /// a loose `(prefix, maxLength = max_len)` tuple, or the exact
+    /// minimal tuple.
+    pub fn vrps(self, prefix: Prefix, max_len: u8, asn: rpki_roa::Asn) -> VrpIndex {
+        match self {
+            RoaConfig::NoRoa => VrpIndex::new(),
+            RoaConfig::NonMinimalMaxLen => [Vrp::new(prefix, max_len, asn)].into_iter().collect(),
+            RoaConfig::Minimal => [Vrp::exact(prefix, asn)].into_iter().collect(),
+        }
+    }
+}
+
+/// The attacker/victim pair of trial `trial`, derived from its own
+/// `StdRng::seed_from_u64(seed ^ trial)` stream. Trials share no RNG
+/// state, so they can run in any order — or concurrently — and sample
+/// identical pairs; this is what makes the parallel experiment and
+/// matrix runners bit-identical to their sequential paths.
+pub(crate) fn trial_pair(seed: u64, stubs: &[usize], trial: usize) -> (usize, usize) {
+    let mut rng = StdRng::seed_from_u64(seed ^ trial as u64);
+    loop {
+        let v = *stubs.choose(&mut rng).expect("non-empty");
+        let a = *stubs.choose(&mut rng).expect("non-empty");
+        if a != v {
+            return (v, a);
         }
     }
 }
@@ -124,41 +152,21 @@ impl ExperimentReport {
 }
 
 impl AttackExperiment {
-    /// Domain separator keeping the policy stream disjoint from every
-    /// per-trial stream: `trial_pair` uses `seed ^ trial`, so a plain
-    /// `seed` here would replay trial 0's words for the deployment
-    /// draw, correlating ROV placement with the first sample.
-    const POLICY_DOMAIN: u64 = 0xD6E8_FEB8_6659_FD93;
-
     /// Per-AS ROV policies, fixed across cells for comparability.
-    /// Derived from the base seed alone, never from per-trial state.
+    /// Derived from the base seed alone (through
+    /// [`crate::deployment::POLICY_DOMAIN`]), never from per-trial
+    /// state. The uniform [`DeploymentModel`] replays the exact stream
+    /// the experiment always used, so results are unchanged.
     fn policies(&self, topology: &Topology) -> Vec<RovPolicy> {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ Self::POLICY_DOMAIN);
-        (0..topology.len())
-            .map(|_| {
-                if rng.gen_bool(self.rov_fraction) {
-                    RovPolicy::DropInvalid
-                } else {
-                    RovPolicy::AcceptAll
-                }
-            })
-            .collect()
+        DeploymentModel::Uniform {
+            p: self.rov_fraction,
+        }
+        .policies(topology, self.seed)
     }
 
-    /// The attacker/victim pair of one trial, derived from its own
-    /// `StdRng::seed_from_u64(seed ^ trial)` stream. Trials share no RNG
-    /// state, so they can run in any order — or concurrently — and
-    /// sample identical pairs; this is what makes [`Self::run_par`]
-    /// bit-identical to [`Self::run`].
+    /// The attacker/victim pair of one trial — see [`trial_pair`].
     fn trial_pair(&self, stubs: &[usize], trial: usize) -> (usize, usize) {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ trial as u64);
-        loop {
-            let v = *stubs.choose(&mut rng).expect("non-empty");
-            let a = *stubs.choose(&mut rng).expect("non-empty");
-            if a != v {
-                return (v, a);
-            }
-        }
+        trial_pair(self.seed, stubs, trial)
     }
 
     /// One trial of one cell: build the victim's ROA configuration and
@@ -175,13 +183,7 @@ impl AttackExperiment {
         let p: Prefix = "168.122.0.0/16".parse().expect("static");
         let q: Prefix = "168.122.0.0/24".parse().expect("static");
         let (victim, attacker) = self.trial_pair(stubs, trial);
-        let vrps: VrpIndex = match roa {
-            RoaConfig::NoRoa => VrpIndex::new(),
-            RoaConfig::NonMinimalMaxLen => [Vrp::new(p, 24, topology.asn(victim))]
-                .into_iter()
-                .collect(),
-            RoaConfig::Minimal => [Vrp::exact(p, topology.asn(victim))].into_iter().collect(),
-        };
+        let vrps = roa.vrps(p, q.len(), topology.asn(victim));
         run_attack(
             kind,
             &AttackSetup {
@@ -424,6 +426,11 @@ mod tests {
 /// Interception of one attack/ROA cell as ROV adoption varies — quantifies
 /// §2's observation that ROAs protect nothing until routers actually drop
 /// Invalid routes.
+///
+/// Subsumed by the scenario matrix: a [`crate::ScenarioMatrix`] whose
+/// deployment axis is `DeploymentModel::Uniform` at several adoption
+/// levels covers the same grid (and more attacker strategies); this type
+/// remains for the `attacks` harness binary.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AdoptionSweep {
     /// The attack held fixed across the sweep.

@@ -11,7 +11,8 @@
 //! * a **minimal ROA** makes the subprefix variant Invalid, forcing the
 //!   attacker down to the much weaker prefix-grained attack (§5).
 //!
-//! This crate reproduces those results on synthetic AS topologies:
+//! This crate reproduces those results on synthetic AS topologies —
+//! and generalizes them into a scenario-matrix engine:
 //!
 //! * [`topology`] — Internet-like AS graphs: a tier-1 clique,
 //!   preferential-attachment customer/provider edges, sprinkled peering.
@@ -20,8 +21,17 @@
 //!   with per-AS route-origin-validation filtering.
 //! * [`attack`] — the four hijack types and the longest-prefix-match
 //!   data plane that measures who delivers traffic to whom.
+//! * [`strategy`] — the pluggable [`AttackerStrategy`] trait behind the
+//!   attack dispatch, with route leaks, path forgery, and the
+//!   maxLength-gap prober beyond the four legacy kinds.
+//! * [`deployment`] — [`DeploymentModel`]: who validates (uniform,
+//!   top-ISPs-first, stub-only), generalizing the single adoption
+//!   fraction.
 //! * [`experiment`] — sampled attacker/victim trials producing the
 //!   interception statistics quoted in EXPERIMENTS.md.
+//! * [`matrix`] — [`ScenarioMatrix`]: the full strategy × deployment ×
+//!   ROA × topology cross-product, run in parallel bit-identically to
+//!   the sequential fold.
 //!
 //! ```
 //! use bgpsim::{AttackExperiment, AttackKind};
@@ -48,11 +58,20 @@
 #![warn(missing_docs)]
 
 pub mod attack;
+pub mod deployment;
 pub mod experiment;
+pub mod matrix;
 pub mod routing;
+pub mod strategy;
 pub mod topology;
 
 pub use attack::{AttackKind, AttackOutcome, AttackSetup, ForgedOriginTrial};
-pub use experiment::{AdoptionSweep, AttackExperiment, ExperimentReport};
+pub use deployment::DeploymentModel;
+pub use experiment::{AdoptionSweep, AttackExperiment, ExperimentReport, RoaConfig};
+pub use matrix::{CellStats, MatrixCell, MatrixReport, ScenarioMatrix, TopologyFamily};
 pub use routing::{Propagation, RouteClass, RouteInfo};
+pub use strategy::{
+    run_strategy, AttackAnnouncement, AttackPlan, AttackerStrategy, MaxLengthGapProber,
+    PathForgery, RouteLeak, StrategyContext,
+};
 pub use topology::{Relationship, Topology, TopologyConfig};

@@ -70,6 +70,28 @@ pub struct Seed {
     pub claimed_origin: Asn,
 }
 
+impl Seed {
+    /// A legitimate origination at `at` claiming `claimed_origin`
+    /// (path length 0).
+    pub fn origin(at: usize, claimed_origin: Asn) -> Seed {
+        Seed {
+            at,
+            path_len: 0,
+            claimed_origin,
+        }
+    }
+
+    /// A forged-origin announcement at `at`: the path already carries the
+    /// claimed origin's ASN, so it starts one hop long.
+    pub fn forged(at: usize, claimed_origin: Asn) -> Seed {
+        Seed {
+            at,
+            path_len: 1,
+            claimed_origin,
+        }
+    }
+}
+
 /// The result of propagating one prefix.
 #[derive(Debug, Clone)]
 pub struct Propagation {

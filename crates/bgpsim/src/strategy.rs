@@ -1,0 +1,558 @@
+//! Pluggable attacker strategies.
+//!
+//! The paper's §4/§5 analysis fixes two attack shapes (exact-prefix and
+//! subprefix forged-origin hijacks). Real adversaries have a wider menu,
+//! and the scenario matrix ([`crate::matrix`]) needs the menu to be
+//! *open*: new attack shapes must plug in without touching the engine.
+//!
+//! [`AttackerStrategy`] is that plug point. A strategy inspects a
+//! [`StrategyContext`] — the topology, the victim/attacker placement, the
+//! victim's announcement, the published VRPs, and the propagation of the
+//! victim's route *before* the attack (everything a real attacker could
+//! observe) — and returns an [`AttackPlan`]: at most one crafted
+//! announcement plus the address block whose traffic is measured.
+//! [`run_strategy`] stages the plan under Gao–Rexford propagation with
+//! per-AS ROV filtering and a longest-prefix-match data plane.
+//!
+//! Shipped strategies:
+//!
+//! * the four legacy [`AttackKind`]s (each `AttackKind` *is* a strategy);
+//! * [`RouteLeak`] — re-announcing the legitimately learned route to
+//!   everyone, in violation of export policy; RPKI-valid by construction,
+//!   so no ROA configuration helps against it;
+//! * [`PathForgery`] — the same-prefix forged-origin hijack with a
+//!   shortened (origin-spoofing) or prepended AS path;
+//! * [`MaxLengthGapProber`] — reads the published VRPs and targets
+//!   exactly the unannounced space a loose maxLength authorizes,
+//!   demoting itself to the prefix-grained attack when the ROA is
+//!   minimal — the paper's §5 demotion argument as an adaptive attacker.
+
+use rpki_prefix::Prefix;
+use rpki_roa::{Asn, RouteOrigin};
+use rpki_rov::VrpIndex;
+
+use crate::attack::{AttackKind, AttackOutcome, AttackSetup};
+use crate::routing::{propagate, Propagation, Seed};
+use crate::topology::Topology;
+
+/// Everything an attacker can observe before announcing: the graph, the
+/// players, the victim's announcement, the published VRPs, and (on
+/// demand) how the victim's route propagated in the pre-attack world.
+pub struct StrategyContext<'a> {
+    /// The AS graph.
+    pub topology: &'a Topology,
+    /// Victim AS index; it announces exactly `victim_prefix`.
+    pub victim: usize,
+    /// Attacker AS index.
+    pub attacker: usize,
+    /// The victim's announced prefix `p`.
+    pub victim_prefix: Prefix,
+    /// The canonical attacked subprefix `q ⊆ p` (strategies may target it
+    /// or derive their own target from the VRPs).
+    pub sub_prefix: Prefix,
+    /// The published VRPs (the ROA configuration under test).
+    pub vrps: &'a VrpIndex,
+    /// The victim-only propagation, computed on first use: same-prefix
+    /// plans replace it with a head-to-head propagation anyway, so
+    /// strategies that never look pay nothing.
+    baseline: std::cell::OnceCell<Propagation>,
+    victim_seed: Seed,
+    accept_p: &'a (dyn Fn(usize, Asn) -> bool + 'a),
+}
+
+impl StrategyContext<'_> {
+    /// The victim's public ASN.
+    pub fn victim_asn(&self) -> Asn {
+        self.topology.asn(self.victim)
+    }
+
+    /// The attacker's public ASN.
+    pub fn attacker_asn(&self) -> Asn {
+        self.topology.asn(self.attacker)
+    }
+
+    /// The victim's prefix propagated *without* the attacker — what the
+    /// attacker's router actually learned (route leaks replay it).
+    /// Computed lazily and cached for the rest of the trial.
+    pub fn baseline(&self) -> &Propagation {
+        self.baseline
+            .get_or_init(|| propagate(self.topology, &[self.victim_seed], self.accept_p))
+    }
+
+    /// Hands the (possibly still uncomputed) baseline to the executor's
+    /// data plane.
+    fn into_baseline(self) -> Propagation {
+        self.baseline
+            .into_inner()
+            .unwrap_or_else(|| propagate(self.topology, &[self.victim_seed], self.accept_p))
+    }
+}
+
+/// The attacker's crafted announcement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackAnnouncement {
+    /// The prefix the attacker announces.
+    pub prefix: Prefix,
+    /// The origin the forged path claims (what ROV validates).
+    pub claimed_origin: Asn,
+    /// Initial AS-path length (0 = claims to *be* the origin, 1 = the
+    /// standard forged-origin shape, more = prepending).
+    pub path_len: u32,
+}
+
+/// What a strategy decided to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackPlan {
+    /// The announcement, or `None` if the strategy has nothing to send
+    /// (e.g. a route leak when the attacker never learned the route).
+    pub announcement: Option<AttackAnnouncement>,
+    /// The address block whose traffic is measured, inside the victim's
+    /// prefix.
+    pub target: Prefix,
+}
+
+/// An attack shape: plans one crafted announcement from what the
+/// attacker can observe. Implement this to add a new scenario-matrix row.
+pub trait AttackerStrategy: Send + Sync {
+    /// Human-readable row label (stable: golden fixtures key on it).
+    fn label(&self) -> String;
+
+    /// Plans the attack for one staged trial.
+    fn plan(&self, ctx: &StrategyContext<'_>) -> AttackPlan;
+}
+
+/// The four legacy attack kinds are strategies: fixed announcement
+/// shapes that ignore the published VRPs.
+impl AttackerStrategy for AttackKind {
+    fn label(&self) -> String {
+        AttackKind::label(*self).to_string()
+    }
+
+    fn plan(&self, ctx: &StrategyContext<'_>) -> AttackPlan {
+        let claimed = if self.forged_origin() {
+            ctx.victim_asn()
+        } else {
+            ctx.attacker_asn()
+        };
+        AttackPlan {
+            announcement: Some(AttackAnnouncement {
+                prefix: if self.same_prefix() {
+                    ctx.victim_prefix
+                } else {
+                    ctx.sub_prefix
+                },
+                claimed_origin: claimed,
+                path_len: u32::from(self.forged_origin()),
+            }),
+            target: ctx.sub_prefix,
+        }
+    }
+}
+
+/// A full route leak: the attacker re-announces the route it
+/// legitimately learned for the victim's prefix to *all* neighbors,
+/// violating valley-free export. The leaked path keeps its learned
+/// length and its true origin, so it is RPKI-**valid** under every ROA
+/// configuration — interception measures how many ASes are pulled
+/// through the (on-path) leaker, and no maxLength discipline changes it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouteLeak;
+
+impl AttackerStrategy for RouteLeak {
+    fn label(&self) -> String {
+        "route leak".to_string()
+    }
+
+    fn plan(&self, ctx: &StrategyContext<'_>) -> AttackPlan {
+        AttackPlan {
+            announcement: ctx.baseline().routes[ctx.attacker].map(|learned| AttackAnnouncement {
+                prefix: ctx.victim_prefix,
+                claimed_origin: learned.claimed_origin,
+                path_len: learned.path_len,
+            }),
+            target: ctx.sub_prefix,
+        }
+    }
+}
+
+/// Same-prefix forged-origin hijack with a manipulated AS-path length:
+/// `extra_hops = 0` *shortens* the path below the legal minimum (the
+/// attacker claims to be the victim itself), larger values *prepend*,
+/// trading attraction for plausibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathForgery {
+    /// Initial claimed path length (0 = origin spoof, 1 = the standard
+    /// forged-origin announcement, ≥ 2 = prepending).
+    pub extra_hops: u32,
+}
+
+impl PathForgery {
+    /// The maximally aggressive shortening: claims to *be* the victim.
+    pub fn shortened() -> PathForgery {
+        PathForgery { extra_hops: 0 }
+    }
+
+    /// Prepends `extra_hops - 1` hops beyond the forged origin.
+    pub fn prepended(extra_hops: u32) -> PathForgery {
+        PathForgery { extra_hops }
+    }
+}
+
+impl AttackerStrategy for PathForgery {
+    fn label(&self) -> String {
+        match self.extra_hops {
+            0 => "forged-origin shortened path".to_string(),
+            1 => "forged-origin prefix hijack (explicit)".to_string(),
+            n => format!("forged-origin prepend+{n}"),
+        }
+    }
+
+    fn plan(&self, ctx: &StrategyContext<'_>) -> AttackPlan {
+        AttackPlan {
+            announcement: Some(AttackAnnouncement {
+                prefix: ctx.victim_prefix,
+                claimed_origin: ctx.victim_asn(),
+                path_len: self.extra_hops,
+            }),
+            target: ctx.sub_prefix,
+        }
+    }
+}
+
+/// The adaptive attacker of §4/§5: reads the victim's published VRPs and
+/// targets exactly the space a loose maxLength authorizes beyond the
+/// announcement.
+///
+/// * A covering VRP with `maxLength > len(p)` authorizes unannounced
+///   subprefixes (the victim announces exactly `p` in the staged trial):
+///   the prober forges the origin on the *widest* such hole, which is
+///   RPKI-valid and wins every longest-prefix match.
+/// * A minimal (exact) ROA leaves no hole: the prober demotes itself to
+///   the same-prefix forged-origin hijack — the §5 demotion.
+/// * No ROA at all: nothing constrains the attacker, so it mounts the
+///   classic subprefix hijack under its own origin.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaxLengthGapProber;
+
+impl MaxLengthGapProber {
+    /// The stable matrix row label.
+    pub const LABEL: &'static str = "maxLength-gap prober";
+}
+
+impl AttackerStrategy for MaxLengthGapProber {
+    fn label(&self) -> String {
+        Self::LABEL.to_string()
+    }
+
+    fn plan(&self, ctx: &StrategyContext<'_>) -> AttackPlan {
+        let victim_asn = ctx.victim_asn();
+        // The loosest tuple the victim published for this prefix.
+        let loosest = ctx
+            .vrps
+            .covering(ctx.victim_prefix)
+            .filter(|v| v.asn == victim_asn)
+            .map(|v| v.max_len)
+            .max();
+        match loosest {
+            Some(max_len) if max_len > ctx.victim_prefix.len() => {
+                // The widest authorized-but-unannounced hole: the left
+                // child of the announced prefix (any strict subprefix up
+                // to max_len is unannounced in the staged trial).
+                let (gap, _) = ctx
+                    .victim_prefix
+                    .children()
+                    .expect("max_len > len implies the prefix has children");
+                AttackPlan {
+                    announcement: Some(AttackAnnouncement {
+                        prefix: gap,
+                        claimed_origin: victim_asn,
+                        path_len: 1,
+                    }),
+                    target: gap,
+                }
+            }
+            Some(_) => {
+                // Minimal ROA: no hole to claim — demoted to the
+                // prefix-grained forged-origin attack.
+                AttackPlan {
+                    announcement: Some(AttackAnnouncement {
+                        prefix: ctx.victim_prefix,
+                        claimed_origin: victim_asn,
+                        path_len: 1,
+                    }),
+                    target: ctx.sub_prefix,
+                }
+            }
+            None => {
+                // No ROA: the unconstrained classic subprefix hijack.
+                AttackPlan {
+                    announcement: Some(AttackAnnouncement {
+                        prefix: ctx.sub_prefix,
+                        claimed_origin: ctx.attacker_asn(),
+                        path_len: 0,
+                    }),
+                    target: ctx.sub_prefix,
+                }
+            }
+        }
+    }
+}
+
+/// Stages one strategy and measures where every AS's traffic for the
+/// plan's target lands.
+///
+/// The victim originates `setup.victim_prefix`; the strategy observes the
+/// resulting pre-attack world and plans its announcement; both then
+/// propagate under Gao–Rexford with RFC 6811 filtering against
+/// `setup.vrps` (honoring each AS's [`rpki_rov::RovPolicy`]); finally
+/// every AS forwards a packet addressed inside the plan's target along
+/// its longest matching prefix.
+///
+/// # Panics
+///
+/// Panics if `attacker == victim`, if `sub_prefix` (or the planned
+/// target) is not covered by `victim_prefix`, or if
+/// `policies.len() != topology.len()`.
+pub fn run_strategy(strategy: &dyn AttackerStrategy, setup: &AttackSetup<'_>) -> AttackOutcome {
+    let t = setup.topology;
+    assert_ne!(
+        setup.attacker, setup.victim,
+        "attacker must differ from victim"
+    );
+    assert!(
+        setup.victim_prefix.covers(setup.sub_prefix),
+        "sub_prefix must be inside victim_prefix"
+    );
+    assert_eq!(setup.policies.len(), t.len());
+
+    // Import filter: RFC 6811 against the published VRPs, honoring each
+    // AS's policy. Validation sees the *claimed* origin.
+    let make_accept = |prefix: Prefix| {
+        let vrps = setup.vrps;
+        let policies = setup.policies;
+        move |at: usize, claimed_origin: Asn| -> bool {
+            let state = vrps.validate(&RouteOrigin::new(prefix, claimed_origin));
+            policies[at].permits(state)
+        }
+    };
+
+    // The pre-attack world is offered to the strategy lazily: only
+    // strategies that observe it (and subprefix plans, which reuse it as
+    // the fallback table) pay for the extra propagation.
+    let victim_seed = Seed::origin(setup.victim, t.asn(setup.victim));
+    let accept_p = make_accept(setup.victim_prefix);
+    let ctx = StrategyContext {
+        topology: t,
+        victim: setup.victim,
+        attacker: setup.attacker,
+        victim_prefix: setup.victim_prefix,
+        sub_prefix: setup.sub_prefix,
+        vrps: setup.vrps,
+        baseline: std::cell::OnceCell::new(),
+        victim_seed,
+        accept_p: &accept_p,
+    };
+    let plan = strategy.plan(&ctx);
+    assert!(
+        setup.victim_prefix.covers(plan.target),
+        "measurement target must be inside the victim's prefix"
+    );
+
+    // The attacked world: either a head-to-head propagation on the
+    // victim's prefix, or the attacker's prefix propagated next to the
+    // untouched baseline.
+    let mut tables: Vec<(Prefix, Propagation)> = Vec::with_capacity(2);
+    match plan.announcement {
+        Some(ann) if ann.prefix == setup.victim_prefix => {
+            let seed = Seed {
+                at: setup.attacker,
+                path_len: ann.path_len,
+                claimed_origin: ann.claimed_origin,
+            };
+            tables.push((
+                setup.victim_prefix,
+                propagate(t, &[victim_seed, seed], &accept_p),
+            ));
+        }
+        Some(ann) => {
+            let accept_q = make_accept(ann.prefix);
+            let seed = Seed {
+                at: setup.attacker,
+                path_len: ann.path_len,
+                claimed_origin: ann.claimed_origin,
+            };
+            tables.push((ann.prefix, propagate(t, &[seed], &accept_q)));
+            tables.push((setup.victim_prefix, ctx.into_baseline()));
+        }
+        None => tables.push((setup.victim_prefix, ctx.into_baseline())),
+    }
+
+    // Data plane: longest matching prefix toward an address in the target.
+    tables.retain(|(p, _)| p.covers(plan.target));
+    tables.sort_by_key(|(p, _)| std::cmp::Reverse(p.len()));
+    let mut outcome = AttackOutcome {
+        intercepted: 0,
+        legitimate: 0,
+        disconnected: 0,
+    };
+    for a in 0..t.len() {
+        if a == setup.attacker || a == setup.victim {
+            continue;
+        }
+        let chosen = tables.iter().find_map(|(_, prop)| prop.routes[a]);
+        match chosen {
+            Some(info) if info.delivers_to == setup.attacker => outcome.intercepted += 1,
+            Some(_) => outcome.legitimate += 1,
+            None => outcome.disconnected += 1,
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyConfig;
+    use rpki_roa::Vrp;
+    use rpki_rov::RovPolicy;
+
+    fn world() -> (Topology, usize, usize, Prefix, Prefix) {
+        let t = Topology::generate(TopologyConfig {
+            n: 400,
+            tier1: 6,
+            ..TopologyConfig::default()
+        });
+        let stubs = t.stubs();
+        let (victim, attacker) = (stubs[0], stubs[stubs.len() / 2]);
+        (
+            t,
+            victim,
+            attacker,
+            "168.122.0.0/16".parse().unwrap(),
+            "168.122.0.0/24".parse().unwrap(),
+        )
+    }
+
+    fn setup<'a>(
+        t: &'a Topology,
+        victim: usize,
+        attacker: usize,
+        p: Prefix,
+        q: Prefix,
+        vrps: &'a VrpIndex,
+        policies: &'a [RovPolicy],
+    ) -> AttackSetup<'a> {
+        AttackSetup {
+            topology: t,
+            victim,
+            attacker,
+            victim_prefix: p,
+            sub_prefix: q,
+            vrps,
+            policies,
+        }
+    }
+
+    #[test]
+    fn route_leak_is_immune_to_roa_configuration() {
+        // The leaked route carries the victim's true origin on the
+        // announced prefix: Valid (or NotFound) everywhere, so the three
+        // ROA configurations produce the identical outcome.
+        let (t, victim, attacker, p, q) = world();
+        let policies = vec![RovPolicy::DropInvalid; t.len()];
+        let configs: [VrpIndex; 3] = [
+            VrpIndex::new(),
+            [Vrp::new(p, 24, t.asn(victim))].into_iter().collect(),
+            [Vrp::exact(p, t.asn(victim))].into_iter().collect(),
+        ];
+        let outcomes: Vec<AttackOutcome> = configs
+            .iter()
+            .map(|vrps| {
+                run_strategy(
+                    &RouteLeak,
+                    &setup(&t, victim, attacker, p, q, vrps, &policies),
+                )
+            })
+            .collect();
+        assert_eq!(outcomes[0], outcomes[1]);
+        assert_eq!(outcomes[1], outcomes[2]);
+        // A full leak from a multi-homed stub attracts somebody.
+        assert!(outcomes[0].intercepted > 0, "{outcomes:?}");
+        // But it competes with the true route: no clean sweep.
+        assert!(outcomes[0].legitimate > 0, "{outcomes:?}");
+    }
+
+    #[test]
+    fn shortened_path_beats_standard_forged_origin() {
+        let (t, victim, attacker, p, q) = world();
+        let vrps: VrpIndex = [Vrp::exact(p, t.asn(victim))].into_iter().collect();
+        let policies = vec![RovPolicy::DropInvalid; t.len()];
+        let s = setup(&t, victim, attacker, p, q, &vrps, &policies);
+        let short = run_strategy(&PathForgery::shortened(), &s);
+        let standard = run_strategy(&AttackKind::ForgedOriginPrefixHijack, &s);
+        let prepended = run_strategy(&PathForgery::prepended(4), &s);
+        assert!(short.intercepted >= standard.intercepted);
+        assert!(standard.intercepted >= prepended.intercepted);
+        assert!(short.intercepted > prepended.intercepted, "{short:?}");
+    }
+
+    #[test]
+    fn gap_prober_sweeps_loose_roa_and_demotes_on_minimal() {
+        let (t, victim, attacker, p, q) = world();
+        let policies = vec![RovPolicy::DropInvalid; t.len()];
+        let loose: VrpIndex = [Vrp::new(p, 24, t.asn(victim))].into_iter().collect();
+        let swept = run_strategy(
+            &MaxLengthGapProber,
+            &setup(&t, victim, attacker, p, q, &loose, &policies),
+        );
+        assert_eq!(swept.interception_fraction(), 1.0, "{swept:?}");
+
+        let minimal: VrpIndex = [Vrp::exact(p, t.asn(victim))].into_iter().collect();
+        let s = setup(&t, victim, attacker, p, q, &minimal, &policies);
+        let demoted = run_strategy(&MaxLengthGapProber, &s);
+        let reference = run_strategy(&AttackKind::ForgedOriginPrefixHijack, &s);
+        assert_eq!(demoted, reference, "minimal ROA demotes the prober");
+        assert!(demoted.interception_fraction() < 1.0);
+
+        let none = VrpIndex::new();
+        let unconstrained = run_strategy(
+            &MaxLengthGapProber,
+            &setup(&t, victim, attacker, p, q, &none, &policies),
+        );
+        assert_eq!(unconstrained.interception_fraction(), 1.0);
+    }
+
+    #[test]
+    fn leak_with_no_learned_route_stays_silent() {
+        // Give the victim's announcement a wrong-origin ROA under
+        // universal ROV: nobody (including the attacker) learns it, so
+        // the leak has nothing to replay and nothing is intercepted.
+        let (t, victim, attacker, p, q) = world();
+        let policies = vec![RovPolicy::DropInvalid; t.len()];
+        let wrong_origin: VrpIndex = [Vrp::exact(p, t.asn(attacker))].into_iter().collect();
+        let outcome = run_strategy(
+            &RouteLeak,
+            &setup(&t, victim, attacker, p, q, &wrong_origin, &policies),
+        );
+        assert_eq!(outcome.intercepted, 0);
+        assert_eq!(outcome.legitimate, 0);
+        // Zero routed trials must report 0.0, not NaN (regression).
+        assert_eq!(outcome.interception_fraction(), 0.0);
+    }
+
+    #[test]
+    fn labels_are_stable_and_distinct() {
+        let strategies: Vec<Box<dyn AttackerStrategy>> = vec![
+            Box::new(AttackKind::ForgedOriginPrefixHijack),
+            Box::new(AttackKind::ForgedOriginSubprefixHijack),
+            Box::new(RouteLeak),
+            Box::new(PathForgery::shortened()),
+            Box::new(PathForgery::prepended(3)),
+            Box::new(MaxLengthGapProber),
+        ];
+        let labels: Vec<String> = strategies.iter().map(|s| s.label()).collect();
+        let unique: std::collections::BTreeSet<&String> = labels.iter().collect();
+        assert_eq!(unique.len(), labels.len(), "{labels:?}");
+        assert!(labels.contains(&MaxLengthGapProber::LABEL.to_string()));
+    }
+}

@@ -151,7 +151,24 @@ impl Topology {
 
     /// `true` if an edge joins `a` and `b`.
     pub fn are_neighbors(&self, a: usize, b: usize) -> bool {
-        self.neighbors[a].iter().any(|&(n, _)| n == b)
+        self.relationship(a, b).is_some()
+    }
+
+    /// The relationship of `b` as seen from `a`, if they are neighbors.
+    pub fn relationship(&self, a: usize, b: usize) -> Option<Relationship> {
+        self.neighbors[a]
+            .iter()
+            .find(|&&(n, _)| n == b)
+            .map(|&(_, rel)| rel)
+    }
+
+    /// Number of customers of `a` — the degree measure the
+    /// top-ISPs-first deployment model ranks by (transit size).
+    pub fn customer_count(&self, a: usize) -> usize {
+        self.neighbors[a]
+            .iter()
+            .filter(|&&(_, rel)| rel == Relationship::Customer)
+            .count()
     }
 
     /// `true` if `a` has no customers (an edge/stub network, the typical
@@ -270,6 +287,29 @@ mod tests {
         }
         assert_eq!(t.index_of(Asn(0)), None);
         assert_eq!(t.index_of(Asn(10_000)), None);
+    }
+
+    #[test]
+    fn relationship_and_customer_count_agree_with_neighbors() {
+        let t = small();
+        for a in 0..t.len() {
+            let mut customers = 0;
+            for &(b, rel) in t.neighbors(a) {
+                assert_eq!(t.relationship(a, b), Some(rel));
+                if rel == Relationship::Customer {
+                    customers += 1;
+                }
+            }
+            assert_eq!(t.customer_count(a), customers);
+        }
+        // Stubs have no customers; somebody provides transit.
+        for s in t.stubs() {
+            assert_eq!(t.customer_count(s), 0);
+        }
+        assert!((0..t.len()).any(|a| t.customer_count(a) > 0));
+        assert_eq!(t.relationship(0, t.len() - 1).is_some(), {
+            t.are_neighbors(0, t.len() - 1)
+        });
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! The paper's headline orderings, asserted as code over the scenario
+//! matrix:
+//!
+//! * interception is **non-increasing in ROV adoption** `p` for the
+//!   forged-origin strategies (the uniform deployment draws exactly one
+//!   threshold per AS, so adopter sets are nested in `p` — more
+//!   validation can only remove attacker routes);
+//! * **minimal-ROA cells never exceed loose-maxLength cells** for any
+//!   strategy, deployment, or topology — §5's claim that minimal ROAs
+//!   only ever help;
+//! * zero-eligible cells aggregate to 0.0, never NaN.
+
+use bgpsim::experiment::RoaConfig;
+use bgpsim::matrix::{ScenarioMatrix, TopologyFamily};
+use bgpsim::topology::TopologyConfig;
+use bgpsim::{AttackKind, DeploymentModel, MaxLengthGapProber};
+
+fn family(n: usize) -> TopologyFamily {
+    TopologyFamily::new(TopologyConfig {
+        n,
+        tier1: 5,
+        ..TopologyConfig::default()
+    })
+}
+
+/// Forged-origin strategy labels (the ones ROV can act on).
+const FORGED: [&str; 2] = [
+    "forged-origin prefix hijack",
+    "forged-origin subprefix hijack",
+];
+
+#[test]
+fn interception_is_non_increasing_in_rov_adoption() {
+    // One matrix per adoption level, same seed: nested adopter sets.
+    let levels = [0.0, 0.25, 0.5, 0.75, 1.0];
+    let reports: Vec<_> = levels
+        .iter()
+        .map(|&p| {
+            ScenarioMatrix {
+                topologies: vec![family(260)],
+                strategies: vec![
+                    Box::new(AttackKind::ForgedOriginPrefixHijack),
+                    Box::new(AttackKind::ForgedOriginSubprefixHijack),
+                    Box::new(MaxLengthGapProber),
+                ],
+                deployments: vec![DeploymentModel::Uniform { p }],
+                roas: vec![RoaConfig::Minimal, RoaConfig::NonMinimalMaxLen],
+                trials: 6,
+                seed: 42,
+            }
+            .run_par()
+        })
+        .collect();
+
+    for strategy in FORGED.iter().copied().chain([MaxLengthGapProber::LABEL]) {
+        for roa in [RoaConfig::Minimal, RoaConfig::NonMinimalMaxLen] {
+            let series: Vec<f64> = reports
+                .iter()
+                .zip(levels)
+                .map(|(r, p)| {
+                    r.cell(
+                        "n=260 tier1=5",
+                        strategy,
+                        &DeploymentModel::Uniform { p }.label(),
+                        roa,
+                    )
+                    .stats
+                    .mean_interception
+                })
+                .collect();
+            for window in series.windows(2) {
+                assert!(
+                    window[1] <= window[0] + 1e-12,
+                    "{strategy} vs {roa:?}: interception rose with adoption: {series:?}"
+                );
+            }
+        }
+    }
+
+    // And the endpoints are the paper's: under full ROV the minimal ROA
+    // zeroes the subprefix attack while the loose one stays at ~100%.
+    let full = reports.last().unwrap();
+    let at = |strategy: &str, roa| {
+        full.cell("n=260 tier1=5", strategy, "uniform p=1.00", roa)
+            .stats
+            .mean_interception
+    };
+    assert_eq!(
+        at("forged-origin subprefix hijack", RoaConfig::Minimal),
+        0.0
+    );
+    assert!(
+        at(
+            "forged-origin subprefix hijack",
+            RoaConfig::NonMinimalMaxLen
+        ) > 0.999
+    );
+}
+
+#[test]
+fn minimal_roa_cells_never_exceed_loose_maxlength_cells() {
+    let report = ScenarioMatrix {
+        topologies: vec![family(150), family(260)],
+        strategies: ScenarioMatrix::standard_strategies(),
+        deployments: DeploymentModel::standard(),
+        roas: vec![RoaConfig::NonMinimalMaxLen, RoaConfig::Minimal],
+        trials: 4,
+        seed: 7,
+    }
+    .run_par();
+
+    let mut compared = 0;
+    for loose in report
+        .cells
+        .iter()
+        .filter(|c| c.roa == RoaConfig::NonMinimalMaxLen)
+    {
+        let minimal = report.cell(
+            &loose.topology,
+            &loose.strategy,
+            &loose.deployment,
+            RoaConfig::Minimal,
+        );
+        assert!(
+            minimal.stats.mean_interception <= loose.stats.mean_interception + 1e-12,
+            "minimal beats loose in {} × {} × {}: {:?} vs {:?}",
+            loose.topology,
+            loose.strategy,
+            loose.deployment,
+            minimal.stats,
+            loose.stats
+        );
+        compared += 1;
+    }
+    // Every loose cell had its minimal partner.
+    assert_eq!(compared, report.cells.len() / 2);
+    // The ordering is strict somewhere (the gap prober under full ROV).
+    let strict = report
+        .cells
+        .iter()
+        .filter(|c| c.roa == RoaConfig::NonMinimalMaxLen)
+        .any(|loose| {
+            report
+                .cell(
+                    &loose.topology,
+                    &loose.strategy,
+                    &loose.deployment,
+                    RoaConfig::Minimal,
+                )
+                .stats
+                .mean_interception
+                + 1e-9
+                < loose.stats.mean_interception
+        });
+    assert!(strict, "expected at least one strictly-better minimal cell");
+}
+
+#[test]
+fn zero_eligible_cells_report_zero_not_nan() {
+    // A strategy whose announcement is the victim's prefix with a
+    // *wrong* claimed origin, against a minimal ROA under universal ROV:
+    // the victim's route is fine but the attacker's is Invalid — and we
+    // then measure a cell in which the attack never becomes eligible by
+    // breaking the victim too (wrong-origin ROA via a custom strategy is
+    // overkill; instead assert directly on the aggregation layer plus an
+    // end-to-end run where every trial routes).
+    use bgpsim::{AttackOutcome, CellStats};
+
+    let outcome = AttackOutcome {
+        intercepted: 0,
+        legitimate: 0,
+        disconnected: 9,
+    };
+    assert_eq!(outcome.interception_fraction(), 0.0);
+    assert!(!outcome.interception_fraction().is_nan());
+
+    let stats = CellStats::from_outcomes(&[outcome, outcome]);
+    assert_eq!(stats.eligible, 0);
+    assert_eq!(stats.mean_interception, 0.0);
+    assert_eq!(stats.min_interception, 0.0);
+    assert_eq!(stats.max_interception, 0.0);
+    assert_eq!(stats.mean_disconnected, 1.0);
+
+    // End to end: every rendered number in a real small run is finite.
+    let report = ScenarioMatrix {
+        topologies: vec![family(100)],
+        strategies: ScenarioMatrix::standard_strategies(),
+        deployments: vec![DeploymentModel::Uniform { p: 1.0 }],
+        roas: RoaConfig::ALL.to_vec(),
+        trials: 2,
+        seed: 3,
+    }
+    .run_par();
+    for c in &report.cells {
+        assert!(c.stats.mean_interception.is_finite(), "{c:?}");
+        assert!(c.stats.min_interception.is_finite());
+        assert!(c.stats.max_interception.is_finite());
+        assert!(c.stats.mean_disconnected.is_finite());
+    }
+    assert!(!report.render().contains("NaN"));
+}

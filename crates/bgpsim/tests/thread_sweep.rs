@@ -1,0 +1,39 @@
+//! The thread-count sweep, in a binary of its own: `RAYON_NUM_THREADS`
+//! is read by the rayon shim at every fan-out, so varying it exercises
+//! genuinely different chunkings — and the matrix report must not move.
+//!
+//! This is the one test that mutates the process environment; isolating
+//! it in a separate test binary (cargo runs test binaries one at a
+//! time) keeps the mutation from racing the other suites' `run_par`
+//! calls, which read the variable concurrently within their binary.
+
+use bgpsim::experiment::RoaConfig;
+use bgpsim::matrix::{ScenarioMatrix, TopologyFamily};
+use bgpsim::topology::TopologyConfig;
+use bgpsim::DeploymentModel;
+
+#[test]
+fn matrix_run_par_is_thread_count_invariant() {
+    let matrix = ScenarioMatrix {
+        topologies: vec![TopologyFamily::new(TopologyConfig {
+            n: 140,
+            tier1: 4,
+            ..TopologyConfig::default()
+        })],
+        strategies: ScenarioMatrix::standard_strategies(),
+        deployments: DeploymentModel::standard(),
+        roas: RoaConfig::ALL.to_vec(),
+        trials: 3,
+        seed: 77,
+    };
+    let reference = matrix.run();
+    for threads in ["1", "2", "3", "5", "13"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        assert_eq!(
+            matrix.run_par(),
+            reference,
+            "diverged at RAYON_NUM_THREADS={threads}"
+        );
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+}

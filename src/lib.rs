@@ -15,7 +15,8 @@
 //! * [`roa`] — ROA objects, DER codec, `scan_roas`,
 //! * [`rov`] — RFC 6811 route origin validation,
 //! * [`core`] — `compress_roas`, minimalization, census, Table 1/Figure 3,
-//! * [`bgpsim`] — BGP propagation and the four hijack experiments,
+//! * [`bgpsim`] — BGP propagation, pluggable attacker strategies, ROV
+//!   deployment models, and the attack scenario matrix,
 //! * [`rtr`] — the RPKI-to-Router protocol,
 //! * [`datasets`] — the calibrated snapshot generator.
 //!
@@ -54,6 +55,9 @@ pub use rpki_trie as trie;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {
+    pub use bgpsim::{
+        AttackerStrategy, DeploymentModel, MatrixReport, ScenarioMatrix, TopologyFamily,
+    };
     pub use maxlength_core::compress::{compress_roas, compress_roas_full};
     pub use maxlength_core::minimal::{minimalize_roas, minimalize_vrps};
     pub use maxlength_core::scenarios::{Scenario, Table1};

@@ -1,0 +1,48 @@
+//! Golden snapshot of the small-scale scenario matrix: every strategy ×
+//! deployment × ROA cell of `ScenarioMatrix::small(2017)`, rendered and
+//! frozen into a checked-in fixture — the attack-analysis analogue of
+//! `tests/table1_golden.rs`. Any change to the topology generator, the
+//! propagation engine, a strategy's planning, the deployment draws, or
+//! the per-cell aggregation — intended or not — fails this test loudly
+//! instead of silently shifting the reproduction.
+//!
+//! To bless an intended change:
+//!
+//! ```sh
+//! MAXLENGTH_BLESS=1 cargo test --test matrix_golden
+//! ```
+//!
+//! and commit the updated `tests/golden/matrix_small.txt` alongside the
+//! change that moved the numbers.
+
+use maxlength_rpki::bgpsim::ScenarioMatrix;
+
+const FIXTURE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/matrix_small.txt");
+
+fn render() -> String {
+    // run_par is bit-identical to run() at any thread count (asserted by
+    // crates/bgpsim/tests/routing_props.rs), so the fixture is stable no
+    // matter where this executes.
+    let report = ScenarioMatrix::small(2017).run_par();
+    format!(
+        "# Scenario-matrix report, ScenarioMatrix::small(2017).\n\
+         # Regenerate with: MAXLENGTH_BLESS=1 cargo test --test matrix_golden\n{}",
+        report.render()
+    )
+}
+
+#[test]
+fn matrix_small_report_matches_golden_fixture() {
+    let got = render();
+    if std::env::var_os("MAXLENGTH_BLESS").is_some() {
+        std::fs::write(FIXTURE, &got).expect("write fixture");
+        return;
+    }
+    let want = std::fs::read_to_string(FIXTURE)
+        .expect("missing tests/golden/matrix_small.txt — run with MAXLENGTH_BLESS=1 to create it");
+    assert_eq!(
+        got, want,
+        "scenario-matrix cells moved; if intended, bless with \
+         MAXLENGTH_BLESS=1 cargo test --test matrix_golden"
+    );
+}
