@@ -65,6 +65,38 @@ pub fn usize_from_env(var: &str, default: usize) -> usize {
     }
 }
 
+/// Appends one machine-readable benchmark record to the file named by
+/// the `MAXLENGTH_BENCH_JSON` environment variable, as a JSON line
+/// `{"bench": ..., "scale": ..., "ns_per_iter": ...}` — the perf paper
+/// trail PRs attach as `BENCH_*.json`. A no-op when the variable is
+/// unset or empty; warns (without failing the bench) when the file
+/// cannot be opened.
+pub fn record_bench_json(bench: &str, scale: f64, ns_per_iter: f64) {
+    let Ok(path) = std::env::var("MAXLENGTH_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    use std::io::Write;
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        Ok(mut file) => {
+            let escaped = bench.replace('\\', "\\\\").replace('"', "\\\"");
+            let _ = writeln!(
+                file,
+                "{{\"bench\":\"{escaped}\",\"scale\":{scale},\"ns_per_iter\":{ns_per_iter}}}"
+            );
+        }
+        Err(err) => {
+            eprintln!("warning: cannot append to MAXLENGTH_BENCH_JSON={path:?}: {err}");
+        }
+    }
+}
+
 /// Generates the world at the requested scale.
 pub fn world(scale: f64) -> World {
     World::generate(GeneratorConfig {
@@ -122,5 +154,25 @@ mod tests {
             );
         }
         std::env::remove_var("MAXLENGTH_EPOCHS");
+
+        // MAXLENGTH_BENCH_JSON: unset is a no-op, set appends JSON lines.
+        std::env::remove_var("MAXLENGTH_BENCH_JSON");
+        super::record_bench_json("noop", 1.0, 10.0); // must not create anything
+        let dir = std::env::temp_dir().join(format!("bench_json_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("records.json");
+        std::env::set_var("MAXLENGTH_BENCH_JSON", &path);
+        super::record_bench_json("propagation/engine", 1000.0, 123.5);
+        super::record_bench_json("odd \"name\"", 0.05, 7.0);
+        std::env::remove_var("MAXLENGTH_BENCH_JSON");
+        let written = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = written.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"bench\":\"propagation/engine\",\"scale\":1000,\"ns_per_iter\":123.5}"
+        );
+        assert!(lines[1].contains("odd \\\"name\\\""));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

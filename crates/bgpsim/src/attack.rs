@@ -7,10 +7,10 @@
 //! longest-matching-prefix route, and we count where the packets land.
 
 use rpki_prefix::Prefix;
-use rpki_roa::{Asn, RouteOrigin};
 use rpki_rov::{RovPolicy, VrpIndex};
 
-use crate::routing::{propagate, Propagation, Seed};
+use crate::engine::{with_workspace, CompiledPolicies, OriginFilter, PropagationEngine};
+use crate::routing::{Propagation, Seed};
 use crate::topology::Topology;
 
 /// The attack being simulated.
@@ -158,13 +158,14 @@ pub fn run_forged_origin_trial(trial: &ForgedOriginTrial<'_>) -> AttackOutcome {
     assert_eq!(trial.policies.len(), t.len());
     let victim_asn = t.asn(trial.victim);
 
-    let make_accept = |prefix: Prefix| {
-        let vrps = trial.vrps;
-        let policies = trial.policies;
-        move |at: usize, claimed_origin: Asn| -> bool {
-            let state = vrps.validate(&RouteOrigin::new(prefix, claimed_origin));
-            policies[at].permits(state)
-        }
+    // Engine path: adopters compiled once per trial, each table's ROV
+    // verdict resolved once per propagated prefix (the only claimed
+    // origin in play is the victim's — the forged path claims it too).
+    let engine = PropagationEngine::new(t);
+    let compiled = CompiledPolicies::compile(trial.policies);
+    let propagate_with = |prefix: Prefix, seeds: &[Seed]| -> Propagation {
+        let accept = OriginFilter::new(trial.vrps, prefix, &[victim_asn], &compiled);
+        with_workspace(|ws| engine.propagate(seeds, &|at, origin| accept.accept(at, origin), ws))
     };
 
     // Propagate the attacked prefix: the attacker's forged announcement,
@@ -173,8 +174,7 @@ pub fn run_forged_origin_trial(trial: &ForgedOriginTrial<'_>) -> AttackOutcome {
     if trial.victim_prefixes.contains(&trial.target) {
         target_seeds.push(Seed::origin(trial.victim, victim_asn));
     }
-    let accept_target = make_accept(trial.target);
-    let target_routes = propagate(t, &target_seeds, &accept_target);
+    let target_routes = propagate_with(trial.target, &target_seeds);
 
     // Propagate every victim announcement that covers the target, longest
     // first — these are the fallback routes traffic takes where the
@@ -188,29 +188,13 @@ pub fn run_forged_origin_trial(trial: &ForgedOriginTrial<'_>) -> AttackOutcome {
     covering.sort_by_key(|p| std::cmp::Reverse(p.len()));
     let fallbacks: Vec<Propagation> = covering
         .iter()
-        .map(|&p| {
-            let accept = make_accept(p);
-            propagate(t, &[Seed::origin(trial.victim, victim_asn)], &accept)
-        })
+        .map(|&p| propagate_with(p, &[Seed::origin(trial.victim, victim_asn)]))
         .collect();
 
-    let mut outcome = AttackOutcome {
-        intercepted: 0,
-        legitimate: 0,
-        disconnected: 0,
-    };
-    for a in 0..t.len() {
-        if a == trial.attacker || a == trial.victim {
-            continue;
-        }
-        let chosen = target_routes.routes[a].or_else(|| fallbacks.iter().find_map(|p| p.routes[a]));
-        match chosen {
-            Some(info) if info.delivers_to == trial.attacker => outcome.intercepted += 1,
-            Some(_) => outcome.legitimate += 1,
-            None => outcome.disconnected += 1,
-        }
-    }
-    outcome
+    let tables: Vec<&Propagation> = std::iter::once(&target_routes)
+        .chain(fallbacks.iter())
+        .collect();
+    crate::strategy::outcome_from_tables(&tables, trial.attacker, trial.victim, t.len())
 }
 
 #[cfg(test)]

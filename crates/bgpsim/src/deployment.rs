@@ -133,7 +133,7 @@ impl DeploymentModel {
                 policies
             }
             DeploymentModel::StubsOnly { p } => {
-                let mut stubs = topology.stubs();
+                let mut stubs = topology.stubs().to_vec();
                 stubs.shuffle(&mut rng);
                 let adopters = Self::quota(p, stubs.len());
                 let mut policies = vec![RovPolicy::AcceptAll; n];

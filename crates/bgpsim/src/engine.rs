@@ -1,0 +1,822 @@
+//! The flat-graph propagation engine: the zero-allocation production
+//! path behind [`crate::routing::propagate`].
+//!
+//! Every number the reproduction reports is a mean over thousands of
+//! propagation calls, so per-call cost is the scaling bottleneck. The
+//! reference implementation ([`crate::routing::propagate_reference`])
+//! pays for generality on every edge relaxation: heap allocations per
+//! call, `&dyn Fn` import-filter dispatch, and relationship branching
+//! over mixed adjacency lists. The engine removes all three:
+//!
+//! 1. **CSR phase slices** — the [`Topology`] stores each AS's neighbors
+//!    partitioned into contiguous customer/peer/provider ranges, so the
+//!    three Gao–Rexford phases iterate exactly the slice they need with
+//!    no per-edge `Relationship` branch.
+//! 2. **Reusable [`Workspace`]** — epoch-stamped route/pending/offer
+//!    arrays plus a path-length bucket queue replacing the `BinaryHeap`
+//!    (path lengths are small bounded integers). Steady-state trials
+//!    allocate nothing in the engine's scratch; [`with_workspace`] hands
+//!    every caller its thread's workspace, so rayon fan-outs reuse one
+//!    workspace per worker thread.
+//! 3. **Monomorphized, precomputed import filters** — the engine is
+//!    generic over the accept filter, and [`OriginFilter`] resolves each
+//!    claimed origin's ROV verdict against the VRPs **once per
+//!    propagation** and each deployment's adopter set into a
+//!    [`CompiledPolicies`] bitset **once per deployment**, making
+//!    `accept` a word-indexed bit test instead of a trie walk plus
+//!    policy dispatch per edge.
+//! 4. **Single-pass interception counting** —
+//!    [`PropagationEngine::propagate_outcome`] tallies where every AS's
+//!    traffic lands directly off the workspace, without materializing a
+//!    route vector, and [`Propagation::from_routes`] caches
+//!    `reached`/`delivered_to` counters in its one construction pass.
+//!
+//! # Bit-identical contract
+//!
+//! On every input the engine produces the same [`Propagation`] as
+//! [`crate::routing::propagate_reference`] — same routes, same
+//! deterministic tie-breaks, same `next_hop` choices. The reference
+//! pops a `BinaryHeap` ordered by `(path_len, claimed_origin,
+//! delivers_to, as_index)`; the engine buckets entries by `path_len`
+//! and sorts each bucket by the remaining key before draining it, which
+//! replays the exact heap order. The contract is pinned by the
+//! `engine_props` differential proptests and the golden fixtures.
+
+use std::cell::RefCell;
+
+use rpki_prefix::Prefix;
+use rpki_roa::{Asn, RouteOrigin};
+use rpki_rov::{RovPolicy, VrpIndex};
+
+use crate::attack::AttackOutcome;
+use crate::routing::{propagate_reference, Propagation, RouteClass, RouteInfo, Seed};
+use crate::topology::Topology;
+
+/// Placeholder occupying unstamped workspace slots; never read while its
+/// stamp is stale.
+const NO_ROUTE: RouteInfo = RouteInfo {
+    class: RouteClass::Origin,
+    path_len: 0,
+    claimed_origin: Asn(0),
+    delivers_to: 0,
+    next_hop: None,
+};
+
+/// Seeds with claimed path lengths beyond `DENSE_SLACK * (n + 2)` fall
+/// back to the reference implementation rather than sizing the dense
+/// bucket array after an adversarial `path_len` (every shipped strategy
+/// stays far below this).
+const DENSE_SLACK: usize = 4;
+
+/// Reusable per-thread propagation scratch.
+///
+/// # Epoch invariants
+///
+/// Every scratch slot (`routes`, `pending`, `offers`) is paired with a
+/// stamp array; a slot is live only while its stamp equals the current
+/// epoch, so "clearing" the workspace between trials is a single epoch
+/// bump — no O(n) reset, no allocation.
+///
+/// * [`Workspace::begin`] advances the epoch by 2 per propagation:
+///   routes, peer offers, and phase-1 pending stamp with `epoch`;
+///   phase-3 pending stamps with `epoch + 1` (phases 1 and 3 run
+///   independent shortest-path searches over the same pending array).
+/// * Stamps start at 0 and the epoch at 2, so a fresh (or resized)
+///   workspace has no live slot.
+/// * Before the epoch could wrap, all stamp arrays are zeroed and the
+///   epoch restarts — a back-to-back run through one workspace is
+///   therefore always identical to a fresh-workspace run (pinned by the
+///   `engine_props` reuse proptest).
+/// * Bucket vectors are drained (not deallocated) by each phase, so
+///   their capacity is retained across trials.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    n: usize,
+    epoch: u32,
+    route_stamp: Vec<u32>,
+    routes: Vec<RouteInfo>,
+    pend_stamp: Vec<u32>,
+    pending: Vec<RouteInfo>,
+    offer_stamp: Vec<u32>,
+    offers: Vec<RouteInfo>,
+    /// `buckets[len]` holds packed `(claimed_origin, delivers_to, as)`
+    /// entries awaiting settlement at path length `len`.
+    buckets: Vec<Vec<u128>>,
+    /// Highest bucket index holding entries for the current phase.
+    hi: usize,
+}
+
+impl Workspace {
+    /// An empty workspace; arrays size themselves to the first topology
+    /// they see and are reused verbatim afterwards.
+    pub fn new() -> Workspace {
+        Workspace::default()
+    }
+
+    /// Prepares the workspace for one propagation over `n` ASes and
+    /// returns the fresh base epoch.
+    fn begin(&mut self, n: usize) -> u32 {
+        if self.n != n {
+            self.n = n;
+            self.epoch = 0;
+            self.route_stamp.clear();
+            self.route_stamp.resize(n, 0);
+            self.pend_stamp.clear();
+            self.pend_stamp.resize(n, 0);
+            self.offer_stamp.clear();
+            self.offer_stamp.resize(n, 0);
+            self.routes.clear();
+            self.routes.resize(n, NO_ROUTE);
+            self.pending.clear();
+            self.pending.resize(n, NO_ROUTE);
+            self.offers.clear();
+            self.offers.resize(n, NO_ROUTE);
+        }
+        if self.epoch >= u32::MAX - 3 {
+            // Epoch wrap: zero the stamps so no stale slot can alias the
+            // restarted epoch counter.
+            self.epoch = 0;
+            self.route_stamp.fill(0);
+            self.pend_stamp.fill(0);
+            self.offer_stamp.fill(0);
+        }
+        self.epoch += 2;
+        self.hi = 0;
+        self.epoch
+    }
+
+    /// Installs `cand` as `at`'s pending offer if it beats the current
+    /// one under the deterministic tie-break (stale slots count as
+    /// empty). Returns whether a bucket entry should be pushed.
+    #[inline]
+    fn improve_pending(&mut self, at: usize, cand: RouteInfo, stamp: u32) -> bool {
+        if self.pend_stamp[at] == stamp && !beats(&cand, &self.pending[at]) {
+            return false;
+        }
+        self.pend_stamp[at] = stamp;
+        self.pending[at] = cand;
+        true
+    }
+
+    /// Queues `(claimed, delivers_to, at)` for settlement at `len`.
+    #[inline]
+    fn push(&mut self, len: u32, claimed: u32, delivers_to: usize, at: usize) {
+        let l = len as usize;
+        if l >= self.buckets.len() {
+            self.buckets.resize_with(l + 1, Vec::new);
+        }
+        self.buckets[l].push(pack(claimed, delivers_to, at));
+        if l > self.hi {
+            self.hi = l;
+        }
+    }
+
+    /// AS `at`'s settled route this epoch, if any.
+    #[inline]
+    fn route(&self, at: usize, epoch: u32) -> Option<RouteInfo> {
+        (self.route_stamp[at] == epoch).then(|| self.routes[at])
+    }
+}
+
+/// Packs a bucket entry; unpacking `at` is a mask. Sorting the packed
+/// values ascending replays the reference heap's
+/// `(claimed_origin, delivers_to, as_index)` order within a path length.
+#[inline]
+fn pack(claimed: u32, delivers_to: usize, at: usize) -> u128 {
+    ((claimed as u128) << 64) | ((delivers_to as u128) << 32) | at as u128
+}
+
+/// The deterministic route preference: strictly better under
+/// `(class, path_len, claimed_origin, delivers_to)`.
+#[inline]
+fn beats(cand: &RouteInfo, cur: &RouteInfo) -> bool {
+    (
+        cand.class,
+        cand.path_len,
+        cand.claimed_origin.into_u32(),
+        cand.delivers_to,
+    ) < (
+        cur.class,
+        cur.path_len,
+        cur.claimed_origin.into_u32(),
+        cur.delivers_to,
+    )
+}
+
+thread_local! {
+    static WORKSPACE: RefCell<Workspace> = RefCell::new(Workspace::new());
+}
+
+/// Runs `f` with the calling thread's reusable [`Workspace`].
+///
+/// This is how every trial loop — sequential or fanned out over rayon
+/// workers — gets allocation-free steady-state propagation: each worker
+/// thread lazily builds one workspace and reuses it for every trial it
+/// processes. Re-entrant calls (an `f` that itself propagates) fall back
+/// to a fresh scratch workspace instead of panicking.
+pub fn with_workspace<R>(f: impl FnOnce(&mut Workspace) -> R) -> R {
+    WORKSPACE.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut ws) => f(&mut ws),
+        Err(_) => f(&mut Workspace::new()),
+    })
+}
+
+/// A per-AS policy vector compiled to a bitset of the ASes that drop
+/// RPKI-Invalid routes — built once per deployment, then shared by every
+/// trial's [`OriginFilter`] as a word-indexed bit test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledPolicies {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl CompiledPolicies {
+    /// Compiles a policy vector.
+    pub fn compile(policies: &[RovPolicy]) -> CompiledPolicies {
+        let mut words = vec![0u64; policies.len().div_ceil(64)];
+        for (at, policy) in policies.iter().enumerate() {
+            let drops = match policy {
+                RovPolicy::AcceptAll => false,
+                RovPolicy::DropInvalid => true,
+            };
+            if drops {
+                words[at >> 6] |= 1 << (at & 63);
+            }
+        }
+        CompiledPolicies {
+            words,
+            len: policies.len(),
+        }
+    }
+
+    /// Number of ASes covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if compiled from an empty policy vector.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` if AS `at` drops RPKI-Invalid routes.
+    #[inline]
+    pub fn drops_invalid(&self, at: usize) -> bool {
+        (self.words[at >> 6] >> (at & 63)) & 1 != 0
+    }
+}
+
+/// Most claimed origins an [`OriginFilter`] can precompute — far above
+/// the one or two a staged trial propagates.
+const MAX_FILTER_ORIGINS: usize = 8;
+
+/// A per-propagation import filter with all ROV verdicts precomputed.
+///
+/// A propagation only ever queries the claimed origins of its seeds — a
+/// tiny set — so the filter resolves each origin against the
+/// [`VrpIndex`] **once** (at construction) and keeps only the origins
+/// that validate Invalid for the propagated prefix. Per edge,
+/// `accept` is then a comparison against at most two words plus a
+/// [`CompiledPolicies`] bit test: no trie walk, no policy dispatch.
+///
+/// Semantics are exactly `policies[at].permits(vrps.validate(route))`
+/// for the RFC 6811 policy set.
+#[derive(Debug, Clone)]
+pub struct OriginFilter<'a> {
+    /// Every origin resolved at construction — the set `accept` may
+    /// legally be asked about (guarded by a `debug_assert`).
+    resolved: [u32; MAX_FILTER_ORIGINS],
+    resolved_count: usize,
+    /// The subset of `resolved` that validated Invalid for the prefix.
+    invalid: [u32; MAX_FILTER_ORIGINS],
+    count: usize,
+    adopters: &'a CompiledPolicies,
+}
+
+impl<'a> OriginFilter<'a> {
+    /// Resolves `origins` (the claimed origins the propagation will
+    /// query) against `vrps` for `prefix`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_FILTER_ORIGINS`] distinct origins are
+    /// supplied (staged trials propagate one or two).
+    pub fn new(
+        vrps: &VrpIndex,
+        prefix: Prefix,
+        origins: &[Asn],
+        adopters: &'a CompiledPolicies,
+    ) -> OriginFilter<'a> {
+        let mut resolved = [0u32; MAX_FILTER_ORIGINS];
+        let mut resolved_count = 0;
+        let mut invalid = [0u32; MAX_FILTER_ORIGINS];
+        let mut count = 0;
+        for &origin in origins {
+            let o = origin.into_u32();
+            if resolved[..resolved_count].contains(&o) {
+                continue;
+            }
+            assert!(
+                resolved_count < MAX_FILTER_ORIGINS,
+                "OriginFilter supports at most {MAX_FILTER_ORIGINS} claimed origins"
+            );
+            resolved[resolved_count] = o;
+            resolved_count += 1;
+            if vrps
+                .validate(&RouteOrigin::new(prefix, origin))
+                .is_invalid()
+            {
+                invalid[count] = o;
+                count += 1;
+            }
+        }
+        OriginFilter {
+            resolved,
+            resolved_count,
+            invalid,
+            count,
+            adopters,
+        }
+    }
+
+    /// The import decision for AS `at` on a route claiming `origin`.
+    ///
+    /// `origin` must be one of the origins resolved at construction — a
+    /// mismatch means the caller seeded a claimed origin the filter
+    /// never validated, which would otherwise degrade silently to
+    /// accept-all (debug builds assert instead).
+    #[inline]
+    pub fn accept(&self, at: usize, origin: Asn) -> bool {
+        debug_assert!(
+            self.resolved[..self.resolved_count].contains(&origin.into_u32()),
+            "claimed origin {origin:?} was not resolved by this OriginFilter"
+        );
+        if self.count == 0 {
+            return true;
+        }
+        let o = origin.into_u32();
+        !(self.invalid[..self.count].contains(&o) && self.adopters.drops_invalid(at))
+    }
+}
+
+/// The flat-graph propagation engine over one topology.
+///
+/// Construction is free; all state lives in the caller's [`Workspace`].
+pub struct PropagationEngine<'t> {
+    topology: &'t Topology,
+}
+
+impl<'t> PropagationEngine<'t> {
+    /// An engine over `topology`.
+    pub fn new(topology: &'t Topology) -> PropagationEngine<'t> {
+        PropagationEngine { topology }
+    }
+
+    /// Propagates `seeds` under the `accept` import filter, reusing
+    /// `ws`'s scratch. Bit-identical to
+    /// [`propagate_reference`]; the returned route
+    /// vector is the only allocation in steady state.
+    pub fn propagate<F>(&self, seeds: &[Seed], accept: &F, ws: &mut Workspace) -> Propagation
+    where
+        F: Fn(usize, Asn) -> bool + ?Sized,
+    {
+        if let Some(fallback) = self.run(seeds, accept, ws) {
+            return fallback;
+        }
+        let epoch = ws.epoch;
+        let routes = (0..self.topology.len())
+            .map(|at| ws.route(at, epoch))
+            .collect();
+        Propagation::from_routes(routes)
+    }
+
+    /// Propagates `seeds` and tallies, in the same pass and without
+    /// materializing a route vector, where each AS's traffic for the
+    /// measured target lands: at `attacker`, at the legitimate
+    /// deliverer, or nowhere. ASes without a route in the propagated
+    /// table fall back to their route in `fallback` (the less-specific
+    /// table of a longest-prefix-match data plane), if given.
+    /// `attacker` and `victim` themselves are excluded from the count.
+    pub fn propagate_outcome<F>(
+        &self,
+        seeds: &[Seed],
+        accept: &F,
+        ws: &mut Workspace,
+        fallback: Option<&Propagation>,
+        attacker: usize,
+        victim: usize,
+    ) -> AttackOutcome
+    where
+        F: Fn(usize, Asn) -> bool + ?Sized,
+    {
+        if let Some(materialized) = self.run(seeds, accept, ws) {
+            return tally(
+                |at| materialized.routes()[at],
+                fallback,
+                attacker,
+                victim,
+                self.topology.len(),
+            );
+        }
+        let epoch = ws.epoch;
+        tally(
+            |at| ws.route(at, epoch),
+            fallback,
+            attacker,
+            victim,
+            self.topology.len(),
+        )
+    }
+
+    /// Runs the three phases into `ws`. Returns `Some(propagation)` only
+    /// on the adversarial-path-length fallback to the reference
+    /// implementation; otherwise the result lives in `ws` under its
+    /// current epoch.
+    fn run<F>(&self, seeds: &[Seed], accept: &F, ws: &mut Workspace) -> Option<Propagation>
+    where
+        F: Fn(usize, Asn) -> bool + ?Sized,
+    {
+        let t = self.topology;
+        let n = t.len();
+        let max_seed_len = seeds.iter().map(|s| s.path_len).max().unwrap_or(0) as usize;
+        if max_seed_len > DENSE_SLACK * (n + 2) {
+            return Some(propagate_reference(t, seeds, &|at, origin| {
+                accept(at, origin)
+            }));
+        }
+        let epoch = ws.begin(n);
+        let pend1 = epoch;
+
+        // --- Phase 1: origins and customer-learned routes (travel upward
+        // over customer→provider edges only).
+        for seed in seeds {
+            if !accept(seed.at, seed.claimed_origin) {
+                continue;
+            }
+            let info = RouteInfo {
+                class: RouteClass::Origin,
+                path_len: seed.path_len,
+                claimed_origin: seed.claimed_origin,
+                delivers_to: seed.at,
+                next_hop: None,
+            };
+            if ws.improve_pending(seed.at, info, pend1) {
+                ws.push(
+                    info.path_len,
+                    info.claimed_origin.into_u32(),
+                    info.delivers_to,
+                    seed.at,
+                );
+            }
+        }
+        let mut len = 0;
+        while len <= ws.hi && len < ws.buckets.len() {
+            let mut bucket = std::mem::take(&mut ws.buckets[len]);
+            bucket.sort_unstable();
+            for &entry in &bucket {
+                let at = (entry & u32::MAX as u128) as usize;
+                if ws.pend_stamp[at] != pend1 {
+                    continue;
+                }
+                let info = ws.pending[at];
+                if info.path_len as usize != len || ws.route_stamp[at] == epoch {
+                    continue; // stale bucket entry or already settled
+                }
+                ws.route_stamp[at] = epoch;
+                ws.routes[at] = info;
+                // Export to providers: they learn a customer route.
+                for &provider in t.providers(at) {
+                    let provider = provider as usize;
+                    if ws.route_stamp[provider] == epoch {
+                        continue;
+                    }
+                    if !accept(provider, info.claimed_origin) {
+                        continue;
+                    }
+                    let candidate = RouteInfo {
+                        class: RouteClass::Customer,
+                        path_len: info.path_len + 1,
+                        claimed_origin: info.claimed_origin,
+                        delivers_to: info.delivers_to,
+                        next_hop: Some(at),
+                    };
+                    if ws.improve_pending(provider, candidate, pend1) {
+                        ws.push(
+                            candidate.path_len,
+                            candidate.claimed_origin.into_u32(),
+                            candidate.delivers_to,
+                            provider,
+                        );
+                    }
+                }
+            }
+            bucket.clear();
+            ws.buckets[len] = bucket;
+            len += 1;
+        }
+
+        // --- Phase 2: one peer hop. Only customer/origin routes are
+        // exported to peers; collect all offers, then adopt the best per
+        // AS.
+        for at in 0..n {
+            if ws.route_stamp[at] != epoch {
+                continue;
+            }
+            let info = ws.routes[at];
+            for &peer in t.peers(at) {
+                let peer = peer as usize;
+                if ws.route_stamp[peer] == epoch {
+                    continue;
+                }
+                if !accept(peer, info.claimed_origin) {
+                    continue;
+                }
+                let candidate = RouteInfo {
+                    class: RouteClass::Peer,
+                    path_len: info.path_len + 1,
+                    claimed_origin: info.claimed_origin,
+                    delivers_to: info.delivers_to,
+                    next_hop: Some(at),
+                };
+                if ws.offer_stamp[peer] != epoch || beats(&candidate, &ws.offers[peer]) {
+                    ws.offer_stamp[peer] = epoch;
+                    ws.offers[peer] = candidate;
+                }
+            }
+        }
+        for at in 0..n {
+            if ws.route_stamp[at] != epoch && ws.offer_stamp[at] == epoch {
+                ws.route_stamp[at] = epoch;
+                ws.routes[at] = ws.offers[at];
+            }
+        }
+
+        // --- Phase 3: provider-learned routes flow down to customers;
+        // any route may be exported to a customer, and provider routes
+        // keep flowing to customers-of-customers.
+        let pend3 = epoch + 1;
+        ws.hi = 0;
+        for at in 0..n {
+            if ws.route_stamp[at] == epoch {
+                let info = ws.routes[at];
+                self.offer_down(info, at, accept, ws, epoch, pend3);
+            }
+        }
+        let mut len = 0;
+        while len <= ws.hi && len < ws.buckets.len() {
+            let mut bucket = std::mem::take(&mut ws.buckets[len]);
+            bucket.sort_unstable();
+            for &entry in &bucket {
+                let at = (entry & u32::MAX as u128) as usize;
+                if ws.pend_stamp[at] != pend3 {
+                    continue;
+                }
+                let info = ws.pending[at];
+                if info.path_len as usize != len || ws.route_stamp[at] == epoch {
+                    continue;
+                }
+                ws.route_stamp[at] = epoch;
+                ws.routes[at] = info;
+                self.offer_down(info, at, accept, ws, epoch, pend3);
+            }
+            bucket.clear();
+            ws.buckets[len] = bucket;
+            len += 1;
+        }
+        None
+    }
+
+    /// Offers `from`'s route to its customers (phase 3's relaxation).
+    #[inline]
+    fn offer_down<F>(
+        &self,
+        from_info: RouteInfo,
+        from: usize,
+        accept: &F,
+        ws: &mut Workspace,
+        epoch: u32,
+        pend3: u32,
+    ) where
+        F: Fn(usize, Asn) -> bool + ?Sized,
+    {
+        for &customer in self.topology.customers(from) {
+            let customer = customer as usize;
+            if ws.route_stamp[customer] == epoch {
+                continue;
+            }
+            if !accept(customer, from_info.claimed_origin) {
+                continue;
+            }
+            let candidate = RouteInfo {
+                class: RouteClass::Provider,
+                path_len: from_info.path_len + 1,
+                claimed_origin: from_info.claimed_origin,
+                delivers_to: from_info.delivers_to,
+                next_hop: Some(from),
+            };
+            if ws.improve_pending(customer, candidate, pend3) {
+                ws.push(
+                    candidate.path_len,
+                    candidate.claimed_origin.into_u32(),
+                    candidate.delivers_to,
+                    customer,
+                );
+            }
+        }
+    }
+}
+
+/// Counts where every AS's traffic lands: `primary` is the
+/// longest-matching table, `fallback` the covering one.
+fn tally(
+    primary: impl Fn(usize) -> Option<RouteInfo>,
+    fallback: Option<&Propagation>,
+    attacker: usize,
+    victim: usize,
+    n: usize,
+) -> AttackOutcome {
+    let mut outcome = AttackOutcome {
+        intercepted: 0,
+        legitimate: 0,
+        disconnected: 0,
+    };
+    for at in 0..n {
+        if at == attacker || at == victim {
+            continue;
+        }
+        let chosen = primary(at).or_else(|| fallback.and_then(|p| p.routes()[at]));
+        match chosen {
+            Some(info) if info.delivers_to == attacker => outcome.intercepted += 1,
+            Some(_) => outcome.legitimate += 1,
+            None => outcome.disconnected += 1,
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::propagate_reference;
+    use crate::topology::TopologyConfig;
+
+    fn topo(n: usize) -> Topology {
+        Topology::generate(TopologyConfig {
+            n,
+            tier1: 5,
+            ..TopologyConfig::default()
+        })
+    }
+
+    fn accept_all(_: usize, _: Asn) -> bool {
+        true
+    }
+
+    #[test]
+    fn workspace_reuse_is_identical_to_fresh() {
+        let t = topo(250);
+        let stubs = t.stubs();
+        let engine = PropagationEngine::new(&t);
+        let mut shared = Workspace::new();
+        for trial in 0..8 {
+            let seeds = [
+                Seed::origin(stubs[trial], t.asn(stubs[trial])),
+                Seed::forged(stubs[stubs.len() - 1 - trial], t.asn(stubs[trial])),
+            ];
+            let reused = engine.propagate(&seeds, &accept_all, &mut shared);
+            let fresh = engine.propagate(&seeds, &accept_all, &mut Workspace::new());
+            assert_eq!(reused.routes(), fresh.routes(), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn workspace_survives_topology_size_changes() {
+        let mut ws = Workspace::new();
+        for n in [60, 200, 60, 140] {
+            let t = topo(n);
+            let stub = t.stubs()[0];
+            let seeds = [Seed::origin(stub, t.asn(stub))];
+            let engine = PropagationEngine::new(&t);
+            let got = engine.propagate(&seeds, &accept_all, &mut ws);
+            let reference = propagate_reference(&t, &seeds, &accept_all);
+            assert_eq!(got.routes(), reference.routes(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn adversarial_seed_length_falls_back_to_reference() {
+        let t = topo(60);
+        let stubs = t.stubs();
+        let huge = Seed {
+            at: stubs[0],
+            path_len: u32::MAX - 2,
+            claimed_origin: t.asn(stubs[0]),
+        };
+        let seeds = [huge, Seed::origin(stubs[1], t.asn(stubs[1]))];
+        let engine = PropagationEngine::new(&t);
+        let got = engine.propagate(&seeds, &accept_all, &mut Workspace::new());
+        let reference = propagate_reference(&t, &seeds, &accept_all);
+        assert_eq!(got.routes(), reference.routes());
+    }
+
+    #[test]
+    fn propagate_outcome_matches_materialized_counting() {
+        let t = topo(300);
+        let stubs = t.stubs();
+        let (victim, attacker) = (stubs[0], stubs[stubs.len() / 2]);
+        let seeds = [
+            Seed::origin(victim, t.asn(victim)),
+            Seed::forged(attacker, t.asn(victim)),
+        ];
+        let engine = PropagationEngine::new(&t);
+        let mut ws = Workspace::new();
+        let outcome =
+            engine.propagate_outcome(&seeds, &accept_all, &mut ws, None, attacker, victim);
+        let materialized = engine.propagate(&seeds, &accept_all, &mut ws);
+        let mut expect = AttackOutcome {
+            intercepted: 0,
+            legitimate: 0,
+            disconnected: 0,
+        };
+        for at in 0..t.len() {
+            if at == attacker || at == victim {
+                continue;
+            }
+            match materialized.routes()[at] {
+                Some(info) if info.delivers_to == attacker => expect.intercepted += 1,
+                Some(_) => expect.legitimate += 1,
+                None => expect.disconnected += 1,
+            }
+        }
+        assert_eq!(outcome, expect);
+    }
+
+    #[test]
+    fn compiled_policies_mirror_permits() {
+        use rpki_rov::ValidationState;
+        let policies = [
+            RovPolicy::AcceptAll,
+            RovPolicy::DropInvalid,
+            RovPolicy::DropInvalid,
+            RovPolicy::AcceptAll,
+        ];
+        let compiled = CompiledPolicies::compile(&policies);
+        assert_eq!(compiled.len(), 4);
+        assert!(!compiled.is_empty());
+        for (at, policy) in policies.iter().enumerate() {
+            assert_eq!(
+                compiled.drops_invalid(at),
+                !policy.permits(ValidationState::Invalid),
+            );
+        }
+        assert!(CompiledPolicies::compile(&[]).is_empty());
+    }
+
+    #[test]
+    fn origin_filter_matches_policy_validation() {
+        use rpki_roa::Vrp;
+        let t = topo(80);
+        let victim = t.stubs()[0];
+        let attacker_asn = t.asn(t.stubs()[1]);
+        let victim_asn = t.asn(victim);
+        let p: Prefix = "168.122.0.0/16".parse().unwrap();
+        let vrps: VrpIndex = [Vrp::exact(p, victim_asn)].into_iter().collect();
+        let policies: Vec<RovPolicy> = (0..t.len())
+            .map(|at| {
+                if at % 3 == 0 {
+                    RovPolicy::DropInvalid
+                } else {
+                    RovPolicy::AcceptAll
+                }
+            })
+            .collect();
+        let compiled = CompiledPolicies::compile(&policies);
+        let filter = OriginFilter::new(&vrps, p, &[victim_asn, attacker_asn], &compiled);
+        for (at, policy) in policies.iter().enumerate() {
+            for origin in [victim_asn, attacker_asn] {
+                let state = vrps.validate(&RouteOrigin::new(p, origin));
+                assert_eq!(
+                    filter.accept(at, origin),
+                    policy.permits(state),
+                    "at={at} origin={origin:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn with_workspace_is_reentrant_safe() {
+        let t = topo(60);
+        let stub = t.stubs()[0];
+        let seeds = [Seed::origin(stub, t.asn(stub))];
+        let outer = with_workspace(|ws| {
+            // A propagation *inside* a workspace borrow must not panic:
+            // it falls back to a fresh scratch.
+            let inner = crate::routing::propagate(&t, &seeds, &|_, _| true);
+            let outer = PropagationEngine::new(&t).propagate(&seeds, &accept_all, ws);
+            assert_eq!(inner.routes(), outer.routes());
+            outer
+        });
+        assert_eq!(outer.reached(), t.len());
+    }
+}

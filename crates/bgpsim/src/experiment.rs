@@ -11,8 +11,10 @@ use rpki_prefix::Prefix;
 use rpki_roa::Vrp;
 use rpki_rov::{RovPolicy, VrpIndex};
 
-use crate::attack::{run_attack, AttackKind, AttackSetup};
+use crate::attack::{AttackKind, AttackSetup};
 use crate::deployment::DeploymentModel;
+use crate::engine::CompiledPolicies;
+use crate::strategy::run_strategy_compiled;
 use crate::topology::{Topology, TopologyConfig};
 
 /// The victim's ROA configuration under test.
@@ -170,11 +172,14 @@ impl AttackExperiment {
     }
 
     /// One trial of one cell: build the victim's ROA configuration and
-    /// measure the attacker's interception.
+    /// measure the attacker's interception. Runs on the propagation
+    /// engine with the deployment's adopter bitset compiled once per run.
+    #[allow(clippy::too_many_arguments)]
     fn trial_fraction(
         &self,
         topology: &Topology,
         policies: &[RovPolicy],
+        compiled: &CompiledPolicies,
         stubs: &[usize],
         kind: AttackKind,
         roa: RoaConfig,
@@ -184,8 +189,8 @@ impl AttackExperiment {
         let q: Prefix = "168.122.0.0/24".parse().expect("static");
         let (victim, attacker) = self.trial_pair(stubs, trial);
         let vrps = roa.vrps(p, q.len(), topology.asn(victim));
-        run_attack(
-            kind,
+        run_strategy_compiled(
+            &kind,
             &AttackSetup {
                 topology,
                 victim,
@@ -195,6 +200,7 @@ impl AttackExperiment {
                 vrps: &vrps,
                 policies,
             },
+            compiled,
         )
         .interception_fraction()
     }
@@ -222,13 +228,16 @@ impl AttackExperiment {
         let stubs = topology.stubs();
         assert!(stubs.len() >= 2, "need at least two stubs");
         let policies = self.policies(&topology);
+        let compiled = CompiledPolicies::compile(&policies);
 
         let mut cells = Vec::new();
         for kind in AttackKind::ALL {
             for roa in RoaConfig::ALL {
                 let fractions: Vec<f64> = (0..self.trials)
                     .map(|trial| {
-                        self.trial_fraction(&topology, &policies, &stubs, kind, roa, trial)
+                        self.trial_fraction(
+                            &topology, &policies, &compiled, stubs, kind, roa, trial,
+                        )
                     })
                     .collect();
                 cells.push(self.cell(kind, roa, fractions));
@@ -254,6 +263,7 @@ impl AttackExperiment {
         let stubs = topology.stubs();
         assert!(stubs.len() >= 2, "need at least two stubs");
         let policies = self.policies(&topology);
+        let compiled = CompiledPolicies::compile(&policies);
 
         let mut cells = Vec::new();
         for kind in AttackKind::ALL {
@@ -261,7 +271,9 @@ impl AttackExperiment {
                 let fractions: Vec<f64> = (0..self.trials)
                     .into_par_iter()
                     .map(|trial| {
-                        self.trial_fraction(&topology, &policies, &stubs, kind, roa, trial)
+                        self.trial_fraction(
+                            &topology, &policies, &compiled, stubs, kind, roa, trial,
+                        )
                     })
                     .collect();
                 cells.push(self.cell(kind, roa, fractions));
@@ -414,10 +426,10 @@ mod tests {
         };
         let topology = Topology::generate(experiment.topology);
         let stubs = topology.stubs();
-        let forward: Vec<_> = (0..8).map(|t| experiment.trial_pair(&stubs, t)).collect();
+        let forward: Vec<_> = (0..8).map(|t| experiment.trial_pair(stubs, t)).collect();
         let backward: Vec<_> = (0..8)
             .rev()
-            .map(|t| experiment.trial_pair(&stubs, t))
+            .map(|t| experiment.trial_pair(stubs, t))
             .collect();
         assert_eq!(forward, backward.into_iter().rev().collect::<Vec<_>>());
     }

@@ -14,11 +14,18 @@
 //! This crate reproduces those results on synthetic AS topologies —
 //! and generalizes them into a scenario-matrix engine:
 //!
-//! * [`topology`] — Internet-like AS graphs: a tier-1 clique,
-//!   preferential-attachment customer/provider edges, sprinkled peering.
+//! * [`topology`] — Internet-like AS graphs in a flat CSR layout: a
+//!   tier-1 clique, preferential-attachment customer/provider edges,
+//!   sprinkled peering; neighbors partitioned into sorted
+//!   customer/peer/provider segments.
 //! * [`routing`] — Gao–Rexford route propagation (customer > peer >
 //!   provider preference, standard export rules, shortest-path tie-breaks)
 //!   with per-AS route-origin-validation filtering.
+//! * [`engine`] — the flat-graph [`PropagationEngine`] behind
+//!   [`routing::propagate`]: reusable per-thread [`Workspace`] scratch,
+//!   a path-length bucket queue, precomputed [`OriginFilter`] import
+//!   filters, and single-pass interception counting — bit-identical to
+//!   the kept [`routing::propagate_reference`] baseline.
 //! * [`attack`] — the four hijack types and the longest-prefix-match
 //!   data plane that measures who delivers traffic to whom.
 //! * [`strategy`] — the pluggable [`AttackerStrategy`] trait behind the
@@ -59,6 +66,7 @@
 
 pub mod attack;
 pub mod deployment;
+pub mod engine;
 pub mod experiment;
 pub mod matrix;
 pub mod routing;
@@ -67,11 +75,12 @@ pub mod topology;
 
 pub use attack::{AttackKind, AttackOutcome, AttackSetup, ForgedOriginTrial};
 pub use deployment::DeploymentModel;
+pub use engine::{CompiledPolicies, OriginFilter, PropagationEngine, Workspace};
 pub use experiment::{AdoptionSweep, AttackExperiment, ExperimentReport, RoaConfig};
 pub use matrix::{CellStats, MatrixCell, MatrixReport, ScenarioMatrix, TopologyFamily};
 pub use routing::{Propagation, RouteClass, RouteInfo};
 pub use strategy::{
-    run_strategy, AttackAnnouncement, AttackPlan, AttackerStrategy, MaxLengthGapProber,
-    PathForgery, RouteLeak, StrategyContext,
+    run_strategy, run_strategy_compiled, AttackAnnouncement, AttackPlan, AttackerStrategy,
+    MaxLengthGapProber, PathForgery, RouteLeak, StrategyContext,
 };
 pub use topology::{Relationship, Topology, TopologyConfig};

@@ -29,8 +29,11 @@ use rpki_rov::RovPolicy;
 
 use crate::attack::{AttackOutcome, AttackSetup};
 use crate::deployment::DeploymentModel;
+use crate::engine::CompiledPolicies;
 use crate::experiment::{trial_pair, RoaConfig};
-use crate::strategy::{run_strategy, AttackerStrategy, MaxLengthGapProber, PathForgery, RouteLeak};
+use crate::strategy::{
+    run_strategy_compiled, AttackerStrategy, MaxLengthGapProber, PathForgery, RouteLeak,
+};
 use crate::topology::{Topology, TopologyConfig};
 use crate::AttackKind;
 
@@ -329,27 +332,32 @@ impl ScenarioMatrix {
     fn run_impl(&self, parallel: bool) -> MatrixReport {
         assert!(self.trials > 0, "need at least one trial per cell");
         // Generate each topology once; share it across its cells.
-        let topologies: Vec<(Arc<Topology>, Vec<usize>)> = self
+        let topologies: Vec<Arc<Topology>> = self
             .topologies
             .iter()
             .map(|family| {
                 let t = Topology::generate(family.config);
-                let stubs = t.stubs();
                 assert!(
-                    stubs.len() >= 2,
+                    t.stubs().len() >= 2,
                     "need at least two stubs in {}",
                     family.label
                 );
-                (Arc::new(t), stubs)
+                Arc::new(t)
             })
             .collect();
-        // Policies per (topology, deployment), fixed across cells.
-        let policies: Vec<Vec<Vec<RovPolicy>>> = topologies
+        // Policies per (topology, deployment), fixed across cells —
+        // compiled to their adopter bitsets once, so per-trial import
+        // filtering is a bit test on the engine path.
+        let policies: Vec<Vec<(Vec<RovPolicy>, CompiledPolicies)>> = topologies
             .iter()
-            .map(|(t, _)| {
+            .map(|t| {
                 self.deployments
                     .iter()
-                    .map(|d| d.policies(t, self.seed))
+                    .map(|d| {
+                        let p = d.policies(t, self.seed);
+                        let compiled = CompiledPolicies::compile(&p);
+                        (p, compiled)
+                    })
                     .collect()
             })
             .collect();
@@ -375,11 +383,12 @@ impl ScenarioMatrix {
         let outcome_at = |flat: usize| -> AttackOutcome {
             let (ti, si, di, roa) = cells[flat / self.trials];
             let trial = flat % self.trials;
+            let (per_as, compiled) = &policies[ti][di];
             self.trial_outcome(
-                &topologies[ti].0,
-                &topologies[ti].1,
+                &topologies[ti],
                 self.strategies[si].as_ref(),
-                &policies[ti][di],
+                per_as,
+                compiled,
                 roa,
                 trial,
             )
@@ -409,21 +418,22 @@ impl ScenarioMatrix {
     }
 
     /// One trial of one cell: sample the pair, publish the victim's ROA
-    /// configuration, and stage the strategy.
+    /// configuration, and stage the strategy on the engine path (the
+    /// deployment's adopter bitset was compiled once, up front).
     fn trial_outcome(
         &self,
         topology: &Topology,
-        stubs: &[usize],
         strategy: &dyn AttackerStrategy,
         policies: &[RovPolicy],
+        compiled: &CompiledPolicies,
         roa: RoaConfig,
         trial: usize,
     ) -> AttackOutcome {
         let p: Prefix = "168.122.0.0/16".parse().expect("static");
         let q: Prefix = "168.122.0.0/24".parse().expect("static");
-        let (victim, attacker) = trial_pair(self.seed, stubs, trial);
+        let (victim, attacker) = trial_pair(self.seed, topology.stubs(), trial);
         let vrps = roa.vrps(p, q.len(), topology.asn(victim));
-        run_strategy(
+        run_strategy_compiled(
             strategy,
             &AttackSetup {
                 topology,
@@ -434,6 +444,7 @@ impl ScenarioMatrix {
                 vrps: &vrps,
                 policies,
             },
+            compiled,
         )
     }
 }

@@ -18,12 +18,26 @@
 //! bubbling up, one peer hop, provider routes flowing down), each a
 //! shortest-path search — no iterative convergence needed because
 //! Gao–Rexford preferences are hierarchical.
+//!
+//! Two implementations share this module's contract:
+//!
+//! * [`propagate`] — the production path, backed by
+//!   [`crate::engine::PropagationEngine`] (flat CSR phase slices, a
+//!   reusable per-thread scratch [`crate::engine::Workspace`], and a
+//!   path-length bucket queue instead of a [`std::collections::BinaryHeap`]);
+//! * [`propagate_reference`] — the original heap-based implementation,
+//!   kept as the differential-testing and benchmarking baseline.
+//!
+//! The two are **bit-identical** on every input (same routes, same
+//! deterministic tie-breaks, same `next_hop` choices), a contract pinned
+//! by the `engine_props` proptest suite and the golden fixtures.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use rpki_roa::Asn;
 
+use crate::engine::{with_workspace, PropagationEngine};
 use crate::topology::{Relationship, Topology};
 
 /// How an AS learned its best route (order = preference, best first).
@@ -93,13 +107,50 @@ impl Seed {
 }
 
 /// The result of propagating one prefix.
+///
+/// [`Propagation::reached`] and [`Propagation::delivered_to`] are
+/// answered from counters computed in a single pass at construction —
+/// the per-table rescans the trial loops used to pay are gone.
 #[derive(Debug, Clone)]
 pub struct Propagation {
-    /// `routes[a]` is AS `a`'s selected route, if any.
-    pub routes: Vec<Option<RouteInfo>>,
+    /// `routes[a]` is AS `a`'s selected route, if any. Private so the
+    /// cached counters below can never desync from it; read through
+    /// [`Propagation::routes`].
+    routes: Vec<Option<RouteInfo>>,
+    /// ASes holding a route (cached at construction).
+    reached: usize,
+    /// `(deliverer, count)` pairs — one entry per announcement entry
+    /// point, so the list stays as small as the seed set.
+    delivered: Vec<(usize, usize)>,
 }
 
 impl Propagation {
+    /// Wraps a routes vector, computing the reach and per-deliverer
+    /// counters in one pass.
+    pub fn from_routes(routes: Vec<Option<RouteInfo>>) -> Propagation {
+        let mut reached = 0;
+        let mut delivered: Vec<(usize, usize)> = Vec::new();
+        for info in routes.iter().flatten() {
+            reached += 1;
+            match delivered.iter_mut().find(|(d, _)| *d == info.delivers_to) {
+                Some((_, count)) => *count += 1,
+                None => delivered.push((info.delivers_to, 1)),
+            }
+        }
+        Propagation {
+            routes,
+            reached,
+            delivered,
+        }
+    }
+
+    /// The per-AS selected routes: `routes()[a]` is AS `a`'s route, if
+    /// any. Read-only — the `reached`/`delivered_to` counters are
+    /// derived from this vector once, at construction.
+    pub fn routes(&self) -> &[Option<RouteInfo>] {
+        &self.routes
+    }
+
     /// The hop-by-hop forwarding path from `from` to its route's entry
     /// point, following `next_hop`. `None` if `from` holds no route;
     /// panics are impossible because propagation only installs next hops
@@ -123,18 +174,17 @@ impl Propagation {
         }
     }
 
-    /// Number of ASes holding a route.
+    /// Number of ASes holding a route (O(1), cached).
     pub fn reached(&self) -> usize {
-        self.routes.iter().flatten().count()
+        self.reached
     }
 
-    /// Number of ASes whose traffic lands at `target`.
+    /// Number of ASes whose traffic lands at `target` (O(#seeds), cached).
     pub fn delivered_to(&self, target: usize) -> usize {
-        self.routes
+        self.delivered
             .iter()
-            .flatten()
-            .filter(|r| r.delivers_to == target)
-            .count()
+            .find(|(d, _)| *d == target)
+            .map_or(0, |&(_, count)| count)
     }
 }
 
@@ -143,7 +193,23 @@ impl Propagation {
 /// `accept(as_index, claimed_origin)` is the per-AS import filter —
 /// return `false` to model the AS dropping the route as RPKI-Invalid.
 /// The filter sees the claimed origin, exactly like RFC 6811 validation.
+///
+/// This is the engine-backed production path: it runs on the calling
+/// thread's reusable [`crate::engine::Workspace`], allocating only the
+/// returned route vector. It is bit-identical to
+/// [`propagate_reference`] on every input.
 pub fn propagate(
+    topology: &Topology,
+    seeds: &[Seed],
+    accept: &dyn Fn(usize, Asn) -> bool,
+) -> Propagation {
+    with_workspace(|ws| PropagationEngine::new(topology).propagate(seeds, accept, ws))
+}
+
+/// The original heap-based implementation of [`propagate`], kept as the
+/// reference the engine is differentially tested (and benchmarked)
+/// against. Allocates its scratch on every call; prefer [`propagate`].
+pub fn propagate_reference(
     topology: &Topology,
     seeds: &[Seed],
     accept: &dyn Fn(usize, Asn) -> bool,
@@ -184,7 +250,7 @@ pub fn propagate(
         }
         routes[at] = Some(info);
         // Export to providers: they learn a customer route.
-        for &(provider, rel) in topology.neighbors(at) {
+        for (provider, rel) in topology.neighbors(at) {
             if rel != Relationship::Provider || routes[provider].is_some() {
                 continue;
             }
@@ -210,7 +276,7 @@ pub fn propagate(
     let mut peer_offers: Vec<Option<RouteInfo>> = vec![None; n];
     for at in 0..n {
         let Some(info) = routes[at] else { continue };
-        for &(peer, rel) in topology.neighbors(at) {
+        for (peer, rel) in topology.neighbors(at) {
             if rel != Relationship::Peer || routes[peer].is_some() {
                 continue;
             }
@@ -245,7 +311,7 @@ pub fn propagate(
                       pending: &mut Vec<Option<RouteInfo>>,
                       heap: &mut BinaryHeap<Reverse<(Key, usize)>>,
                       routes: &Vec<Option<RouteInfo>>| {
-        for &(customer, rel) in topology.neighbors(from) {
+        for (customer, rel) in topology.neighbors(from) {
             if rel != Relationship::Customer || routes[customer].is_some() {
                 continue;
             }
@@ -279,12 +345,12 @@ pub fn propagate(
         offer_down(info, at, &mut pending, &mut heap, &routes);
     }
 
-    Propagation { routes }
+    Propagation::from_routes(routes)
 }
 
 /// `true` if `candidate` beats the current pending offer under the
 /// deterministic tie-break.
-fn better_candidate(current: &Option<RouteInfo>, candidate: &RouteInfo) -> bool {
+pub(crate) fn better_candidate(current: &Option<RouteInfo>, candidate: &RouteInfo) -> bool {
     match current {
         None => true,
         Some(cur) => {
@@ -337,7 +403,7 @@ mod tests {
         let prop = propagate(&t, &[origin_seed(&t, stub)], &accept_all);
         assert_eq!(prop.reached(), t.len(), "graph is connected");
         assert_eq!(prop.delivered_to(stub), t.len());
-        assert_eq!(prop.routes[stub].unwrap().class, RouteClass::Origin);
+        assert_eq!(prop.routes()[stub].unwrap().class, RouteClass::Origin);
     }
 
     #[test]
@@ -350,7 +416,9 @@ mod tests {
         let stub = t.stubs()[0];
         let prop = propagate(&t, &[origin_seed(&t, stub)], &accept_all);
         for a in 0..t.len() {
-            let Some(info) = prop.routes[a] else { continue };
+            let Some(info) = prop.routes()[a] else {
+                continue;
+            };
             match info.class {
                 RouteClass::Origin => assert_eq!(a, stub),
                 RouteClass::Customer | RouteClass::Peer | RouteClass::Provider => {
@@ -444,7 +512,7 @@ mod tests {
         // Everyone but one specific AS accepts.
         let blocked = t.stubs()[1];
         let prop = propagate(&t, &[origin_seed(&t, stub)], &|a, _| a != blocked);
-        assert!(prop.routes[blocked].is_none());
+        assert!(prop.routes()[blocked].is_none());
         assert!(prop.reached() >= t.len() - 2); // blocking a stub strands ≤ itself
     }
 
@@ -454,7 +522,7 @@ mod tests {
         let stub = t.stubs()[3];
         let a = propagate(&t, &[origin_seed(&t, stub)], &accept_all);
         let b = propagate(&t, &[origin_seed(&t, stub)], &accept_all);
-        assert_eq!(a.routes, b.routes);
+        assert_eq!(a.routes(), b.routes());
     }
 
     #[test]
@@ -462,6 +530,46 @@ mod tests {
         let t = topo();
         let prop = propagate(&t, &[], &accept_all);
         assert_eq!(prop.reached(), 0);
+    }
+
+    #[test]
+    fn engine_matches_reference_on_the_standard_world() {
+        // The full differential suite lives in `tests/engine_props.rs`;
+        // this pins the contract on the canonical topology.
+        let t = topo();
+        let stubs = t.stubs();
+        let seeds = [
+            origin_seed(&t, stubs[0]),
+            Seed::forged(stubs[stubs.len() / 2], t.asn(stubs[0])),
+        ];
+        let engine = propagate(&t, &seeds, &accept_all);
+        let reference = propagate_reference(&t, &seeds, &accept_all);
+        assert_eq!(engine.routes(), reference.routes());
+        assert_eq!(engine.reached(), reference.reached());
+        for s in [stubs[0], stubs[stubs.len() / 2]] {
+            assert_eq!(engine.delivered_to(s), reference.delivered_to(s));
+        }
+    }
+
+    #[test]
+    fn cached_counters_match_a_rescan() {
+        let t = topo();
+        let stubs = t.stubs();
+        let prop = propagate(
+            &t,
+            &[origin_seed(&t, stubs[0]), origin_seed(&t, stubs[1])],
+            &accept_all,
+        );
+        assert_eq!(prop.reached(), prop.routes().iter().flatten().count());
+        for target in [stubs[0], stubs[1], 0] {
+            let rescan = prop
+                .routes()
+                .iter()
+                .flatten()
+                .filter(|r| r.delivers_to == target)
+                .count();
+            assert_eq!(prop.delivered_to(target), rescan);
+        }
     }
 }
 
@@ -497,7 +605,7 @@ mod forwarding_tests {
         ];
         let prop = propagate(&t, &seeds, &accept_all);
         for from in 0..t.len() {
-            let Some(info) = prop.routes[from] else {
+            let Some(info) = prop.routes()[from] else {
                 continue;
             };
             let path = prop.forwarding_path(from).expect("routed AS has a path");
@@ -540,20 +648,15 @@ mod forwarding_tests {
             &accept_all,
         );
         for from in 0..t.len() {
-            if prop.routes[from].is_none() {
+            if prop.routes()[from].is_none() {
                 continue;
             }
             let path = prop.forwarding_path(from).unwrap();
             // Forwarding direction from..deliverer; hop x->y with y
-            // relationship seen from x.
+            // relationship seen from x (an O(log d) CSR lookup).
             let mut descended = false;
             for pair in path.windows(2) {
-                let rel = t
-                    .neighbors(pair[0])
-                    .iter()
-                    .find(|&&(n, _)| n == pair[1])
-                    .map(|&(_, r)| r)
-                    .unwrap();
+                let rel = t.relationship(pair[0], pair[1]).unwrap();
                 match rel {
                     crate::topology::Relationship::Customer => descended = true,
                     crate::topology::Relationship::Peer => {

@@ -12,7 +12,13 @@
 //! observe) — and returns an [`AttackPlan`]: at most one crafted
 //! announcement plus the address block whose traffic is measured.
 //! [`run_strategy`] stages the plan under Gao–Rexford propagation with
-//! per-AS ROV filtering and a longest-prefix-match data plane.
+//! per-AS ROV filtering and a longest-prefix-match data plane, riding
+//! the [`crate::engine::PropagationEngine`] hot path: precomputed
+//! [`OriginFilter`]s instead of per-edge trie validation, the calling
+//! thread's reusable [`crate::engine::Workspace`], and single-pass
+//! interception counting. Trial loops that fix one deployment should
+//! compile its policy vector once ([`CompiledPolicies::compile`]) and
+//! call [`run_strategy_compiled`].
 //!
 //! Shipped strategies:
 //!
@@ -28,11 +34,12 @@
 //!   minimal — the paper's §5 demotion argument as an adaptive attacker.
 
 use rpki_prefix::Prefix;
-use rpki_roa::{Asn, RouteOrigin};
+use rpki_roa::Asn;
 use rpki_rov::VrpIndex;
 
 use crate::attack::{AttackKind, AttackOutcome, AttackSetup};
-use crate::routing::{propagate, Propagation, Seed};
+use crate::engine::{with_workspace, CompiledPolicies, OriginFilter, PropagationEngine};
+use crate::routing::{Propagation, Seed};
 use crate::topology::Topology;
 
 /// Everything an attacker can observe before announcing: the graph, the
@@ -57,7 +64,7 @@ pub struct StrategyContext<'a> {
     /// strategies that never look pay nothing.
     baseline: std::cell::OnceCell<Propagation>,
     victim_seed: Seed,
-    accept_p: &'a (dyn Fn(usize, Asn) -> bool + 'a),
+    accept_p: &'a OriginFilter<'a>,
 }
 
 impl StrategyContext<'_> {
@@ -73,18 +80,30 @@ impl StrategyContext<'_> {
 
     /// The victim's prefix propagated *without* the attacker — what the
     /// attacker's router actually learned (route leaks replay it).
-    /// Computed lazily and cached for the rest of the trial.
+    /// Computed lazily (on the engine path, through the calling thread's
+    /// workspace) and cached for the rest of the trial.
     pub fn baseline(&self) -> &Propagation {
-        self.baseline
-            .get_or_init(|| propagate(self.topology, &[self.victim_seed], self.accept_p))
+        self.baseline.get_or_init(|| self.compute_baseline())
     }
 
     /// Hands the (possibly still uncomputed) baseline to the executor's
     /// data plane.
     fn into_baseline(self) -> Propagation {
-        self.baseline
-            .into_inner()
-            .unwrap_or_else(|| propagate(self.topology, &[self.victim_seed], self.accept_p))
+        if self.baseline.get().is_none() {
+            self.baseline();
+        }
+        self.baseline.into_inner().expect("baseline just computed")
+    }
+
+    fn compute_baseline(&self) -> Propagation {
+        let accept = self.accept_p;
+        with_workspace(|ws| {
+            PropagationEngine::new(self.topology).propagate(
+                &[self.victim_seed],
+                &|at, origin| accept.accept(at, origin),
+                ws,
+            )
+        })
     }
 }
 
@@ -165,7 +184,7 @@ impl AttackerStrategy for RouteLeak {
 
     fn plan(&self, ctx: &StrategyContext<'_>) -> AttackPlan {
         AttackPlan {
-            announcement: ctx.baseline().routes[ctx.attacker].map(|learned| AttackAnnouncement {
+            announcement: ctx.baseline().routes()[ctx.attacker].map(|learned| AttackAnnouncement {
                 prefix: ctx.victim_prefix,
                 claimed_origin: learned.claimed_origin,
                 path_len: learned.path_len,
@@ -308,12 +327,32 @@ impl AttackerStrategy for MaxLengthGapProber {
 /// every AS forwards a packet addressed inside the plan's target along
 /// its longest matching prefix.
 ///
+/// Compiles `setup.policies` on the fly; trial loops holding one
+/// deployment fixed should compile once and use
+/// [`run_strategy_compiled`].
+///
 /// # Panics
 ///
 /// Panics if `attacker == victim`, if `sub_prefix` (or the planned
 /// target) is not covered by `victim_prefix`, or if
 /// `policies.len() != topology.len()`.
 pub fn run_strategy(strategy: &dyn AttackerStrategy, setup: &AttackSetup<'_>) -> AttackOutcome {
+    run_strategy_compiled(strategy, setup, &CompiledPolicies::compile(setup.policies))
+}
+
+/// [`run_strategy`] with the deployment's policy vector already compiled
+/// to its adopter bitset — the form every trial loop uses, so the O(n)
+/// policy scan happens once per deployment instead of once per trial.
+///
+/// # Panics
+///
+/// As [`run_strategy`], plus if `compiled` covers a different number of
+/// ASes than `setup.policies`.
+pub fn run_strategy_compiled(
+    strategy: &dyn AttackerStrategy,
+    setup: &AttackSetup<'_>,
+    compiled: &CompiledPolicies,
+) -> AttackOutcome {
     let t = setup.topology;
     assert_ne!(
         setup.attacker, setup.victim,
@@ -324,23 +363,18 @@ pub fn run_strategy(strategy: &dyn AttackerStrategy, setup: &AttackSetup<'_>) ->
         "sub_prefix must be inside victim_prefix"
     );
     assert_eq!(setup.policies.len(), t.len());
+    assert_eq!(compiled.len(), t.len(), "compiled policies cover the graph");
 
-    // Import filter: RFC 6811 against the published VRPs, honoring each
-    // AS's policy. Validation sees the *claimed* origin.
-    let make_accept = |prefix: Prefix| {
-        let vrps = setup.vrps;
-        let policies = setup.policies;
-        move |at: usize, claimed_origin: Asn| -> bool {
-            let state = vrps.validate(&RouteOrigin::new(prefix, claimed_origin));
-            policies[at].permits(state)
-        }
-    };
+    let engine = PropagationEngine::new(t);
+    let victim_asn = t.asn(setup.victim);
+    let victim_seed = Seed::origin(setup.victim, victim_asn);
+    // Import filter for the victim's prefix: the ROV verdict of every
+    // claimed origin the baseline can query, resolved once.
+    let accept_p = OriginFilter::new(setup.vrps, setup.victim_prefix, &[victim_asn], compiled);
 
     // The pre-attack world is offered to the strategy lazily: only
     // strategies that observe it (and subprefix plans, which reuse it as
     // the fallback table) pay for the extra propagation.
-    let victim_seed = Seed::origin(setup.victim, t.asn(setup.victim));
-    let accept_p = make_accept(setup.victim_prefix);
     let ctx = StrategyContext {
         topology: t,
         victim: setup.victim,
@@ -360,48 +394,106 @@ pub fn run_strategy(strategy: &dyn AttackerStrategy, setup: &AttackSetup<'_>) ->
 
     // The attacked world: either a head-to-head propagation on the
     // victim's prefix, or the attacker's prefix propagated next to the
-    // untouched baseline.
-    let mut tables: Vec<(Prefix, Propagation)> = Vec::with_capacity(2);
+    // untouched baseline; traffic for the target then follows each AS's
+    // longest matching prefix, counted in a single engine pass.
     match plan.announcement {
         Some(ann) if ann.prefix == setup.victim_prefix => {
-            let seed = Seed {
-                at: setup.attacker,
-                path_len: ann.path_len,
-                claimed_origin: ann.claimed_origin,
-            };
-            tables.push((
+            // Head to head on the victim's prefix: one propagation, no
+            // materialized table at all.
+            let accept = OriginFilter::new(
+                setup.vrps,
                 setup.victim_prefix,
-                propagate(t, &[victim_seed, seed], &accept_p),
-            ));
+                &[victim_asn, ann.claimed_origin],
+                compiled,
+            );
+            let seeds = [
+                victim_seed,
+                Seed {
+                    at: setup.attacker,
+                    path_len: ann.path_len,
+                    claimed_origin: ann.claimed_origin,
+                },
+            ];
+            with_workspace(|ws| {
+                engine.propagate_outcome(
+                    &seeds,
+                    &|at, origin| accept.accept(at, origin),
+                    ws,
+                    None,
+                    setup.attacker,
+                    setup.victim,
+                )
+            })
         }
-        Some(ann) => {
-            let accept_q = make_accept(ann.prefix);
+        Some(ann) if ann.prefix.covers(plan.target) => {
+            let baseline = ctx.into_baseline();
+            let accept_q =
+                OriginFilter::new(setup.vrps, ann.prefix, &[ann.claimed_origin], compiled);
             let seed = Seed {
                 at: setup.attacker,
                 path_len: ann.path_len,
                 claimed_origin: ann.claimed_origin,
             };
-            tables.push((ann.prefix, propagate(t, &[seed], &accept_q)));
-            tables.push((setup.victim_prefix, ctx.into_baseline()));
+            if ann.prefix.len() > setup.victim_prefix.len() {
+                // The usual shape: the attacker's more-specific table
+                // wins longest-prefix match, the baseline is the
+                // fallback — tallied straight off the workspace.
+                with_workspace(|ws| {
+                    engine.propagate_outcome(
+                        &[seed],
+                        &|at, origin| accept_q.accept(at, origin),
+                        ws,
+                        Some(&baseline),
+                        setup.attacker,
+                        setup.victim,
+                    )
+                })
+            } else {
+                // A *less*-specific announcement: the victim's own table
+                // stays primary (rare — only custom strategies announce
+                // super-prefixes).
+                let attacked = with_workspace(|ws| {
+                    engine.propagate(&[seed], &|at, origin| accept_q.accept(at, origin), ws)
+                });
+                outcome_from_tables(
+                    &[&baseline, &attacked],
+                    setup.attacker,
+                    setup.victim,
+                    t.len(),
+                )
+            }
         }
-        None => tables.push((setup.victim_prefix, ctx.into_baseline())),
+        Some(_) | None => {
+            // Nothing announced toward the target: only the baseline
+            // carries traffic.
+            let baseline = ctx.into_baseline();
+            outcome_from_tables(&[&baseline], setup.attacker, setup.victim, t.len())
+        }
     }
+}
 
-    // Data plane: longest matching prefix toward an address in the target.
-    tables.retain(|(p, _)| p.covers(plan.target));
-    tables.sort_by_key(|(p, _)| std::cmp::Reverse(p.len()));
+/// Longest-prefix-match counting over materialized tables, most specific
+/// first — the generic fallback for table orders the single-pass engine
+/// tally does not cover (also the data plane of
+/// [`crate::attack::run_forged_origin_trial`]).
+pub(crate) fn outcome_from_tables(
+    tables: &[&Propagation],
+    attacker: usize,
+    victim: usize,
+    n: usize,
+) -> AttackOutcome {
     let mut outcome = AttackOutcome {
         intercepted: 0,
         legitimate: 0,
         disconnected: 0,
     };
-    for a in 0..t.len() {
-        if a == setup.attacker || a == setup.victim {
+    for a in 0..n {
+        if a == attacker || a == victim {
             continue;
         }
-        let chosen = tables.iter().find_map(|(_, prop)| prop.routes[a]);
+        let chosen = tables.iter().find_map(|prop| prop.routes()[a]);
         match chosen {
-            Some(info) if info.delivers_to == setup.attacker => outcome.intercepted += 1,
+            Some(info) if info.delivers_to == attacker => outcome.intercepted += 1,
             Some(_) => outcome.legitimate += 1,
             None => outcome.disconnected += 1,
         }
@@ -538,6 +630,35 @@ mod tests {
         assert_eq!(outcome.legitimate, 0);
         // Zero routed trials must report 0.0, not NaN (regression).
         assert_eq!(outcome.interception_fraction(), 0.0);
+    }
+
+    #[test]
+    fn compiled_entry_point_matches_on_the_fly_compilation() {
+        let (t, victim, attacker, p, q) = world();
+        let policies: Vec<RovPolicy> = (0..t.len())
+            .map(|at| {
+                if at % 2 == 0 {
+                    RovPolicy::DropInvalid
+                } else {
+                    RovPolicy::AcceptAll
+                }
+            })
+            .collect();
+        let vrps: VrpIndex = [Vrp::new(p, 24, t.asn(victim))].into_iter().collect();
+        let compiled = CompiledPolicies::compile(&policies);
+        let s = setup(&t, victim, attacker, p, q, &vrps, &policies);
+        for strategy in [
+            &AttackKind::ForgedOriginSubprefixHijack as &dyn AttackerStrategy,
+            &RouteLeak,
+            &MaxLengthGapProber,
+        ] {
+            assert_eq!(
+                run_strategy(strategy, &s),
+                run_strategy_compiled(strategy, &s, &compiled),
+                "{}",
+                strategy.label()
+            );
+        }
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Internet-like AS topologies.
+//! Internet-like AS topologies in a flat CSR layout.
 //!
 //! The generator follows the structure empirical AS graphs show: a small
 //! clique of tier-1 transit providers peering with each other, and every
@@ -7,6 +7,27 @@
 //! structure for Gao–Rexford routing to exhibit the valley-free,
 //! customer-preferred paths the paper's traffic-splitting argument rests
 //! on.
+//!
+//! # CSR layout
+//!
+//! The graph is stored as one flat `u32` adjacency array in compressed
+//! sparse row form. AS `a`'s neighbors occupy
+//! `adj[offsets[a]..offsets[a + 1]]`, partitioned into three contiguous,
+//! individually **sorted** segments:
+//!
+//! ```text
+//! adj[offsets[a] .. peer_start[a]]        customers of a   (sorted)
+//! adj[peer_start[a] .. provider_start[a]] peers of a       (sorted)
+//! adj[provider_start[a] .. offsets[a+1]]  providers of a   (sorted)
+//! ```
+//!
+//! The propagation engine's three Gao–Rexford phases each iterate exactly
+//! the slice they need ([`Topology::customers`], [`Topology::peers`],
+//! [`Topology::providers`]) with no per-edge relationship branch; the
+//! sorted segments make [`Topology::relationship`] and
+//! [`Topology::are_neighbors`] binary searches (O(log degree)),
+//! [`Topology::customer_count`] and [`Topology::is_stub`] O(1) pointer
+//! arithmetic, and [`Topology::stubs`] a precomputed slice.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -61,14 +82,24 @@ impl Default for TopologyConfig {
     }
 }
 
-/// An AS-level graph with annotated business relationships.
+/// An AS-level graph with annotated business relationships, stored as a
+/// flat CSR adjacency (see the [module docs](self) for the layout).
 ///
 /// ASes are dense indices `0..n`; [`Topology::asn`] maps to the public
 /// [`Asn`] numbering (index + 1).
 #[derive(Debug, Clone)]
 pub struct Topology {
-    /// `neighbors[a]` lists `(b, relationship of b as seen from a)`.
-    neighbors: Vec<Vec<(usize, Relationship)>>,
+    /// Flat neighbor ids: `[customers | peers | providers]` per AS, each
+    /// segment sorted ascending.
+    adj: Vec<u32>,
+    /// `adj[offsets[a]..offsets[a + 1]]` is AS `a`'s row (`n + 1` entries).
+    offsets: Vec<u32>,
+    /// Absolute start of AS `a`'s peer segment within `adj`.
+    peer_start: Vec<u32>,
+    /// Absolute start of AS `a`'s provider segment within `adj`.
+    provider_start: Vec<u32>,
+    /// Customer-less non-tier-1 ASes, precomputed at generation, sorted.
+    stubs: Vec<usize>,
     tier1: usize,
 }
 
@@ -82,15 +113,25 @@ impl Topology {
         assert!(config.tier1 >= 1, "need at least one tier-1");
         assert!(config.n > config.tier1, "need ASes beyond the clique");
         assert!(config.max_providers >= 1);
+        assert!(
+            config.n <= u32::MAX as usize,
+            "CSR adjacency indexes ASes as u32"
+        );
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let mut topo = Topology {
-            neighbors: vec![Vec::new(); config.n],
-            tier1: config.tier1,
+        // Build in temporary per-AS lists (the generator needs adjacency
+        // queries on the partially built graph), then flatten to CSR.
+        let mut lists: Vec<Vec<(usize, Relationship)>> = vec![Vec::new(); config.n];
+        let add_edge = |lists: &mut Vec<Vec<(usize, Relationship)>>,
+                        a: usize,
+                        b: usize,
+                        rel_of_b_from_a: Relationship| {
+            lists[a].push((b, rel_of_b_from_a));
+            lists[b].push((a, rel_of_b_from_a.flipped()));
         };
         // Tier-1 clique: everyone peers with everyone.
         for a in 0..config.tier1 {
             for b in (a + 1)..config.tier1 {
-                topo.add_edge(a, b, Relationship::Peer);
+                add_edge(&mut lists, a, b, Relationship::Peer);
             }
         }
         // Everyone else: preferential attachment to providers.
@@ -110,33 +151,78 @@ impl Topology {
             }
             for &p in &providers {
                 // p is a's provider.
-                topo.add_edge(a, p, Relationship::Provider);
+                add_edge(&mut lists, a, p, Relationship::Provider);
                 endpoints.push(p);
                 endpoints.push(a);
             }
             if rng.gen_bool(config.peer_prob) && a > config.tier1 {
                 let peer = rng.gen_range(config.tier1..a);
-                if peer != a && !topo.are_neighbors(a, peer) {
-                    topo.add_edge(a, peer, Relationship::Peer);
+                if peer != a && !lists[a].iter().any(|&(b, _)| b == peer) {
+                    add_edge(&mut lists, a, peer, Relationship::Peer);
                 }
             }
         }
-        topo
+        Topology::from_lists(lists, config.tier1)
     }
 
-    fn add_edge(&mut self, a: usize, b: usize, rel_of_b_from_a: Relationship) {
-        self.neighbors[a].push((b, rel_of_b_from_a));
-        self.neighbors[b].push((a, rel_of_b_from_a.flipped()));
+    /// Flattens per-AS neighbor lists into the sorted, partitioned CSR
+    /// arrays and precomputes the stub set.
+    fn from_lists(lists: Vec<Vec<(usize, Relationship)>>, tier1: usize) -> Topology {
+        let n = lists.len();
+        let total: usize = lists.iter().map(Vec::len).sum();
+        assert!(
+            total <= u32::MAX as usize,
+            "CSR offsets index adjacency entries as u32"
+        );
+        let mut adj = Vec::with_capacity(total);
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut peer_start = Vec::with_capacity(n);
+        let mut provider_start = Vec::with_capacity(n);
+        let mut seg: Vec<u32> = Vec::new();
+        offsets.push(0u32);
+        for list in &lists {
+            for wanted in [
+                Relationship::Customer,
+                Relationship::Peer,
+                Relationship::Provider,
+            ] {
+                seg.clear();
+                seg.extend(
+                    list.iter()
+                        .filter(|&&(_, rel)| rel == wanted)
+                        .map(|&(b, _)| b as u32),
+                );
+                seg.sort_unstable();
+                match wanted {
+                    Relationship::Customer => peer_start.push(adj.len() as u32 + seg.len() as u32),
+                    Relationship::Peer => provider_start.push(adj.len() as u32 + seg.len() as u32),
+                    Relationship::Provider => {}
+                }
+                adj.extend_from_slice(&seg);
+            }
+            offsets.push(adj.len() as u32);
+        }
+        let stubs = (tier1..n)
+            .filter(|&a| peer_start[a] == offsets[a]) // no customers
+            .collect();
+        Topology {
+            adj,
+            offsets,
+            peer_start,
+            provider_start,
+            stubs,
+            tier1,
+        }
     }
 
     /// Number of ASes.
     pub fn len(&self) -> usize {
-        self.neighbors.len()
+        self.offsets.len() - 1
     }
 
     /// `true` if the graph has no ASes.
     pub fn is_empty(&self) -> bool {
-        self.neighbors.is_empty()
+        self.len() == 0
     }
 
     /// Number of tier-1 ASes (indices `0..tier1()`).
@@ -144,48 +230,81 @@ impl Topology {
         self.tier1
     }
 
-    /// The neighbors of `a` with their relationship as seen from `a`.
-    pub fn neighbors(&self, a: usize) -> &[(usize, Relationship)] {
-        &self.neighbors[a]
+    /// The customers of `a`, sorted ascending (CSR segment).
+    pub fn customers(&self, a: usize) -> &[u32] {
+        &self.adj[self.offsets[a] as usize..self.peer_start[a] as usize]
     }
 
-    /// `true` if an edge joins `a` and `b`.
+    /// The peers of `a`, sorted ascending (CSR segment).
+    pub fn peers(&self, a: usize) -> &[u32] {
+        &self.adj[self.peer_start[a] as usize..self.provider_start[a] as usize]
+    }
+
+    /// The providers of `a`, sorted ascending (CSR segment).
+    pub fn providers(&self, a: usize) -> &[u32] {
+        &self.adj[self.provider_start[a] as usize..self.offsets[a + 1] as usize]
+    }
+
+    /// The neighbors of `a` with their relationship as seen from `a`,
+    /// in CSR order: customers, then peers, then providers.
+    pub fn neighbors(&self, a: usize) -> impl Iterator<Item = (usize, Relationship)> + '_ {
+        self.customers(a)
+            .iter()
+            .map(|&b| (b as usize, Relationship::Customer))
+            .chain(
+                self.peers(a)
+                    .iter()
+                    .map(|&b| (b as usize, Relationship::Peer)),
+            )
+            .chain(
+                self.providers(a)
+                    .iter()
+                    .map(|&b| (b as usize, Relationship::Provider)),
+            )
+    }
+
+    /// Total degree of `a`.
+    pub fn degree(&self, a: usize) -> usize {
+        (self.offsets[a + 1] - self.offsets[a]) as usize
+    }
+
+    /// `true` if an edge joins `a` and `b`. O(log degree(a)).
     pub fn are_neighbors(&self, a: usize, b: usize) -> bool {
         self.relationship(a, b).is_some()
     }
 
     /// The relationship of `b` as seen from `a`, if they are neighbors.
+    /// Binary search over the sorted CSR segments: O(log degree(a)).
     pub fn relationship(&self, a: usize, b: usize) -> Option<Relationship> {
-        self.neighbors[a]
-            .iter()
-            .find(|&&(n, _)| n == b)
-            .map(|&(_, rel)| rel)
+        let b = u32::try_from(b).ok()?;
+        for (seg, rel) in [
+            (self.customers(a), Relationship::Customer),
+            (self.peers(a), Relationship::Peer),
+            (self.providers(a), Relationship::Provider),
+        ] {
+            if seg.binary_search(&b).is_ok() {
+                return Some(rel);
+            }
+        }
+        None
     }
 
     /// Number of customers of `a` — the degree measure the
-    /// top-ISPs-first deployment model ranks by (transit size).
+    /// top-ISPs-first deployment model ranks by (transit size). O(1).
     pub fn customer_count(&self, a: usize) -> usize {
-        self.neighbors[a]
-            .iter()
-            .filter(|&&(_, rel)| rel == Relationship::Customer)
-            .count()
+        (self.peer_start[a] - self.offsets[a]) as usize
     }
 
     /// `true` if `a` has no customers (an edge/stub network, the typical
     /// hijack victim). Tier-1 ASes are never considered stubs, even when
-    /// the generator happens to attach no customer to one.
+    /// the generator happens to attach no customer to one. O(1).
     pub fn is_stub(&self, a: usize) -> bool {
-        a >= self.tier1
-            && !self.neighbors[a]
-                .iter()
-                .any(|&(_, rel)| rel == Relationship::Customer)
+        a >= self.tier1 && self.customer_count(a) == 0
     }
 
-    /// All stub AS indices.
-    pub fn stubs(&self) -> Vec<usize> {
-        (self.tier1..self.len())
-            .filter(|&a| self.is_stub(a))
-            .collect()
+    /// All stub AS indices, precomputed at generation time (sorted).
+    pub fn stubs(&self) -> &[usize] {
+        &self.stubs
     }
 
     /// The public AS number of index `a`.
@@ -217,7 +336,10 @@ mod tests {
         let a = small();
         let b = small();
         for i in 0..a.len() {
-            assert_eq!(a.neighbors(i), b.neighbors(i));
+            assert_eq!(
+                a.neighbors(i).collect::<Vec<_>>(),
+                b.neighbors(i).collect::<Vec<_>>()
+            );
         }
     }
 
@@ -228,13 +350,7 @@ mod tests {
             for b in 0..t.tier1() {
                 if a != b {
                     assert!(t.are_neighbors(a, b));
-                    let rel = t
-                        .neighbors(a)
-                        .iter()
-                        .find(|&&(n, _)| n == b)
-                        .map(|&(_, r)| r)
-                        .unwrap();
-                    assert_eq!(rel, Relationship::Peer);
+                    assert_eq!(t.relationship(a, b), Some(Relationship::Peer));
                 }
             }
         }
@@ -244,13 +360,8 @@ mod tests {
     fn relationships_are_symmetric() {
         let t = small();
         for a in 0..t.len() {
-            for &(b, rel) in t.neighbors(a) {
-                let back = t
-                    .neighbors(b)
-                    .iter()
-                    .find(|&&(n, _)| n == a)
-                    .map(|&(_, r)| r)
-                    .expect("edge must be bidirectional");
+            for (b, rel) in t.neighbors(a) {
+                let back = t.relationship(b, a).expect("edge must be bidirectional");
                 assert_eq!(back, rel.flipped());
             }
         }
@@ -260,12 +371,7 @@ mod tests {
     fn every_as_has_an_upstream_or_is_tier1() {
         let t = small();
         for a in t.tier1()..t.len() {
-            assert!(
-                t.neighbors(a)
-                    .iter()
-                    .any(|&(_, rel)| rel == Relationship::Provider),
-                "AS {a} has no provider"
-            );
+            assert!(!t.providers(a).is_empty(), "AS {a} has no provider");
         }
     }
 
@@ -274,8 +380,36 @@ mod tests {
         let t = small();
         let stubs = t.stubs();
         assert!(stubs.len() > t.len() / 4, "expected many stubs");
-        for s in stubs {
+        for &s in stubs {
             assert!(t.is_stub(s));
+            assert!(t.customers(s).is_empty());
+        }
+        // Precomputed slice is exactly the filter over all ASes.
+        let scan: Vec<usize> = (t.tier1()..t.len()).filter(|&a| t.is_stub(a)).collect();
+        assert_eq!(stubs, scan.as_slice());
+    }
+
+    #[test]
+    fn csr_segments_are_sorted_and_partition_the_row() {
+        let t = small();
+        for a in 0..t.len() {
+            for seg in [t.customers(a), t.peers(a), t.providers(a)] {
+                assert!(seg.windows(2).all(|w| w[0] < w[1]), "unsorted segment");
+            }
+            assert_eq!(
+                t.customers(a).len() + t.peers(a).len() + t.providers(a).len(),
+                t.degree(a)
+            );
+            // Segment membership agrees with the relationship lookup.
+            for &b in t.customers(a) {
+                assert_eq!(t.relationship(a, b as usize), Some(Relationship::Customer));
+            }
+            for &b in t.peers(a) {
+                assert_eq!(t.relationship(a, b as usize), Some(Relationship::Peer));
+            }
+            for &b in t.providers(a) {
+                assert_eq!(t.relationship(a, b as usize), Some(Relationship::Provider));
+            }
         }
     }
 
@@ -294,7 +428,7 @@ mod tests {
         let t = small();
         for a in 0..t.len() {
             let mut customers = 0;
-            for &(b, rel) in t.neighbors(a) {
+            for (b, rel) in t.neighbors(a) {
                 assert_eq!(t.relationship(a, b), Some(rel));
                 if rel == Relationship::Customer {
                     customers += 1;
@@ -303,13 +437,15 @@ mod tests {
             assert_eq!(t.customer_count(a), customers);
         }
         // Stubs have no customers; somebody provides transit.
-        for s in t.stubs() {
+        for &s in t.stubs() {
             assert_eq!(t.customer_count(s), 0);
         }
         assert!((0..t.len()).any(|a| t.customer_count(a) > 0));
         assert_eq!(t.relationship(0, t.len() - 1).is_some(), {
             t.are_neighbors(0, t.len() - 1)
         });
+        // Out-of-range neighbor ids are simply absent.
+        assert_eq!(t.relationship(0, usize::MAX), None);
     }
 
     #[test]

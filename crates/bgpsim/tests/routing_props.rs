@@ -36,7 +36,7 @@ fn arb_config() -> impl Strategy<Value = TopologyConfig> {
 /// Checks the three path invariants for every routed AS of `prop`.
 fn check_paths(t: &Topology, prop: &bgpsim::Propagation) {
     for from in 0..t.len() {
-        let Some(info) = prop.routes[from] else {
+        let Some(info) = prop.routes()[from] else {
             continue;
         };
         let path = prop.forwarding_path(from).expect("routed AS has a path");
@@ -73,8 +73,8 @@ fn check_paths(t: &Topology, prop: &bgpsim::Propagation) {
         // to the same place, claims the same origin, and is one hop
         // shorter than its predecessor's.
         for pair in path.windows(2) {
-            let here = prop.routes[pair[0]].expect("on-path AS is routed");
-            let next = prop.routes[pair[1]].expect("next hop is routed");
+            let here = prop.routes()[pair[0]].expect("on-path AS is routed");
+            let next = prop.routes()[pair[1]].expect("next hop is routed");
             assert_eq!(here.next_hop, Some(pair[1]));
             assert_eq!(here.delivers_to, next.delivers_to);
             assert_eq!(here.claimed_origin, next.claimed_origin);

@@ -84,6 +84,13 @@ pub struct Bencher {
 }
 
 impl Bencher {
+    /// Mean nanoseconds per iteration measured by the last `iter*` call
+    /// (0.0 before any run). Lets benches export machine-readable
+    /// records alongside the printed report.
+    pub fn mean_ns(&self) -> f64 {
+        self.mean_ns
+    }
+
     /// Times `routine` repeatedly.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Warm-up and calibration: find an iteration count that fills
