@@ -1,13 +1,26 @@
-//! Criterion ablation for the scenario-matrix runner: the parallel
-//! `(cell × trial)` fan-out vs the sequential fold on the same matrix —
-//! and the assertion, before any timing, that the two are bit-identical
-//! (the contract the golden fixture and `routing_props` pin down).
+//! Criterion ablation for the unified trial executor on the scenario
+//! matrix: the executor (deployment-keyed policy cache, shared
+//! baselines, cross-deployment outcome replay, streaming accumulators)
+//! vs the kept pre-executor collect-then-fold orchestration
+//! (`ScenarioMatrix::run_collected`) — and the assertion, before any
+//! timing, that executor, parallel executor, and reference are
+//! **bit-identical** (the contract the golden fixture and `exec_props`
+//! pin down).
+//!
+//! The `run/*/executor`-vs-`reference` gap is the orchestration win the
+//! trial-executor PR claims (≥1.5x on the default grid, asserted below);
+//! the `parallel` row adds the rayon fan-out on top.
+//!
+//! Set `MAXLENGTH_BENCH_JSON=path` to append machine-readable
+//! `{"bench", "scale", "ns_per_iter"}` records for the PR perf trail
+//! (`BENCH_matrix.json`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use bgpsim::experiment::RoaConfig;
 use bgpsim::matrix::{ScenarioMatrix, TopologyFamily};
 use bgpsim::{DeploymentModel, TopologyConfig};
+use rpki_bench::harness::record_bench_json;
 
 fn matrix(n: usize) -> ScenarioMatrix {
     ScenarioMatrix {
@@ -30,20 +43,51 @@ fn matrix(n: usize) -> ScenarioMatrix {
 fn bench_matrix(c: &mut Criterion) {
     for n in [200, 500] {
         let m = matrix(n);
-        // Equivalence before speed.
-        assert_eq!(m.run(), m.run_par(), "parallel diverged at n={n}");
+        // Equivalence before speed: the executor must reproduce the
+        // collect-then-fold reference bit-for-bit, sequentially and in
+        // parallel.
+        let reference = m.run_collected();
+        assert_eq!(reference, m.run(), "executor diverged at n={n}");
+        assert_eq!(reference, m.run_par(), "parallel diverged at n={n}");
 
         let cells = m.cell_count() as u64;
         let mut group = c.benchmark_group(format!("matrix/run/n-{n}"));
         group.sample_size(10);
         group.throughput(Throughput::Elements(cells));
-        group.bench_with_input(BenchmarkId::new("sequential", cells), &m, |b, m| {
-            b.iter(|| m.run())
+        let mut executor_ns = 0.0;
+        let mut reference_ns = 0.0;
+        let mut parallel_ns = 0.0;
+        group.bench_with_input(BenchmarkId::new("executor", cells), &m, |b, m| {
+            b.iter(|| m.run());
+            executor_ns = b.mean_ns();
+        });
+        group.bench_with_input(BenchmarkId::new("reference", cells), &m, |b, m| {
+            b.iter(|| m.run_collected());
+            reference_ns = b.mean_ns();
         });
         group.bench_with_input(BenchmarkId::new("parallel", cells), &m, |b, m| {
-            b.iter(|| m.run_par())
+            b.iter(|| m.run_par());
+            parallel_ns = b.mean_ns();
         });
         group.finish();
+        record_bench_json("matrix/grid/executor", n as f64, executor_ns);
+        record_bench_json("matrix/grid/reference", n as f64, reference_ns);
+        record_bench_json("matrix/grid/parallel", n as f64, parallel_ns);
+
+        let speedup = reference_ns / executor_ns;
+        println!(
+            "matrix/run/n-{n}: executor is {speedup:.1}x the collect-then-fold reference \
+             (parallel {:.1}x)",
+            reference_ns / parallel_ns
+        );
+        // The default-grid gate of the trial-executor PR: the unified
+        // orchestration (policy cache + shared baselines + replay) must
+        // hold a ≥1.5x single-thread wall-clock win over the
+        // pre-executor loops.
+        assert!(
+            speedup >= 1.5,
+            "executor win regressed below 1.5x on the default grid: {speedup:.2}x at n={n}"
+        );
     }
 }
 

@@ -4,7 +4,7 @@
 
 use bgpsim::experiment::AttackExperiment;
 use bgpsim::topology::TopologyConfig;
-use rpki_bench::harness::usize_from_env;
+use rpki_bench::harness::{record_bench_json, usize_from_env};
 
 fn main() {
     let n = usize_from_env("MAXLENGTH_TOPOLOGY", 2000);
@@ -23,6 +23,11 @@ fn main() {
             seed: 99,
         }
         .run_par();
+        record_bench_json(
+            &format!("attacks/experiment/rov-{rov_fraction}"),
+            n as f64,
+            t0.elapsed().as_nanos() as f64,
+        );
         eprintln!(
             "topology n={n}, {trials} attacker/victim samples, ROV adoption {:.0}% ({:.1?})",
             rov_fraction * 100.0,
@@ -47,6 +52,10 @@ fn main() {
         seed: 99,
     };
     let fractions = [0.0, 0.25, 0.5, 0.75, 1.0];
+    let t0 = std::time::Instant::now();
+    // One executor plan per sweep: the topology is generated once, the
+    // uniform adopter draws share one threshold pass, and sweep points
+    // whose trials are RPKI-transparent are replayed, not re-propagated.
     let classic = base.adoption_sweep(
         bgpsim::AttackKind::SubprefixHijack,
         bgpsim::experiment::RoaConfig::Minimal,
@@ -56,6 +65,11 @@ fn main() {
         bgpsim::AttackKind::ForgedOriginSubprefixHijack,
         bgpsim::experiment::RoaConfig::NonMinimalMaxLen,
         &fractions,
+    );
+    record_bench_json(
+        "attacks/adoption-sweep/pair",
+        n as f64,
+        t0.elapsed().as_nanos() as f64,
     );
     println!(
         "

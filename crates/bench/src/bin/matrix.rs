@@ -1,7 +1,8 @@
 //! The attack scenario matrix: every attacker strategy × ROV deployment
-//! model × ROA configuration × topology family, run in parallel
-//! (bit-identical to the sequential fold), then weighted by the §6
-//! census of the generated world into one expected-interception figure.
+//! model × ROA configuration × topology family, run on the unified trial
+//! executor (bit-identical to the sequential fold), then weighted by the
+//! §6 census of the generated world into one expected-interception
+//! figure.
 //!
 //! ```sh
 //! MAXLENGTH_TOPOLOGY=2000 MAXLENGTH_TRIALS=30 \
@@ -12,13 +13,14 @@
 //! `MAXLENGTH_TRIALS` (attacker/victim pairs per cell),
 //! `MAXLENGTH_SCALE` (world scale for the census weighting),
 //! `RAYON_NUM_THREADS` (worker threads), `MAXLENGTH_CSV` (write
-//! `matrix.csv`).
+//! `matrix.csv` + `risk.csv`), `MAXLENGTH_BENCH_JSON` (append
+//! machine-readable timing records).
 
 use bgpsim::ScenarioMatrix;
-use maxlength_core::report::matrix_csv;
+use maxlength_core::report::{matrix_csv, risk_csv};
 use maxlength_core::vulnerability::{assess_risk, MaxLengthCensus};
 use rpki_bench::harness::{
-    final_snapshot, scale_from_env, threads_from_env, usize_from_env, world,
+    final_snapshot, record_bench_json, scale_from_env, threads_from_env, usize_from_env, world,
 };
 
 fn main() {
@@ -42,12 +44,23 @@ fn main() {
     );
 
     let t0 = std::time::Instant::now();
-    let report = matrix.run_par();
+    let (report, stats) = matrix.run_par_with_stats();
     let par = t0.elapsed();
     println!("{}", report.render());
     eprintln!(
-        "matrix ({} cells) in {par:.1?} parallel",
-        report.cells.len()
+        "matrix ({} cells) in {par:.1?} parallel — {} policy compilations \
+         ({} cells would have paid one each), {}/{} items replayed as \
+         deployment-independent",
+        report.cells.len(),
+        stats.compilations,
+        matrix.cell_count(),
+        stats.replayed,
+        stats.items,
+    );
+    record_bench_json(
+        "matrix/grid/run_par",
+        matrix.cell_count() as f64,
+        par.as_nanos() as f64,
     );
 
     // The census weighting: what the generated world's actual ROAs imply.
@@ -55,11 +68,15 @@ fn main() {
     let world = world(scale);
     let (_, vrps, bgp) = final_snapshot(&world);
     let census = MaxLengthCensus::analyze_par(&vrps, &bgp);
-    println!("{}", assess_risk(&census, &report).render());
+    let t1 = std::time::Instant::now();
+    let risk = assess_risk(&census, &report);
+    println!("{}", risk.render());
+    record_bench_json("matrix/risk/assess", scale, t1.elapsed().as_nanos() as f64);
 
     if std::env::var_os("MAXLENGTH_CSV").is_some() {
         std::fs::write("matrix.csv", matrix_csv(&report)).expect("write matrix.csv");
-        eprintln!("wrote matrix.csv");
+        std::fs::write("risk.csv", risk_csv(&risk)).expect("write risk.csv");
+        eprintln!("wrote matrix.csv + risk.csv");
     }
 
     println!(

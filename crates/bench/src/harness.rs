@@ -4,21 +4,42 @@ use maxlength_core::BgpTable;
 use rpki_datasets::{DatasetSnapshot, GeneratorConfig, World};
 use rpki_roa::Vrp;
 
+/// Emits `message` to stderr the first time `key` is seen in this
+/// process — the env knobs are read by several phases of one binary
+/// (and by criterion's many iterations), and a bad value should produce
+/// one warning, not a screenful.
+fn warn_once(key: &str, message: String) {
+    use std::collections::BTreeSet;
+    use std::sync::{Mutex, OnceLock};
+    static WARNED: OnceLock<Mutex<BTreeSet<String>>> = OnceLock::new();
+    let mut warned = WARNED
+        .get_or_init(Default::default)
+        .lock()
+        .expect("warn set poisoned");
+    if warned.insert(key.to_string()) {
+        eprintln!("{message}");
+    }
+}
+
 /// Reads the `MAXLENGTH_SCALE` environment variable (default 1.0 = paper
-/// scale; set e.g. 0.05 for a quick run). Anything that is not a
-/// positive finite number warns on stderr and falls back to 1.0
-/// instead of silently running at full scale (or with an empty world).
+/// scale; set e.g. 0.05 for a quick run). Surrounding whitespace is
+/// trimmed; anything that is not a positive finite number warns once on
+/// stderr and falls back to 1.0 instead of silently running at full
+/// scale (or with an empty world).
 pub fn scale_from_env() -> f64 {
     match std::env::var("MAXLENGTH_SCALE") {
-        Ok(raw) => match raw.parse::<f64>() {
+        Ok(raw) => match raw.trim().parse::<f64>() {
             // NaN, infinities, and non-positive values all parse as f64
             // but silently produce empty or absurd worlds — reject them
             // alongside outright garbage.
             Ok(scale) if scale.is_finite() && scale > 0.0 => scale,
             _ => {
-                eprintln!(
-                    "warning: MAXLENGTH_SCALE={raw:?} is not a positive number; \
-                     using scale 1.0"
+                warn_once(
+                    "MAXLENGTH_SCALE",
+                    format!(
+                        "warning: MAXLENGTH_SCALE={raw:?} is not a positive number; \
+                         using scale 1.0"
+                    ),
                 );
                 1.0
             }
@@ -28,9 +49,9 @@ pub fn scale_from_env() -> f64 {
 }
 
 /// The worker-thread count for the parallel batch paths:
-/// `RAYON_NUM_THREADS` if set to a positive integer (warning on garbage,
-/// matching [`scale_from_env`]'s behaviour), else the machine's
-/// available parallelism.
+/// `RAYON_NUM_THREADS` if set to a positive integer (whitespace trimmed,
+/// one warning on garbage, matching [`scale_from_env`]'s behaviour),
+/// else the machine's available parallelism.
 ///
 /// Delegates the actual resolution to [`rayon::current_num_threads`] —
 /// the count the rayon-backed paths in the same binary use — and only
@@ -38,26 +59,33 @@ pub fn scale_from_env() -> f64 {
 pub fn threads_from_env() -> usize {
     let threads = rayon::current_num_threads();
     if let Ok(raw) = std::env::var("RAYON_NUM_THREADS") {
-        if raw.parse::<usize>().map(|n| n > 0) != Ok(true) {
-            eprintln!(
-                "warning: RAYON_NUM_THREADS={raw:?} is not a positive integer; \
-                 using {threads} threads"
+        if raw.trim().parse::<usize>().map(|n| n > 0) != Ok(true) {
+            warn_once(
+                "RAYON_NUM_THREADS",
+                format!(
+                    "warning: RAYON_NUM_THREADS={raw:?} is not a positive integer; \
+                     using {threads} threads"
+                ),
             );
         }
     }
     threads
 }
 
-/// Reads a positive-integer knob from the environment, warning on
-/// garbage and falling back to `default` (matching [`scale_from_env`]'s
-/// behaviour) — used for `MAXLENGTH_EPOCHS`, `MAXLENGTH_CHURN`,
-/// `MAXLENGTH_TOPOLOGY`, and `MAXLENGTH_TRIALS`.
+/// Reads a positive-integer knob from the environment (whitespace
+/// trimmed), warning once on garbage and falling back to `default`
+/// (matching [`scale_from_env`]'s behaviour) — used for
+/// `MAXLENGTH_EPOCHS`, `MAXLENGTH_CHURN`, `MAXLENGTH_TOPOLOGY`, and
+/// `MAXLENGTH_TRIALS`.
 pub fn usize_from_env(var: &str, default: usize) -> usize {
     match std::env::var(var) {
-        Ok(raw) => match raw.parse::<usize>() {
+        Ok(raw) => match raw.trim().parse::<usize>() {
             Ok(n) if n > 0 => n,
             _ => {
-                eprintln!("warning: {var}={raw:?} is not a positive integer; using {default}");
+                warn_once(
+                    var,
+                    format!("warning: {var}={raw:?} is not a positive integer; using {default}"),
+                );
                 default
             }
         },
@@ -123,6 +151,9 @@ mod tests {
         assert_eq!(super::scale_from_env(), 1.0);
         std::env::set_var("MAXLENGTH_SCALE", "0.25");
         assert_eq!(super::scale_from_env(), 0.25);
+        // Surrounding whitespace (a stray shell quote artefact) is fine.
+        std::env::set_var("MAXLENGTH_SCALE", " 0.25\t");
+        assert_eq!(super::scale_from_env(), 0.25);
         std::env::set_var("MAXLENGTH_SCALE", "not-a-number");
         assert_eq!(super::scale_from_env(), 1.0); // warns, falls back
         for parses_but_bogus in ["nan", "inf", "-1", "0"] {
@@ -135,6 +166,11 @@ mod tests {
         assert!(super::threads_from_env() >= 1);
         std::env::set_var("RAYON_NUM_THREADS", "3");
         assert_eq!(super::threads_from_env(), 3);
+        // The trimmed value must agree with what the rayon fan-outs
+        // themselves resolve (the shim trims identically).
+        std::env::set_var("RAYON_NUM_THREADS", " 3 ");
+        assert_eq!(super::threads_from_env(), 3);
+        assert_eq!(rayon::current_num_threads(), 3);
         std::env::set_var("RAYON_NUM_THREADS", "zero");
         assert!(super::threads_from_env() >= 1); // warns, falls back
         std::env::set_var("RAYON_NUM_THREADS", "0");
@@ -144,6 +180,8 @@ mod tests {
         std::env::remove_var("MAXLENGTH_EPOCHS");
         assert_eq!(super::usize_from_env("MAXLENGTH_EPOCHS", 24), 24);
         std::env::set_var("MAXLENGTH_EPOCHS", "7");
+        assert_eq!(super::usize_from_env("MAXLENGTH_EPOCHS", 24), 7);
+        std::env::set_var("MAXLENGTH_EPOCHS", "7 ");
         assert_eq!(super::usize_from_env("MAXLENGTH_EPOCHS", 24), 7);
         for garbage in ["banana", "0", "-3", "1.5"] {
             std::env::set_var("MAXLENGTH_EPOCHS", garbage);

@@ -152,19 +152,40 @@ pub struct ForgedOriginTrial<'a> {
 /// The attacker announces `target` claiming the victim's origin; traffic
 /// for an address inside `target` then follows each AS's longest matching
 /// prefix among `target` and every covering victim announcement.
+///
+/// Compiles `trial.policies` on the fly; loops that hold one policy
+/// vector fixed across many trials should compile once
+/// ([`CompiledPolicies::compile`]) and call
+/// [`run_forged_origin_trial_compiled`].
 pub fn run_forged_origin_trial(trial: &ForgedOriginTrial<'_>) -> AttackOutcome {
+    run_forged_origin_trial_compiled(trial, &CompiledPolicies::compile(trial.policies))
+}
+
+/// [`run_forged_origin_trial`] with the deployment's policy vector
+/// already compiled to its adopter bitset — the form batch callers use,
+/// so the O(n) policy scan happens once per deployment instead of once
+/// per trial.
+///
+/// # Panics
+///
+/// As [`run_forged_origin_trial`], plus if `compiled` covers a different
+/// number of ASes than `trial.policies`.
+pub fn run_forged_origin_trial_compiled(
+    trial: &ForgedOriginTrial<'_>,
+    compiled: &CompiledPolicies,
+) -> AttackOutcome {
     let t = trial.topology;
     assert_ne!(trial.attacker, trial.victim);
     assert_eq!(trial.policies.len(), t.len());
+    assert_eq!(compiled.len(), t.len(), "compiled policies cover the graph");
     let victim_asn = t.asn(trial.victim);
 
-    // Engine path: adopters compiled once per trial, each table's ROV
-    // verdict resolved once per propagated prefix (the only claimed
-    // origin in play is the victim's — the forged path claims it too).
+    // Engine path: each table's ROV verdict resolved once per propagated
+    // prefix (the only claimed origin in play is the victim's — the
+    // forged path claims it too).
     let engine = PropagationEngine::new(t);
-    let compiled = CompiledPolicies::compile(trial.policies);
     let propagate_with = |prefix: Prefix, seeds: &[Seed]| -> Propagation {
-        let accept = OriginFilter::new(trial.vrps, prefix, &[victim_asn], &compiled);
+        let accept = OriginFilter::new(trial.vrps, prefix, &[victim_asn], compiled);
         with_workspace(|ws| engine.propagate(seeds, &|at, origin| accept.accept(at, origin), ws))
     };
 

@@ -149,6 +149,41 @@ impl DeploymentModel {
     fn quota(p: f64, total: usize) -> usize {
         ((p * total as f64).round() as usize).min(total)
     }
+
+    /// The per-AS adoption thresholds behind every [`Self::Uniform`]
+    /// draw: AS `a` enforces ROV at adoption level `p` iff
+    /// `thresholds[a] < p`. This is exactly the word `gen_bool` consumes
+    /// per AS in [`Self::policies`], drawn once — so a sweep over many
+    /// `p` values can derive every adopter bitset from one RNG pass
+    /// (the nested-adopter-set coupling, made explicit). The trial
+    /// executor's policy cache uses this to compile each sweep point
+    /// without replaying the policy stream.
+    pub fn uniform_thresholds(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed ^ POLICY_DOMAIN);
+        (0..n).map(|_| rng.gen::<f64>()).collect()
+    }
+
+    /// The `Uniform { p }` policy vector derived from precomputed
+    /// [`Self::uniform_thresholds`] — bit-identical to
+    /// `DeploymentModel::Uniform { p }.policies(topology, seed)` for the
+    /// same `n` and `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]` (matching [`Self::policies`]).
+    pub fn uniform_from_thresholds(p: f64, thresholds: &[f64]) -> Vec<RovPolicy> {
+        assert!((0.0..=1.0).contains(&p), "adoption {p} outside [0, 1]");
+        thresholds
+            .iter()
+            .map(|&t| {
+                if t < p {
+                    RovPolicy::DropInvalid
+                } else {
+                    RovPolicy::AcceptAll
+                }
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -240,6 +275,31 @@ mod tests {
                 assert!(t.is_stub(a));
             }
         }
+    }
+
+    #[test]
+    fn uniform_thresholds_replay_the_policy_stream() {
+        // The executor's sweep reuse: deriving a uniform policy vector
+        // from the one-pass thresholds must be bit-identical to the
+        // gen_bool stream `policies()` consumes, at every p.
+        let t = topo();
+        for seed in [0, 4, 9, 0xDEAD] {
+            let thresholds = DeploymentModel::uniform_thresholds(t.len(), seed);
+            assert_eq!(thresholds.len(), t.len());
+            for p in [0.0, 0.1, 0.5, 0.9, 1.0] {
+                assert_eq!(
+                    DeploymentModel::uniform_from_thresholds(p, &thresholds),
+                    DeploymentModel::Uniform { p }.policies(&t, seed),
+                    "seed {seed}, p {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn thresholds_reject_bogus_adoption() {
+        DeploymentModel::uniform_from_thresholds(-0.5, &[0.5]);
     }
 
     #[test]

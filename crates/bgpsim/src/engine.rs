@@ -339,6 +339,17 @@ impl<'a> OriginFilter<'a> {
         }
     }
 
+    /// `true` if no resolved origin validated Invalid — every `accept`
+    /// query returns `true` regardless of which ASes adopt ROV, so the
+    /// filtered propagation is **independent of the deployment**. The
+    /// trial executor keys its cross-deployment outcome replay on this.
+    /// (The invalid-set construction never consults the adopter bitset,
+    /// so transparency itself is a property of the VRPs alone.)
+    #[inline]
+    pub fn is_transparent(&self) -> bool {
+        self.count == 0
+    }
+
     /// The import decision for AS `at` on a route claiming `origin`.
     ///
     /// `origin` must be one of the origins resolved at construction — a

@@ -5,16 +5,15 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use rayon::prelude::*;
 
 use rpki_prefix::Prefix;
 use rpki_roa::Vrp;
-use rpki_rov::{RovPolicy, VrpIndex};
+use rpki_rov::VrpIndex;
 
-use crate::attack::{AttackKind, AttackSetup};
+use crate::attack::AttackKind;
 use crate::deployment::DeploymentModel;
-use crate::engine::CompiledPolicies;
-use crate::strategy::run_strategy_compiled;
+use crate::exec::{Executor, FractionAccumulator, PlanTopology, TrialPlan};
+use crate::strategy::AttackerStrategy;
 use crate::topology::{Topology, TopologyConfig};
 
 /// The victim's ROA configuration under test.
@@ -154,129 +153,69 @@ impl ExperimentReport {
 }
 
 impl AttackExperiment {
-    /// Per-AS ROV policies, fixed across cells for comparability.
-    /// Derived from the base seed alone (through
-    /// [`crate::deployment::POLICY_DOMAIN`]), never from per-trial
-    /// state. The uniform [`DeploymentModel`] replays the exact stream
-    /// the experiment always used, so results are unchanged.
-    fn policies(&self, topology: &Topology) -> Vec<RovPolicy> {
-        DeploymentModel::Uniform {
-            p: self.rov_fraction,
-        }
-        .policies(topology, self.seed)
-    }
-
-    /// The attacker/victim pair of one trial — see [`trial_pair`].
-    fn trial_pair(&self, stubs: &[usize], trial: usize) -> (usize, usize) {
-        trial_pair(self.seed, stubs, trial)
-    }
-
-    /// One trial of one cell: build the victim's ROA configuration and
-    /// measure the attacker's interception. Runs on the propagation
-    /// engine with the deployment's adopter bitset compiled once per run.
-    #[allow(clippy::too_many_arguments)]
-    fn trial_fraction(
-        &self,
-        topology: &Topology,
-        policies: &[RovPolicy],
-        compiled: &CompiledPolicies,
-        stubs: &[usize],
-        kind: AttackKind,
-        roa: RoaConfig,
-        trial: usize,
-    ) -> f64 {
-        let p: Prefix = "168.122.0.0/16".parse().expect("static");
-        let q: Prefix = "168.122.0.0/24".parse().expect("static");
-        let (victim, attacker) = self.trial_pair(stubs, trial);
-        let vrps = roa.vrps(p, q.len(), topology.asn(victim));
-        run_strategy_compiled(
-            &kind,
-            &AttackSetup {
+    /// The executor IR for this experiment over an already-generated
+    /// topology: all four legacy [`AttackKind`]s × all three
+    /// [`RoaConfig`]s under one uniform deployment at
+    /// `self.rov_fraction`. The uniform [`DeploymentModel`] replays the
+    /// exact policy stream (seeded through
+    /// [`crate::deployment::POLICY_DOMAIN`]) the experiment always
+    /// used, so results are unchanged.
+    pub fn plan<'a>(&self, topology: &'a Topology) -> TrialPlan<'a> {
+        assert!(topology.stubs().len() >= 2, "need at least two stubs");
+        TrialPlan::new(
+            vec![PlanTopology {
+                label: format!("n={} tier1={}", self.topology.n, self.topology.tier1),
                 topology,
-                victim,
-                attacker,
-                victim_prefix: p,
-                sub_prefix: q,
-                vrps: &vrps,
-                policies,
-            },
-            compiled,
+            }],
+            AttackKind::ALL
+                .iter()
+                .map(|k| k as &dyn AttackerStrategy)
+                .collect(),
+            vec![DeploymentModel::Uniform {
+                p: self.rov_fraction,
+            }],
+            RoaConfig::ALL.to_vec(),
+            self.trials,
+            self.seed,
         )
-        .interception_fraction()
     }
 
-    /// Folds the per-trial interception fractions — **in trial order** —
-    /// into one report cell. Both the sequential and the parallel path
-    /// feed this the same ordered vector, so their floating-point
-    /// reductions are bit-identical.
-    fn cell(&self, kind: AttackKind, roa: RoaConfig, fractions: Vec<f64>) -> ExperimentCell {
-        let mean = fractions.iter().sum::<f64>() / fractions.len().max(1) as f64;
-        let min = fractions.iter().copied().fold(f64::INFINITY, f64::min);
-        let max = fractions.iter().copied().fold(0.0, f64::max);
-        ExperimentCell {
-            kind,
-            roa,
-            mean_interception: mean,
-            min_interception: if min.is_finite() { min } else { 0.0 },
-            max_interception: max,
-        }
-    }
-
-    /// Runs every (attack, ROA configuration) cell sequentially.
+    /// Runs every (attack, ROA configuration) cell sequentially through
+    /// the trial executor.
     pub fn run(&self) -> ExperimentReport {
-        let topology = Topology::generate(self.topology);
-        let stubs = topology.stubs();
-        assert!(stubs.len() >= 2, "need at least two stubs");
-        let policies = self.policies(&topology);
-        let compiled = CompiledPolicies::compile(&policies);
-
-        let mut cells = Vec::new();
-        for kind in AttackKind::ALL {
-            for roa in RoaConfig::ALL {
-                let fractions: Vec<f64> = (0..self.trials)
-                    .map(|trial| {
-                        self.trial_fraction(
-                            &topology, &policies, &compiled, stubs, kind, roa, trial,
-                        )
-                    })
-                    .collect();
-                cells.push(self.cell(kind, roa, fractions));
-            }
-        }
-        ExperimentReport {
-            cells,
-            rov_fraction: self.rov_fraction,
-        }
+        self.report(Executor::sequential())
     }
 
-    /// [`Self::run`] with the trials of each cell fanned out over worker
+    /// [`Self::run`] with the plan's trial groups fanned out over worker
     /// threads (`RAYON_NUM_THREADS` honored).
     ///
     /// Trials are independent by construction — each derives its own
-    /// `StdRng::seed_from_u64(seed ^ trial)` — and the ordered
-    /// per-trial results are reduced exactly as the sequential path
+    /// `StdRng::seed_from_u64(seed ^ trial)` — and the executor folds
+    /// each cell's ordered results exactly as the sequential path
     /// reduces them, so the report is **bit-identical** to
     /// [`Self::run`] (asserted by the `parallel_equals_sequential`
     /// test).
     pub fn run_par(&self) -> ExperimentReport {
-        let topology = Topology::generate(self.topology);
-        let stubs = topology.stubs();
-        assert!(stubs.len() >= 2, "need at least two stubs");
-        let policies = self.policies(&topology);
-        let compiled = CompiledPolicies::compile(&policies);
+        self.report(Executor::parallel())
+    }
 
-        let mut cells = Vec::new();
-        for kind in AttackKind::ALL {
-            for roa in RoaConfig::ALL {
-                let fractions: Vec<f64> = (0..self.trials)
-                    .into_par_iter()
-                    .map(|trial| {
-                        self.trial_fraction(
-                            &topology, &policies, &compiled, stubs, kind, roa, trial,
-                        )
-                    })
-                    .collect();
-                cells.push(self.cell(kind, roa, fractions));
+    fn report(&self, executor: Executor) -> ExperimentReport {
+        let topology = Topology::generate(self.topology);
+        let plan = self.plan(&topology);
+        let accs: Vec<FractionAccumulator> = executor.run(&plan);
+        // Canonical cell order with one topology and one deployment:
+        // strategy-major, ROA fastest — the report's historical layout.
+        let mut cells = Vec::with_capacity(accs.len());
+        for (si, &kind) in AttackKind::ALL.iter().enumerate() {
+            for (ri, &roa) in RoaConfig::ALL.iter().enumerate() {
+                let stats = crate::exec::Accumulator::finish(&accs[si * RoaConfig::ALL.len() + ri]);
+                cells.push(ExperimentCell {
+                    kind,
+                    roa,
+                    mean_interception: stats.mean,
+                    min_interception: stats.min,
+                    max_interception: stats.max,
+                });
             }
         }
         ExperimentReport {
@@ -426,10 +365,12 @@ mod tests {
         };
         let topology = Topology::generate(experiment.topology);
         let stubs = topology.stubs();
-        let forward: Vec<_> = (0..8).map(|t| experiment.trial_pair(stubs, t)).collect();
+        let forward: Vec<_> = (0..8)
+            .map(|t| trial_pair(experiment.seed, stubs, t))
+            .collect();
         let backward: Vec<_> = (0..8)
             .rev()
-            .map(|t| experiment.trial_pair(stubs, t))
+            .map(|t| trial_pair(experiment.seed, stubs, t))
             .collect();
         assert_eq!(forward, backward.into_iter().rev().collect::<Vec<_>>());
     }
@@ -455,24 +396,47 @@ pub struct AdoptionSweep {
 
 impl AttackExperiment {
     /// Sweeps ROV adoption over `fractions` for one (attack, ROA) cell,
-    /// holding topology and attacker/victim samples fixed. Each sweep
-    /// point runs its trials in parallel ([`Self::run_par`]), which is
-    /// result-identical to the sequential path.
+    /// holding topology and attacker/victim samples fixed.
+    ///
+    /// The sweep is **one executor plan** whose deployment axis is the
+    /// adoption levels: the topology is generated once (not once per
+    /// point), the uniform adopter draws share one pass over the nested
+    /// threshold stream, and sweep points whose trials never construct a
+    /// non-transparent filter (e.g. the forged-origin subprefix hijack
+    /// against the loose ROA, which is Valid at every adoption level)
+    /// are replayed rather than re-propagated. Results are bit-identical
+    /// to running [`Self::run_par`] per fraction and reading one cell,
+    /// which is what this did before the executor landed.
     pub fn adoption_sweep(
         &self,
         kind: AttackKind,
         roa: RoaConfig,
         fractions: &[f64],
     ) -> AdoptionSweep {
-        let mut points = Vec::with_capacity(fractions.len());
-        for &fraction in fractions {
-            let report = AttackExperiment {
-                rov_fraction: fraction,
-                ..*self
-            }
-            .run_par();
-            points.push((fraction, report.cell(kind, roa).mean_interception));
-        }
+        let topology = Topology::generate(self.topology);
+        assert!(topology.stubs().len() >= 2, "need at least two stubs");
+        let plan = TrialPlan::new(
+            vec![PlanTopology {
+                label: format!("n={} tier1={}", self.topology.n, self.topology.tier1),
+                topology: &topology,
+            }],
+            vec![&kind as &dyn AttackerStrategy],
+            fractions
+                .iter()
+                .map(|&p| DeploymentModel::Uniform { p })
+                .collect(),
+            vec![roa],
+            self.trials,
+            self.seed,
+        );
+        let accs: Vec<FractionAccumulator> = Executor::parallel().run(&plan);
+        // One strategy × one ROA: canonical cell order is exactly the
+        // deployment (= fraction) axis.
+        let points = fractions
+            .iter()
+            .zip(&accs)
+            .map(|(&fraction, acc)| (fraction, crate::exec::Accumulator::finish(acc).mean))
+            .collect();
         AdoptionSweep { kind, roa, points }
     }
 }

@@ -34,6 +34,12 @@
 //! * [`deployment`] — [`DeploymentModel`]: who validates (uniform,
 //!   top-ISPs-first, stub-only), generalizing the single adoption
 //!   fraction.
+//! * [`exec`] — the unified trial executor: a [`TrialPlan`] IR
+//!   enumerating `(topology, strategy, deployment, ROA, trial)` work
+//!   items, sequential and rayon [`Executor`] backends over the
+//!   per-thread workspace pool, streaming per-cell [`Accumulator`]s,
+//!   a deployment-keyed policy cache, and resumable [`PlanCursor`]
+//!   checkpoints. Every trial loop below is a thin plan-builder over it.
 //! * [`experiment`] — sampled attacker/victim trials producing the
 //!   interception statistics quoted in EXPERIMENTS.md.
 //! * [`matrix`] — [`ScenarioMatrix`]: the full strategy × deployment ×
@@ -67,6 +73,7 @@
 pub mod attack;
 pub mod deployment;
 pub mod engine;
+pub mod exec;
 pub mod experiment;
 pub mod matrix;
 pub mod routing;
@@ -76,6 +83,10 @@ pub mod topology;
 pub use attack::{AttackKind, AttackOutcome, AttackSetup, ForgedOriginTrial};
 pub use deployment::DeploymentModel;
 pub use engine::{CompiledPolicies, OriginFilter, PropagationEngine, Workspace};
+pub use exec::{
+    Accumulator, CellAccumulator, ExecStats, Executor, FractionAccumulator, PlanCursor,
+    PlanSession, PlanTopology, TrialPlan,
+};
 pub use experiment::{AdoptionSweep, AttackExperiment, ExperimentReport, RoaConfig};
 pub use matrix::{CellStats, MatrixCell, MatrixReport, ScenarioMatrix, TopologyFamily};
 pub use routing::{Propagation, RouteClass, RouteInfo};

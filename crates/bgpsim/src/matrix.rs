@@ -20,20 +20,19 @@
 //! to [`ScenarioMatrix::run`] at any thread count — the same contract the
 //! PR-1 batch paths established, asserted by `tests/routing_props.rs`
 //! and the golden fixture `tests/golden/matrix_small.txt`.
+//!
+//! Since the trial-executor refactor the matrix is a thin plan-builder:
+//! [`ScenarioMatrix::plan`] assembles a [`crate::exec::TrialPlan`] and
+//! every `run*` method schedules it on the [`crate::exec::Executor`] —
+//! the same layer [`crate::AttackExperiment`] and the census-weighted
+//! risk path run on, with its deployment-keyed policy cache, shared
+//! baselines, and streaming per-cell accumulators.
 
-use std::sync::Arc;
-
-use rayon::prelude::*;
-use rpki_prefix::Prefix;
-use rpki_rov::RovPolicy;
-
-use crate::attack::{AttackOutcome, AttackSetup};
+use crate::attack::AttackOutcome;
 use crate::deployment::DeploymentModel;
-use crate::engine::CompiledPolicies;
-use crate::experiment::{trial_pair, RoaConfig};
-use crate::strategy::{
-    run_strategy_compiled, AttackerStrategy, MaxLengthGapProber, PathForgery, RouteLeak,
-};
+use crate::exec::{Accumulator, CellAccumulator, ExecStats, Executor, PlanTopology, TrialPlan};
+use crate::experiment::RoaConfig;
+use crate::strategy::{AttackerStrategy, MaxLengthGapProber, PathForgery, RouteLeak};
 use crate::topology::{Topology, TopologyConfig};
 use crate::AttackKind;
 
@@ -114,9 +113,10 @@ pub struct CellStats {
 }
 
 impl CellStats {
-    /// Folds per-trial outcomes — **in trial order** — into one cell.
-    /// Both the sequential and the parallel runner feed this the same
-    /// ordered slice, so the floating-point reductions are bit-identical.
+    /// Folds per-trial outcomes — **in trial order** — into one cell:
+    /// the collect-then-fold reference the streaming
+    /// [`crate::exec::CellAccumulator`] must match bit-for-bit (pinned
+    /// by the `exec_props` differential suite).
     pub fn from_outcomes(outcomes: &[AttackOutcome]) -> CellStats {
         let mut eligible = 0usize;
         let mut sum = 0.0f64;
@@ -311,29 +311,12 @@ impl ScenarioMatrix {
         self.topologies.len() * self.strategies.len() * self.deployments.len() * self.roas.len()
     }
 
-    /// Runs every cell sequentially.
-    pub fn run(&self) -> MatrixReport {
-        self.run_impl(false)
-    }
-
-    /// [`Self::run`] with all `(cell, trial)` pairs fanned out over
-    /// worker threads (`RAYON_NUM_THREADS` honored).
-    ///
-    /// Trials are independent by construction — each derives its own
-    /// `StdRng::seed_from_u64(seed ^ trial)` stream, deployments draw
-    /// from the domain-separated policy stream — and the ordered
-    /// per-trial outcomes are folded exactly as the sequential path
-    /// folds them, so the report is **bit-identical** to [`Self::run`]
-    /// at every thread count.
-    pub fn run_par(&self) -> MatrixReport {
-        self.run_impl(true)
-    }
-
-    fn run_impl(&self, parallel: bool) -> MatrixReport {
-        assert!(self.trials > 0, "need at least one trial per cell");
-        // Generate each topology once; share it across its cells.
-        let topologies: Vec<Arc<Topology>> = self
-            .topologies
+    /// Generates the topology axis and assembles the executor IR over
+    /// it. Every `run*` method is a thin wrapper over this plan; the
+    /// generated topologies are returned alongside because the plan
+    /// borrows them.
+    fn generate_topologies(&self) -> Vec<Topology> {
+        self.topologies
             .iter()
             .map(|family| {
                 let t = Topology::generate(family.config);
@@ -342,109 +325,110 @@ impl ScenarioMatrix {
                     "need at least two stubs in {}",
                     family.label
                 );
-                Arc::new(t)
+                t
             })
-            .collect();
-        // Policies per (topology, deployment), fixed across cells —
-        // compiled to their adopter bitsets once, so per-trial import
-        // filtering is a bit test on the engine path.
-        let policies: Vec<Vec<(Vec<RovPolicy>, CompiledPolicies)>> = topologies
-            .iter()
-            .map(|t| {
-                self.deployments
-                    .iter()
-                    .map(|d| {
-                        let p = d.policies(t, self.seed);
-                        let compiled = CompiledPolicies::compile(&p);
-                        (p, compiled)
-                    })
-                    .collect()
-            })
-            .collect();
+            .collect()
+    }
 
-        // Cells in axis order.
-        let cells: Vec<(usize, usize, usize, RoaConfig)> = self
-            .topologies
-            .iter()
-            .enumerate()
-            .flat_map(|(ti, _)| {
-                self.strategies.iter().enumerate().flat_map(move |(si, _)| {
-                    self.deployments
-                        .iter()
-                        .enumerate()
-                        .flat_map(move |(di, _)| {
-                            self.roas.iter().map(move |&roa| (ti, si, di, roa))
-                        })
+    /// The executor IR for this matrix over already-generated
+    /// topologies (one per [`TopologyFamily`], in axis order).
+    pub fn plan<'a>(&'a self, topologies: &'a [Topology]) -> TrialPlan<'a> {
+        assert_eq!(topologies.len(), self.topologies.len());
+        TrialPlan::new(
+            self.topologies
+                .iter()
+                .zip(topologies)
+                .map(|(family, t)| PlanTopology {
+                    label: family.label.clone(),
+                    topology: t,
                 })
-            })
-            .collect();
+                .collect(),
+            self.strategies.iter().map(|s| s.as_ref()).collect(),
+            self.deployments.clone(),
+            self.roas.clone(),
+            self.trials,
+            self.seed,
+        )
+    }
 
-        let total = cells.len() * self.trials;
-        let outcome_at = |flat: usize| -> AttackOutcome {
-            let (ti, si, di, roa) = cells[flat / self.trials];
-            let trial = flat % self.trials;
-            let (per_as, compiled) = &policies[ti][di];
-            self.trial_outcome(
-                &topologies[ti],
-                self.strategies[si].as_ref(),
-                per_as,
-                compiled,
-                roa,
-                trial,
-            )
-        };
-        let outcomes: Vec<AttackOutcome> = if parallel {
-            (0..total).into_par_iter().map(outcome_at).collect()
-        } else {
-            (0..total).map(outcome_at).collect()
-        };
-
-        let report_cells = cells
-            .iter()
+    /// Assembles the rendered report from per-cell statistics in
+    /// canonical cell order.
+    fn report_from(&self, stats: Vec<CellStats>) -> MatrixReport {
+        let cells = stats
+            .into_iter()
             .enumerate()
-            .map(|(i, &(ti, si, di, roa))| MatrixCell {
-                topology: self.topologies[ti].label.clone(),
-                strategy: self.strategies[si].label(),
-                deployment: self.deployments[di].label(),
-                roa,
-                stats: CellStats::from_outcomes(&outcomes[i * self.trials..(i + 1) * self.trials]),
+            .map(|(cell, stats)| {
+                let r = self.roas.len();
+                let d = self.deployments.len();
+                let ri = cell % r;
+                let di = (cell / r) % d;
+                let si = (cell / (r * d)) % self.strategies.len();
+                let ti = cell / (r * d * self.strategies.len());
+                MatrixCell {
+                    topology: self.topologies[ti].label.clone(),
+                    strategy: self.strategies[si].label(),
+                    deployment: self.deployments[di].label(),
+                    roa: self.roas[ri],
+                    stats,
+                }
             })
             .collect();
         MatrixReport {
-            cells: report_cells,
+            cells,
             trials: self.trials,
             seed: self.seed,
         }
     }
 
-    /// One trial of one cell: sample the pair, publish the victim's ROA
-    /// configuration, and stage the strategy on the engine path (the
-    /// deployment's adopter bitset was compiled once, up front).
-    fn trial_outcome(
-        &self,
-        topology: &Topology,
-        strategy: &dyn AttackerStrategy,
-        policies: &[RovPolicy],
-        compiled: &CompiledPolicies,
-        roa: RoaConfig,
-        trial: usize,
-    ) -> AttackOutcome {
-        let p: Prefix = "168.122.0.0/16".parse().expect("static");
-        let q: Prefix = "168.122.0.0/24".parse().expect("static");
-        let (victim, attacker) = trial_pair(self.seed, topology.stubs(), trial);
-        let vrps = roa.vrps(p, q.len(), topology.asn(victim));
-        run_strategy_compiled(
-            strategy,
-            &AttackSetup {
-                topology,
-                victim,
-                attacker,
-                victim_prefix: p,
-                sub_prefix: q,
-                vrps: &vrps,
-                policies,
-            },
-            compiled,
+    /// Runs every cell sequentially through the trial executor.
+    pub fn run(&self) -> MatrixReport {
+        self.run_with(Executor::sequential()).0
+    }
+
+    /// [`Self::run`] with the plan's trial groups fanned out over worker
+    /// threads (`RAYON_NUM_THREADS` honored).
+    ///
+    /// Trials are independent by construction — each derives its own
+    /// `StdRng::seed_from_u64(seed ^ trial)` stream, deployments draw
+    /// from the domain-separated policy stream — and the executor folds
+    /// each cell's ordered outcomes exactly as the sequential path folds
+    /// them, so the report is **bit-identical** to [`Self::run`] at
+    /// every thread count.
+    pub fn run_par(&self) -> MatrixReport {
+        self.run_with(Executor::parallel()).0
+    }
+
+    /// [`Self::run_par`] plus the executor's [`ExecStats`] — how many
+    /// policy compilations the deployment cache performed and how many
+    /// outcomes were replayed rather than re-propagated.
+    pub fn run_par_with_stats(&self) -> (MatrixReport, ExecStats) {
+        self.run_with(Executor::parallel())
+    }
+
+    /// Runs the matrix through the **pre-executor** collect-then-fold
+    /// orchestration (fresh baselines, per-deployment re-propagation,
+    /// O(trials) memory per cell) — the differential reference the
+    /// `exec_props` suite and the `matrix` criterion bench compare the
+    /// executor against. Not a production path.
+    pub fn run_collected(&self) -> MatrixReport {
+        let topologies = self.generate_topologies();
+        let plan = self.plan(&topologies);
+        let collected = crate::exec::run_plan_collected(&plan);
+        self.report_from(
+            collected
+                .iter()
+                .map(|outcomes| CellStats::from_outcomes(outcomes))
+                .collect(),
+        )
+    }
+
+    fn run_with(&self, executor: Executor) -> (MatrixReport, ExecStats) {
+        let topologies = self.generate_topologies();
+        let plan = self.plan(&topologies);
+        let (accs, stats) = executor.run_with_stats::<CellAccumulator>(&plan);
+        (
+            self.report_from(accs.iter().map(|a| a.finish()).collect()),
+            stats,
         )
     }
 }

@@ -61,8 +61,11 @@ pub struct StrategyContext<'a> {
     pub vrps: &'a VrpIndex,
     /// The victim-only propagation, computed on first use: same-prefix
     /// plans replace it with a head-to-head propagation anyway, so
-    /// strategies that never look pay nothing.
-    baseline: std::cell::OnceCell<Propagation>,
+    /// strategies that never look pay nothing. The cell is owned by the
+    /// caller so a trial group can share one baseline across every
+    /// strategy it stages (the inputs — victim seed and victim-origin
+    /// filter — are identical for all of them).
+    baseline: &'a std::cell::OnceCell<Propagation>,
     victim_seed: Seed,
     accept_p: &'a OriginFilter<'a>,
 }
@@ -84,15 +87,6 @@ impl StrategyContext<'_> {
     /// workspace) and cached for the rest of the trial.
     pub fn baseline(&self) -> &Propagation {
         self.baseline.get_or_init(|| self.compute_baseline())
-    }
-
-    /// Hands the (possibly still uncomputed) baseline to the executor's
-    /// data plane.
-    fn into_baseline(self) -> Propagation {
-        if self.baseline.get().is_none() {
-            self.baseline();
-        }
-        self.baseline.into_inner().expect("baseline just computed")
     }
 
     fn compute_baseline(&self) -> Propagation {
@@ -353,6 +347,32 @@ pub fn run_strategy_compiled(
     setup: &AttackSetup<'_>,
     compiled: &CompiledPolicies,
 ) -> AttackOutcome {
+    run_strategy_shared(strategy, setup, compiled, &std::cell::OnceCell::new()).0
+}
+
+/// The trial executor's entry point: [`run_strategy_compiled`] with the
+/// baseline propagation cell owned by the caller, plus an observation of
+/// whether the outcome was **deployment-independent**.
+///
+/// * `baseline` — a cell the caller may share across every strategy of
+///   one trial group. The cell must only be shared between calls with an
+///   identical `(topology, victim, victim_prefix, vrps, compiled)`
+///   tuple: the victim-only propagation is a pure function of those, so
+///   the first strategy to look computes it and the rest reuse it.
+/// * The returned `bool` is `true` iff every [`OriginFilter`] this trial
+///   constructed was transparent (no origin validated Invalid — see
+///   [`OriginFilter::is_transparent`]). A transparent filter accepts
+///   every route regardless of which ASes adopt ROV, so the outcome —
+///   *and* the plan, which can only observe the deployment through the
+///   baseline — is bit-identical under **every** policy vector. The
+///   executor replays such outcomes across its deployment axis instead
+///   of re-propagating them.
+pub(crate) fn run_strategy_shared(
+    strategy: &dyn AttackerStrategy,
+    setup: &AttackSetup<'_>,
+    compiled: &CompiledPolicies,
+    baseline: &std::cell::OnceCell<Propagation>,
+) -> (AttackOutcome, bool) {
     let t = setup.topology;
     assert_ne!(
         setup.attacker, setup.victim,
@@ -382,7 +402,7 @@ pub fn run_strategy_compiled(
         victim_prefix: setup.victim_prefix,
         sub_prefix: setup.sub_prefix,
         vrps: setup.vrps,
-        baseline: std::cell::OnceCell::new(),
+        baseline,
         victim_seed,
         accept_p: &accept_p,
     };
@@ -391,6 +411,7 @@ pub fn run_strategy_compiled(
         setup.victim_prefix.covers(plan.target),
         "measurement target must be inside the victim's prefix"
     );
+    let victim_transparent = accept_p.is_transparent();
 
     // The attacked world: either a head-to-head propagation on the
     // victim's prefix, or the attacker's prefix propagated next to the
@@ -414,7 +435,7 @@ pub fn run_strategy_compiled(
                     claimed_origin: ann.claimed_origin,
                 },
             ];
-            with_workspace(|ws| {
+            let outcome = with_workspace(|ws| {
                 engine.propagate_outcome(
                     &seeds,
                     &|at, origin| accept.accept(at, origin),
@@ -423,10 +444,11 @@ pub fn run_strategy_compiled(
                     setup.attacker,
                     setup.victim,
                 )
-            })
+            });
+            (outcome, victim_transparent && accept.is_transparent())
         }
         Some(ann) if ann.prefix.covers(plan.target) => {
-            let baseline = ctx.into_baseline();
+            let baseline = ctx.baseline();
             let accept_q =
                 OriginFilter::new(setup.vrps, ann.prefix, &[ann.claimed_origin], compiled);
             let seed = Seed {
@@ -434,20 +456,22 @@ pub fn run_strategy_compiled(
                 path_len: ann.path_len,
                 claimed_origin: ann.claimed_origin,
             };
+            let independent = victim_transparent && accept_q.is_transparent();
             if ann.prefix.len() > setup.victim_prefix.len() {
                 // The usual shape: the attacker's more-specific table
                 // wins longest-prefix match, the baseline is the
                 // fallback — tallied straight off the workspace.
-                with_workspace(|ws| {
+                let outcome = with_workspace(|ws| {
                     engine.propagate_outcome(
                         &[seed],
                         &|at, origin| accept_q.accept(at, origin),
                         ws,
-                        Some(&baseline),
+                        Some(baseline),
                         setup.attacker,
                         setup.victim,
                     )
-                })
+                });
+                (outcome, independent)
             } else {
                 // A *less*-specific announcement: the victim's own table
                 // stays primary (rare — only custom strategies announce
@@ -455,19 +479,21 @@ pub fn run_strategy_compiled(
                 let attacked = with_workspace(|ws| {
                     engine.propagate(&[seed], &|at, origin| accept_q.accept(at, origin), ws)
                 });
-                outcome_from_tables(
-                    &[&baseline, &attacked],
+                let outcome = outcome_from_tables(
+                    &[baseline, &attacked],
                     setup.attacker,
                     setup.victim,
                     t.len(),
-                )
+                );
+                (outcome, independent)
             }
         }
         Some(_) | None => {
             // Nothing announced toward the target: only the baseline
             // carries traffic.
-            let baseline = ctx.into_baseline();
-            outcome_from_tables(&[&baseline], setup.attacker, setup.victim, t.len())
+            let baseline = ctx.baseline();
+            let outcome = outcome_from_tables(&[baseline], setup.attacker, setup.victim, t.len());
+            (outcome, victim_transparent)
         }
     }
 }

@@ -9,8 +9,8 @@
 
 use bgpsim::experiment::RoaConfig;
 use bgpsim::matrix::{ScenarioMatrix, TopologyFamily};
-use bgpsim::topology::TopologyConfig;
-use bgpsim::DeploymentModel;
+use bgpsim::topology::{Topology, TopologyConfig};
+use bgpsim::{AttackExperiment, CellAccumulator, DeploymentModel, Executor, FractionAccumulator};
 
 #[test]
 fn matrix_run_par_is_thread_count_invariant() {
@@ -33,6 +33,64 @@ fn matrix_run_par_is_thread_count_invariant() {
             matrix.run_par(),
             reference,
             "diverged at RAYON_NUM_THREADS={threads}"
+        );
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+}
+
+#[test]
+fn executor_accumulators_are_thread_count_invariant() {
+    // Below the report layer: the raw executor accumulators (streaming
+    // cell folds and experiment fraction folds alike) must not move as
+    // the parallel backend's chunking changes.
+    let matrix = ScenarioMatrix {
+        topologies: vec![TopologyFamily::new(TopologyConfig {
+            n: 130,
+            tier1: 4,
+            ..TopologyConfig::default()
+        })],
+        strategies: ScenarioMatrix::standard_strategies(),
+        deployments: vec![
+            DeploymentModel::Uniform { p: 1.0 },
+            DeploymentModel::Uniform { p: 0.4 },
+            DeploymentModel::StubsOnly { p: 1.0 },
+        ],
+        roas: RoaConfig::ALL.to_vec(),
+        trials: 3,
+        seed: 19,
+    };
+    let topology = Topology::generate(matrix.topologies[0].config);
+    let topologies = std::slice::from_ref(&topology);
+    let plan = matrix.plan(topologies);
+    let experiment = AttackExperiment {
+        topology: TopologyConfig {
+            n: 130,
+            tier1: 4,
+            ..TopologyConfig::default()
+        },
+        trials: 4,
+        rov_fraction: 0.6,
+        seed: 5,
+    };
+
+    let (cells, stats) = Executor::sequential().run_with_stats::<CellAccumulator>(&plan);
+    let experiment_reference = experiment.run();
+    for threads in ["1", "2", "4", "9"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        let (par_cells, par_stats) = Executor::parallel().run_with_stats::<CellAccumulator>(&plan);
+        assert_eq!(par_cells, cells, "cells moved at {threads} threads");
+        assert_eq!(par_stats, stats, "stats moved at {threads} threads");
+        assert_eq!(
+            experiment.run_par(),
+            experiment_reference,
+            "experiment diverged at {threads} threads"
+        );
+        let fractions: Vec<FractionAccumulator> =
+            Executor::parallel().run(&experiment.plan(&topology));
+        assert_eq!(
+            fractions,
+            Executor::sequential().run::<FractionAccumulator>(&experiment.plan(&topology)),
+            "fraction folds diverged at {threads} threads"
         );
     }
     std::env::remove_var("RAYON_NUM_THREADS");

@@ -95,6 +95,23 @@ pub fn matrix_csv(report: &bgpsim::MatrixReport) -> String {
     out
 }
 
+/// A census-weighted [`crate::vulnerability::RiskAssessment`] as CSV
+/// key-value rows — the executor-backed risk figure in the same
+/// plot-ready shape as the other exports.
+pub fn risk_csv(risk: &crate::vulnerability::RiskAssessment) -> String {
+    format!(
+        "metric,value\n\
+         vulnerable_fraction,{:.6}\n\
+         loose_interception,{:.6}\n\
+         minimal_interception,{:.6}\n\
+         expected_interception,{:.6}\n",
+        risk.vulnerable_fraction,
+        risk.loose_interception,
+        risk.minimal_interception,
+        risk.expected_interception,
+    )
+}
+
 /// The §6 census as CSV key-value rows.
 pub fn census_csv(census: &MaxLengthCensus) -> String {
     format!(
@@ -214,6 +231,20 @@ mod tests {
         // The comma-free labels pass through; the maxLength label is
         // comma-free too but parenthesized.
         assert!(csv.contains("non-minimal ROA (maxLength)"));
+        assert!(!csv.contains("NaN"));
+    }
+
+    #[test]
+    fn risk_csv_rows() {
+        let csv = risk_csv(&crate::vulnerability::RiskAssessment {
+            vulnerable_fraction: 0.75,
+            loose_interception: 1.0,
+            minimal_interception: 0.2,
+            expected_interception: 0.8,
+        });
+        assert_eq!(csv.lines().count(), 5);
+        assert!(csv.contains("vulnerable_fraction,0.750000"));
+        assert!(csv.contains("expected_interception,0.800000"));
         assert!(!csv.contains("NaN"));
     }
 

@@ -12,10 +12,11 @@
 //! cargo run --release --example scenario_matrix
 //! ```
 
+use maxlength_rpki::bgpsim::exec::{CellAccumulator, Executor, PlanCursor};
 use maxlength_rpki::bgpsim::experiment::RoaConfig;
 use maxlength_rpki::bgpsim::matrix::{ScenarioMatrix, TopologyFamily};
 use maxlength_rpki::bgpsim::strategy::{AttackPlan, AttackerStrategy, StrategyContext};
-use maxlength_rpki::bgpsim::topology::TopologyConfig;
+use maxlength_rpki::bgpsim::topology::{Topology, TopologyConfig};
 use maxlength_rpki::bgpsim::{DeploymentModel, MaxLengthGapProber, RouteLeak};
 
 /// A custom strategy: leak if the route was learned, probe otherwise.
@@ -57,13 +58,49 @@ fn main() {
     };
 
     let t0 = std::time::Instant::now();
-    let report = matrix.run_par();
+    let (report, stats) = matrix.run_par_with_stats();
     println!("{}", report.render());
     println!(
-        "{} cells × {} trials in {:.1?} (parallel, bit-identical to sequential)",
+        "{} cells × {} trials in {:.1?} (parallel, bit-identical to sequential): \
+         {} policy compilations, {}/{} outcomes replayed as deployment-independent",
         report.cells.len(),
         report.trials,
-        t0.elapsed()
+        t0.elapsed(),
+        stats.compilations,
+        stats.replayed,
+        stats.items,
+    );
+
+    // The same grid, checkpointed: run a few items at a time, serialize
+    // the cursor to text between steps (as a long-running job would
+    // persist it to disk across restarts), and finish bit-identical to
+    // the straight-through run above.
+    let topologies: Vec<Topology> = matrix
+        .topologies
+        .iter()
+        .map(|family| Topology::generate(family.config))
+        .collect();
+    let plan = matrix.plan(&topologies);
+    // One session = the policy axis resolved once, reused by every
+    // checkpoint step.
+    let session = Executor::sequential().session(&plan);
+    let mut cursor = plan.cursor::<CellAccumulator>();
+    let mut steps = 0;
+    while !session.run_until(&mut cursor, 64) {
+        steps += 1;
+        let persisted = cursor.encode();
+        cursor = PlanCursor::decode(&persisted).expect("cursor survives a restart");
+    }
+    let resumed: Vec<_> = cursor
+        .into_accumulators()
+        .iter()
+        .map(maxlength_rpki::bgpsim::Accumulator::finish)
+        .collect();
+    let straight: Vec<_> = report.cells.iter().map(|c| c.stats).collect();
+    assert_eq!(resumed, straight);
+    println!(
+        "checkpointed re-run: {steps} stop/restart cycles, result bit-identical \
+         to the straight-through grid"
     );
 
     println!(

@@ -5,8 +5,9 @@
 //! victim announcing exactly what the dataset says it announces, and check
 //! interception against the census verdict.
 
-use maxlength_rpki::bgpsim::attack::{run_forged_origin_trial, ForgedOriginTrial};
+use maxlength_rpki::bgpsim::attack::{run_forged_origin_trial_compiled, ForgedOriginTrial};
 use maxlength_rpki::bgpsim::topology::{Topology, TopologyConfig};
+use maxlength_rpki::bgpsim::CompiledPolicies;
 use maxlength_rpki::core::minimal::vrp_is_minimal;
 use maxlength_rpki::core::vulnerability::hijack_surface;
 use maxlength_rpki::datasets::Category;
@@ -21,6 +22,7 @@ fn stage(
     attacker: usize,
     alloc: &maxlength_rpki::datasets::world::Allocation,
     policies: &[RovPolicy],
+    compiled: &CompiledPolicies,
 ) -> Option<(f64, bool)> {
     let victim_asn = topology.asn(victim);
     let announced: Vec<Prefix> = alloc.announcements().iter().map(|r| r.prefix).collect();
@@ -51,15 +53,18 @@ fn stage(
     })?;
 
     let index: VrpIndex = vrps_translated.into_iter().collect();
-    let outcome = run_forged_origin_trial(&ForgedOriginTrial {
-        topology,
-        victim,
-        attacker,
-        victim_prefixes: &announced,
-        target,
-        vrps: &index,
-        policies,
-    });
+    let outcome = run_forged_origin_trial_compiled(
+        &ForgedOriginTrial {
+            topology,
+            victim,
+            attacker,
+            victim_prefixes: &announced,
+            target,
+            vrps: &index,
+            policies,
+        },
+        compiled,
+    );
     Some((outcome.interception_fraction(), vulnerable))
 }
 
@@ -78,6 +83,9 @@ fn census_verdicts_match_attack_outcomes() {
     let stubs = topology.stubs();
     let (victim, attacker) = (stubs[0], stubs[stubs.len() / 2]);
     let policies = vec![RovPolicy::DropInvalid; topology.len()];
+    // One policy vector across every staged allocation: compile its
+    // adopter bitset once, not once per trial.
+    let compiled = CompiledPolicies::compile(&policies);
 
     let mut tested_vulnerable = 0;
     let mut tested_safe = 0;
@@ -93,7 +101,8 @@ fn census_verdicts_match_attack_outcomes() {
         if !relevant {
             continue;
         }
-        let Some((fraction, vulnerable)) = stage(&topology, victim, attacker, alloc, &policies)
+        let Some((fraction, vulnerable)) =
+            stage(&topology, victim, attacker, alloc, &policies, &compiled)
         else {
             continue;
         };
@@ -147,6 +156,7 @@ fn minimalized_world_resists_every_staged_attack() {
     let stubs = topology.stubs();
     let (victim, attacker) = (stubs[1], stubs[stubs.len() / 3]);
     let policies = vec![RovPolicy::DropInvalid; topology.len()];
+    let compiled = CompiledPolicies::compile(&policies);
 
     let mut tested = 0;
     for alloc in &world.allocations {
@@ -173,15 +183,18 @@ fn minimalized_world_resists_every_staged_attack() {
         };
         // The fix: minimal ROAs for exactly the announced set.
         let fixed: VrpIndex = minimalize_vrps(&original, &bgp).into_iter().collect();
-        let outcome = run_forged_origin_trial(&ForgedOriginTrial {
-            topology: &topology,
-            victim,
-            attacker,
-            victim_prefixes: &announced,
-            target,
-            vrps: &fixed,
-            policies: &policies,
-        });
+        let outcome = run_forged_origin_trial_compiled(
+            &ForgedOriginTrial {
+                topology: &topology,
+                victim,
+                attacker,
+                victim_prefixes: &announced,
+                target,
+                vrps: &fixed,
+                policies: &policies,
+            },
+            &compiled,
+        );
         assert_eq!(
             outcome.intercepted, 0,
             "minimal ROAs must kill the hijack of {target} ({:?})",

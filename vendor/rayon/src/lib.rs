@@ -22,12 +22,13 @@
 use std::ops::Range;
 
 /// The number of worker threads parallel iterators fan out over:
-/// `RAYON_NUM_THREADS` if set and positive, else the machine's available
-/// parallelism.
+/// `RAYON_NUM_THREADS` if set and positive (surrounding whitespace
+/// tolerated, matching the harness knob parsers), else the machine's
+/// available parallelism.
 pub fn current_num_threads() -> usize {
     match std::env::var("RAYON_NUM_THREADS")
         .ok()
-        .and_then(|s| s.parse::<usize>().ok())
+        .and_then(|s| s.trim().parse::<usize>().ok())
     {
         Some(n) if n > 0 => n,
         _ => std::thread::available_parallelism()
