@@ -1,0 +1,170 @@
+//! Internet-scale gate: propagation at n = 80,000 ASes / ~500k links —
+//! the real AS-level internet's order of magnitude, which the
+//! paper-scale grids (n ≤ 10k) cannot show.
+//!
+//! Before any timing the bench asserts the internet-scale contracts the
+//! proptests cannot reach at this size (the heap-based reference is too
+//! slow to differentially test against 80k ASes):
+//!
+//! * the generator is **deterministic**: two builds from one seed
+//!   produce byte-identical CSR arrays;
+//! * the link count lands in the realistic band (~6 links per AS);
+//! * a destination-sampled [`TrialPlan`] over the full graph is
+//!   **seq-vs-par bit-identical** (the engine's 80k bit-identity gate).
+//!
+//! Timed regimes, recorded via `MAXLENGTH_BENCH_JSON`:
+//!
+//! * `topology/generate` — full graph construction (CSR flatten included);
+//! * `topology/trial` — one staged forged-origin trial (propagate +
+//!   tally) at internet scale: the headline per-trial cost;
+//! * `topology/workspace-bytes` and `topology/topology-bytes` — the
+//!   resident scratch and graph footprints (bytes in the `ns_per_iter`
+//!   field), so memory regressions land in the same trail as time.
+//!
+//! `MAXLENGTH_TOPO_N` overrides the AS count (CI smokes at full n with
+//! `MAXLENGTH_TRIALS`-reduced destination sampling).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bgpsim::engine::{CompiledPolicies, OriginFilter};
+use bgpsim::exec::{PlanTopology, TrialPlan};
+use bgpsim::routing::Seed;
+use bgpsim::topology::{InternetConfig, Topology};
+use bgpsim::{
+    AttackKind, CellAccumulator, DeploymentModel, DestinationSampler, Executor, PropagationEngine,
+    RoaConfig, Workspace,
+};
+use rpki_bench::harness::{record_bench_json, topo_n_from_env, usize_from_env};
+use rpki_prefix::Prefix;
+use rpki_roa::{Asn, Vrp};
+use rpki_rov::VrpIndex;
+
+fn bench_topology(c: &mut Criterion) {
+    let n = topo_n_from_env();
+    let config = InternetConfig {
+        n,
+        ..InternetConfig::default()
+    };
+
+    // Determinism gate at full scale: same seed ⇒ byte-identical CSR.
+    let topology = Topology::generate_internet(config);
+    let again = Topology::generate_internet(config);
+    assert_eq!(
+        topology.csr_arrays(),
+        again.csr_arrays(),
+        "generator is not byte-identical across builds (n={n})"
+    );
+    drop(again);
+    let links = topology.link_count();
+    if n >= 10_000 {
+        // ~6.2 links/AS at the default shape; a broad band so knob
+        // tweaks don't trip it, tight enough to catch a broken phase.
+        assert!(
+            links >= 4 * n && links <= 9 * n,
+            "link count {links} is outside the internet-like band for n={n}"
+        );
+    }
+    println!(
+        "topology: n={n} links={links} stubs={} topology_bytes={}",
+        topology.stubs().len(),
+        topology.memory_bytes()
+    );
+
+    // One staged forged-origin trial at internet scale: loose-maxLength
+    // ROA, ~¾ ROV adoption, the engine's precomputed filter path.
+    let stubs = topology.stubs();
+    let (victim, attacker) = (stubs[0], stubs[stubs.len() / 2]);
+    let prefix: Prefix = "168.122.0.0/16".parse().unwrap();
+    let victim_asn = topology.asn(victim);
+    let vrps: VrpIndex = [Vrp::new(prefix, 24, victim_asn)].into_iter().collect();
+    let policies = DeploymentModel::Uniform { p: 0.75 }.policies(&topology, config.seed);
+    let compiled = CompiledPolicies::compile(&policies);
+    let filter = OriginFilter::new(&vrps, prefix, &[victim_asn], &compiled);
+    let seeds = [
+        Seed::origin(victim, victim_asn),
+        Seed::forged(attacker, victim_asn),
+    ];
+    let engine = PropagationEngine::new(&topology);
+    let engine_trial = |ws: &mut Workspace| {
+        engine.propagate_outcome(
+            &seeds,
+            &|at: usize, o: Asn| filter.accept(at, o),
+            ws,
+            None,
+            attacker,
+            victim,
+        )
+    };
+    let mut ws = Workspace::new();
+    let outcome = engine_trial(&mut ws);
+    assert_eq!(
+        outcome.intercepted + outcome.legitimate + outcome.disconnected,
+        n - 2,
+        "trial tally must cover every non-party AS"
+    );
+    let workspace_bytes = ws.memory_bytes();
+    println!("topology: workspace_bytes={workspace_bytes} (n={n})");
+
+    // Seq-vs-par bit-identity at internet scale, through the whole
+    // executor stack on a destination-sampled plan (the reference
+    // implementation is far too slow to differentially test here).
+    let destinations = usize_from_env("MAXLENGTH_TRIALS", 8);
+    let strategy = AttackKind::ForgedOriginSubprefixHijack;
+    let plan = TrialPlan::new(
+        vec![PlanTopology {
+            label: format!("internet-{n}"),
+            topology: &topology,
+        }],
+        vec![&strategy],
+        vec![DeploymentModel::Uniform { p: 0.75 }],
+        vec![RoaConfig::NonMinimalMaxLen],
+        1,
+        config.seed,
+    )
+    .with_destination_sampler(&DestinationSampler {
+        count: destinations,
+        seed: config.seed,
+    });
+    let seq: Vec<CellAccumulator> = Executor::sequential().run(&plan);
+    let par: Vec<CellAccumulator> = Executor::parallel().run(&plan);
+    assert_eq!(
+        seq, par,
+        "sequential and parallel executors diverged at n={n}"
+    );
+
+    let mut group = c.benchmark_group(format!("topology/generate/n-{n}"));
+    group.throughput(Throughput::Elements(n as u64));
+    let mut generate_ns = 0.0;
+    group.bench_with_input(BenchmarkId::new("generate", n), &config, |b, &cfg| {
+        b.iter(|| Topology::generate_internet(cfg));
+        generate_ns = b.mean_ns();
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group(format!("topology/trial/n-{n}"));
+    group.throughput(Throughput::Elements(n as u64));
+    let mut trial_ns = 0.0;
+    group.bench_with_input(BenchmarkId::new("trial", n), &(), |b, _| {
+        let mut ws = Workspace::new();
+        b.iter(|| engine_trial(&mut ws));
+        trial_ns = b.mean_ns();
+    });
+    group.finish();
+
+    record_bench_json("topology/generate", n as f64, generate_ns);
+    record_bench_json("topology/trial", n as f64, trial_ns);
+    record_bench_json("topology/workspace-bytes", n as f64, workspace_bytes as f64);
+    record_bench_json(
+        "topology/topology-bytes",
+        n as f64,
+        topology.memory_bytes() as f64,
+    );
+    println!(
+        "topology/trial/n-{n}: {:.2} ms per staged trial, {:.1} bytes of workspace per AS",
+        trial_ns / 1e6,
+        workspace_bytes as f64 / n as f64
+    );
+}
+
+criterion_group!(benches, bench_topology);
+criterion_main!(benches);

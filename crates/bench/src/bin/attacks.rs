@@ -1,14 +1,20 @@
 //! Regenerates the §4/§5 attack analysis: mean traffic interception for
 //! every (attack, ROA configuration) pair, on a synthetic AS topology
 //! under full and partial route-origin-validation adoption.
+//!
+//! Knobs: `MAXLENGTH_TOPOLOGY` (topology size), `MAXLENGTH_TRIALS`
+//! (attacker/victim pairs per cell), `MAXLENGTH_BENCH_JSON` (append
+//! machine-readable timing records), `MAXLENGTH_TOPO_N` (AS count for
+//! the internet-scale memory diagnostic printed at startup).
 
 use bgpsim::experiment::AttackExperiment;
 use bgpsim::topology::TopologyConfig;
-use rpki_bench::harness::{record_bench_json, usize_from_env};
+use rpki_bench::harness::{print_memory_diagnostics, record_bench_json, usize_from_env};
 
 fn main() {
     let n = usize_from_env("MAXLENGTH_TOPOLOGY", 2000);
     let trials = usize_from_env("MAXLENGTH_TRIALS", 30);
+    print_memory_diagnostics();
 
     for rov_fraction in [1.0, 0.5] {
         let t0 = std::time::Instant::now();

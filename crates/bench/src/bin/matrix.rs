@@ -14,19 +14,22 @@
 //! `MAXLENGTH_SCALE` (world scale for the census weighting),
 //! `RAYON_NUM_THREADS` (worker threads), `MAXLENGTH_CSV` (write
 //! `matrix.csv` + `risk.csv`), `MAXLENGTH_BENCH_JSON` (append
-//! machine-readable timing records).
+//! machine-readable timing records), `MAXLENGTH_TOPO_N` (AS count for
+//! the internet-scale memory diagnostic printed at startup).
 
 use bgpsim::ScenarioMatrix;
 use maxlength_core::report::{matrix_csv, risk_csv};
 use maxlength_core::vulnerability::{assess_risk, MaxLengthCensus};
 use rpki_bench::harness::{
-    final_snapshot, record_bench_json, scale_from_env, threads_from_env, usize_from_env, world,
+    final_snapshot, print_memory_diagnostics, record_bench_json, scale_from_env, threads_from_env,
+    usize_from_env, world,
 };
 
 fn main() {
     let n = usize_from_env("MAXLENGTH_TOPOLOGY", 2000);
     let trials = usize_from_env("MAXLENGTH_TRIALS", 30);
     let threads = threads_from_env();
+    print_memory_diagnostics();
 
     let matrix = ScenarioMatrix {
         topologies: bgpsim::TopologyFamily::standard(n),

@@ -12,12 +12,14 @@
 //!    partitioned into contiguous customer/peer/provider ranges, so the
 //!    three Gao–Rexford phases iterate exactly the slice they need with
 //!    no per-edge `Relationship` branch.
-//! 2. **Reusable [`Workspace`]** — epoch-stamped route/pending/offer
-//!    arrays plus a path-length bucket queue replacing the `BinaryHeap`
-//!    (path lengths are small bounded integers). Steady-state trials
-//!    allocate nothing in the engine's scratch; [`with_workspace`] hands
-//!    every caller its thread's workspace, so rayon fan-outs reuse one
-//!    workspace per worker thread.
+//! 2. **Reusable [`Workspace`]** — bitset membership stamps over packed
+//!    16-byte route words plus a path-length bucket queue of bare `u32`
+//!    AS indices replacing the `BinaryHeap` (path lengths are small
+//!    bounded integers). Steady-state trials allocate nothing in the
+//!    engine's scratch; [`with_workspace`] hands every caller its
+//!    thread's workspace, so rayon fan-outs reuse one workspace per
+//!    worker thread, and the whole hot state for an 80k-AS internet
+//!    topology is ~2.5 MiB per thread.
 //! 3. **Monomorphized, precomputed import filters** — the engine is
 //!    generic over the accept filter, and [`OriginFilter`] resolves each
 //!    claimed origin's ROV verdict against the VRPs **once per
@@ -38,9 +40,10 @@
 //! deterministic tie-breaks, same `next_hop` choices. The reference
 //! pops a `BinaryHeap` ordered by `(path_len, claimed_origin,
 //! delivers_to, as_index)`; the engine buckets entries by `path_len`
-//! and sorts each bucket by the remaining key before draining it, which
-//! replays the exact heap order. The contract is pinned by the
-//! `engine_props` differential proptests and the golden fixtures.
+//! and drains each bucket in ascending AS-index order, which settles
+//! the same routes (see [`Workspace::push`] for the argument). The
+//! contract is pinned by the `engine_props` differential proptests and
+//! the golden fixtures.
 
 use std::cell::RefCell;
 
@@ -52,56 +55,140 @@ use crate::attack::AttackOutcome;
 use crate::routing::{propagate_reference, Propagation, RouteClass, RouteInfo, Seed};
 use crate::topology::Topology;
 
-/// Placeholder occupying unstamped workspace slots; never read while its
-/// stamp is stale.
-const NO_ROUTE: RouteInfo = RouteInfo {
-    class: RouteClass::Origin,
-    path_len: 0,
-    claimed_origin: Asn(0),
-    delivers_to: 0,
-    next_hop: None,
-};
-
 /// Seeds with claimed path lengths beyond `DENSE_SLACK * (n + 2)` fall
 /// back to the reference implementation rather than sizing the dense
 /// bucket array after an adversarial `path_len` (every shipped strategy
 /// stays far below this).
 const DENSE_SLACK: usize = 4;
 
+/// `path_len` bits in a [`PackedRoute`]. Propagations whose lengths
+/// could exceed this fall back to the reference implementation (the
+/// [`DENSE_SLACK`] guard already triggers first for every topology the
+/// CSR can represent).
+const PATH_LEN_BITS: u32 = 30;
+
+/// The `next_hop` sentinel for "entered the graph here". Safe because
+/// AS indices are `< n ≤ u32::MAX`, i.e. at most `u32::MAX - 1`.
+const NO_HOP: u32 = u32::MAX;
+
+/// A whole workspace route slot in one 16-byte word, `u32` indices
+/// throughout — 2.5x smaller than the 40-byte [`RouteInfo`] it encodes:
+///
+/// ```text
+/// bits 126..128  route class        (preference order, 2 bits)
+/// bits  96..126  path_len           (< 2^30, guarded by the fallback)
+/// bits  64..96   claimed origin ASN
+/// bits  32..64   delivers_to        (AS index)
+/// bits   0..32   next_hop           (AS index; u32::MAX = none)
+/// ```
+///
+/// The field order makes the deterministic route preference — strictly
+/// smaller `(class, path_len, claimed_origin, delivers_to)` — a single
+/// integer comparison of the top 96 bits ([`PackedRoute::pref`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PackedRoute(u128);
+
+impl PackedRoute {
+    /// Placeholder for slots whose membership bit is clear; never read.
+    const EMPTY: PackedRoute = PackedRoute(0);
+
+    #[inline]
+    fn new(
+        class: RouteClass,
+        path_len: u32,
+        claimed_origin: Asn,
+        delivers_to: usize,
+        next_hop: Option<usize>,
+    ) -> PackedRoute {
+        debug_assert!(path_len < 1 << PATH_LEN_BITS);
+        let hop = next_hop.map_or(NO_HOP, |h| h as u32);
+        PackedRoute(
+            ((class as u8 as u128) << 126)
+                | ((path_len as u128) << 96)
+                | ((claimed_origin.into_u32() as u128) << 64)
+                | ((delivers_to as u32 as u128) << 32)
+                | hop as u128,
+        )
+    }
+
+    /// The preference key: `(class, path_len, claimed_origin,
+    /// delivers_to)` as one integer — `a.pref() < b.pref()` iff `a`
+    /// strictly beats `b` under the deterministic tie-break.
+    #[inline]
+    fn pref(self) -> u128 {
+        self.0 >> 32
+    }
+
+    #[inline]
+    fn path_len(self) -> u32 {
+        ((self.0 >> 96) as u32) & ((1 << PATH_LEN_BITS) - 1)
+    }
+
+    #[inline]
+    fn claimed_origin(self) -> Asn {
+        Asn((self.0 >> 64) as u32)
+    }
+
+    #[inline]
+    fn delivers_to(self) -> usize {
+        (self.0 >> 32) as u32 as usize
+    }
+
+    fn unpack(self) -> RouteInfo {
+        let class = match (self.0 >> 126) as u8 {
+            0 => RouteClass::Origin,
+            1 => RouteClass::Customer,
+            2 => RouteClass::Peer,
+            _ => RouteClass::Provider,
+        };
+        let hop = self.0 as u32;
+        RouteInfo {
+            class,
+            path_len: self.path_len(),
+            claimed_origin: self.claimed_origin(),
+            delivers_to: self.delivers_to(),
+            next_hop: (hop != NO_HOP).then_some(hop as usize),
+        }
+    }
+}
+
 /// Reusable per-thread propagation scratch.
 ///
-/// # Epoch invariants
+/// # Bitset-stamp invariant
 ///
-/// Every scratch slot (`routes`, `pending`, `offers`) is paired with a
-/// stamp array; a slot is live only while its stamp equals the current
-/// epoch, so "clearing" the workspace between trials is a single epoch
-/// bump — no O(n) reset, no allocation.
+/// Hot state is two packed bitsets plus two [`PackedRoute`] arrays —
+/// ~32.3 bytes per AS, down from the 132 bytes/AS of the earlier
+/// epoch-stamped layout (three `u32` stamp arrays + three 40-byte
+/// `RouteInfo` arrays), which is what lets an 80k-AS internet-scale
+/// workspace stay cache-resident:
 ///
-/// * [`Workspace::begin`] advances the epoch by 2 per propagation:
-///   routes, peer offers, and phase-1 pending stamp with `epoch`;
-///   phase-3 pending stamps with `epoch + 1` (phases 1 and 3 run
-///   independent shortest-path searches over the same pending array).
-/// * Stamps start at 0 and the epoch at 2, so a fresh (or resized)
-///   workspace has no live slot.
-/// * Before the epoch could wrap, all stamp arrays are zeroed and the
-///   epoch restarts — a back-to-back run through one workspace is
-///   therefore always identical to a fresh-workspace run (pinned by the
-///   `engine_props` reuse proptest).
-/// * Bucket vectors are drained (not deallocated) by each phase, so
-///   their capacity is retained across trials.
+/// * `route_set` — one bit per AS: "this AS has settled its route this
+///   propagation". A slot of `routes` is live **iff** its bit is set.
+/// * `pend_set` — one bit per AS for the *current phase's* best pending
+///   candidate in `pending`. The array is reused three times per
+///   propagation (phase-1 pending, phase-2 peer offers, phase-3
+///   pending); [`Workspace::clear_pending`] zeroes the bitset — an
+///   `n/64`-word memset, not an O(n) slot reset — between phases.
+/// * [`Workspace::begin`] zeroes both bitsets, so a back-to-back run
+///   through one workspace is always identical to a fresh-workspace run
+///   (pinned by the `engine_props` reuse proptest). No epochs, no wrap
+///   handling: a cleared bit *is* the absence of the slot.
+/// * `buckets` is the path-length queue; entries are plain `u32` AS
+///   indices (see [`Workspace::push`] for why that preserves the
+///   reference heap's tie-breaks) and bucket vectors are drained, not
+///   deallocated, so their capacity is retained across trials.
 #[derive(Debug, Default)]
 pub struct Workspace {
     n: usize,
-    epoch: u32,
-    route_stamp: Vec<u32>,
-    routes: Vec<RouteInfo>,
-    pend_stamp: Vec<u32>,
-    pending: Vec<RouteInfo>,
-    offer_stamp: Vec<u32>,
-    offers: Vec<RouteInfo>,
-    /// `buckets[len]` holds packed `(claimed_origin, delivers_to, as)`
-    /// entries awaiting settlement at path length `len`.
-    buckets: Vec<Vec<u128>>,
+    /// `n / 64` words of settled-route membership.
+    route_set: Vec<u64>,
+    /// `n / 64` words of pending/offer membership (reused per phase).
+    pend_set: Vec<u64>,
+    routes: Vec<PackedRoute>,
+    pending: Vec<PackedRoute>,
+    /// `buckets[len]` holds the AS indices awaiting settlement at path
+    /// length `len`.
+    buckets: Vec<Vec<u32>>,
     /// Highest bucket index holding entries for the current phase.
     hi: usize,
 }
@@ -113,94 +200,108 @@ impl Workspace {
         Workspace::default()
     }
 
-    /// Prepares the workspace for one propagation over `n` ASes and
-    /// returns the fresh base epoch.
-    fn begin(&mut self, n: usize) -> u32 {
+    /// Bytes of scratch currently allocated — the per-thread footprint
+    /// an internet-scale fan-out multiplies by the worker count. Counts
+    /// array capacities (what the allocator holds), not lengths.
+    pub fn memory_bytes(&self) -> usize {
+        self.route_set.capacity() * 8
+            + self.pend_set.capacity() * 8
+            + self.routes.capacity() * std::mem::size_of::<PackedRoute>()
+            + self.pending.capacity() * std::mem::size_of::<PackedRoute>()
+            + self.buckets.capacity() * std::mem::size_of::<Vec<u32>>()
+            + self.buckets.iter().map(|b| b.capacity() * 4).sum::<usize>()
+    }
+
+    /// Prepares the workspace for one propagation over `n` ASes.
+    fn begin(&mut self, n: usize) {
+        let words = n.div_ceil(64);
         if self.n != n {
             self.n = n;
-            self.epoch = 0;
-            self.route_stamp.clear();
-            self.route_stamp.resize(n, 0);
-            self.pend_stamp.clear();
-            self.pend_stamp.resize(n, 0);
-            self.offer_stamp.clear();
-            self.offer_stamp.resize(n, 0);
+            self.route_set.clear();
+            self.route_set.resize(words, 0);
+            self.pend_set.clear();
+            self.pend_set.resize(words, 0);
             self.routes.clear();
-            self.routes.resize(n, NO_ROUTE);
+            self.routes.resize(n, PackedRoute::EMPTY);
             self.pending.clear();
-            self.pending.resize(n, NO_ROUTE);
-            self.offers.clear();
-            self.offers.resize(n, NO_ROUTE);
+            self.pending.resize(n, PackedRoute::EMPTY);
+        } else {
+            self.route_set.fill(0);
+            self.pend_set.fill(0);
         }
-        if self.epoch >= u32::MAX - 3 {
-            // Epoch wrap: zero the stamps so no stale slot can alias the
-            // restarted epoch counter.
-            self.epoch = 0;
-            self.route_stamp.fill(0);
-            self.pend_stamp.fill(0);
-            self.offer_stamp.fill(0);
-        }
-        self.epoch += 2;
         self.hi = 0;
-        self.epoch
+    }
+
+    /// Starts a fresh phase over the `pending` array.
+    #[inline]
+    fn clear_pending(&mut self) {
+        self.pend_set.fill(0);
+    }
+
+    /// `true` if AS `at` settled its route this propagation.
+    #[inline]
+    fn routed(&self, at: usize) -> bool {
+        (self.route_set[at >> 6] >> (at & 63)) & 1 != 0
+    }
+
+    /// Marks AS `at` settled.
+    #[inline]
+    fn settle(&mut self, at: usize, info: PackedRoute) {
+        self.route_set[at >> 6] |= 1 << (at & 63);
+        self.routes[at] = info;
+    }
+
+    /// `true` if AS `at` holds a pending candidate this phase.
+    #[inline]
+    fn has_pending(&self, at: usize) -> bool {
+        (self.pend_set[at >> 6] >> (at & 63)) & 1 != 0
     }
 
     /// Installs `cand` as `at`'s pending offer if it beats the current
-    /// one under the deterministic tie-break (stale slots count as
-    /// empty). Returns whether a bucket entry should be pushed.
+    /// one under the deterministic tie-break (a clear membership bit
+    /// counts as empty). Returns whether a bucket entry should be
+    /// pushed.
     #[inline]
-    fn improve_pending(&mut self, at: usize, cand: RouteInfo, stamp: u32) -> bool {
-        if self.pend_stamp[at] == stamp && !beats(&cand, &self.pending[at]) {
+    fn improve_pending(&mut self, at: usize, cand: PackedRoute) -> bool {
+        if self.has_pending(at) && cand.pref() >= self.pending[at].pref() {
             return false;
         }
-        self.pend_stamp[at] = stamp;
+        self.pend_set[at >> 6] |= 1 << (at & 63);
         self.pending[at] = cand;
         true
     }
 
-    /// Queues `(claimed, delivers_to, at)` for settlement at `len`.
+    /// Queues `at` for settlement at path length `len`.
+    ///
+    /// Entries are bare AS indices: settling a bucket in ascending `at`
+    /// order produces the same propagation as the reference heap's
+    /// `(path_len, claimed_origin, delivers_to, as_index)` order.
+    /// Within one bucket every settlement reads the *current best*
+    /// pending slot and exports only into the next bucket, so the drain
+    /// order can influence the result only where two same-length
+    /// candidates tie on the full `(class, path_len, claimed_origin,
+    /// delivers_to)` key and differ in `next_hop` — and there both
+    /// orders elect the tied exporter with the smallest AS index. The
+    /// `engine_props` differential proptests pin this equivalence; the
+    /// payoff is a 4x smaller queue whose drains walk the CSR rows in
+    /// index order, i.e. cache-linearly.
     #[inline]
-    fn push(&mut self, len: u32, claimed: u32, delivers_to: usize, at: usize) {
+    fn push(&mut self, len: u32, at: usize) {
         let l = len as usize;
         if l >= self.buckets.len() {
             self.buckets.resize_with(l + 1, Vec::new);
         }
-        self.buckets[l].push(pack(claimed, delivers_to, at));
+        self.buckets[l].push(at as u32);
         if l > self.hi {
             self.hi = l;
         }
     }
 
-    /// AS `at`'s settled route this epoch, if any.
+    /// AS `at`'s settled route this propagation, if any.
     #[inline]
-    fn route(&self, at: usize, epoch: u32) -> Option<RouteInfo> {
-        (self.route_stamp[at] == epoch).then(|| self.routes[at])
+    fn route(&self, at: usize) -> Option<RouteInfo> {
+        self.routed(at).then(|| self.routes[at].unpack())
     }
-}
-
-/// Packs a bucket entry; unpacking `at` is a mask. Sorting the packed
-/// values ascending replays the reference heap's
-/// `(claimed_origin, delivers_to, as_index)` order within a path length.
-#[inline]
-fn pack(claimed: u32, delivers_to: usize, at: usize) -> u128 {
-    ((claimed as u128) << 64) | ((delivers_to as u128) << 32) | at as u128
-}
-
-/// The deterministic route preference: strictly better under
-/// `(class, path_len, claimed_origin, delivers_to)`.
-#[inline]
-fn beats(cand: &RouteInfo, cur: &RouteInfo) -> bool {
-    (
-        cand.class,
-        cand.path_len,
-        cand.claimed_origin.into_u32(),
-        cand.delivers_to,
-    ) < (
-        cur.class,
-        cur.path_len,
-        cur.claimed_origin.into_u32(),
-        cur.delivers_to,
-    )
 }
 
 thread_local! {
@@ -394,10 +495,7 @@ impl<'t> PropagationEngine<'t> {
         if let Some(fallback) = self.run(seeds, accept, ws) {
             return fallback;
         }
-        let epoch = ws.epoch;
-        let routes = (0..self.topology.len())
-            .map(|at| ws.route(at, epoch))
-            .collect();
+        let routes = (0..self.topology.len()).map(|at| ws.route(at)).collect();
         Propagation::from_routes(routes)
     }
 
@@ -429,9 +527,8 @@ impl<'t> PropagationEngine<'t> {
                 self.topology.len(),
             );
         }
-        let epoch = ws.epoch;
         tally(
-            |at| ws.route(at, epoch),
+            |at| ws.route(at),
             fallback,
             attacker,
             victim,
@@ -441,22 +538,27 @@ impl<'t> PropagationEngine<'t> {
 
     /// Runs the three phases into `ws`. Returns `Some(propagation)` only
     /// on the adversarial-path-length fallback to the reference
-    /// implementation; otherwise the result lives in `ws` under its
-    /// current epoch.
+    /// implementation; otherwise the result lives in `ws`'s bitsets and
+    /// route array.
     fn run<F>(&self, seeds: &[Seed], accept: &F, ws: &mut Workspace) -> Option<Propagation>
     where
         F: Fn(usize, Asn) -> bool + ?Sized,
     {
         let t = self.topology;
         let n = t.len();
-        let max_seed_len = seeds.iter().map(|s| s.path_len).max().unwrap_or(0) as usize;
-        if max_seed_len > DENSE_SLACK * (n + 2) {
+        let max_seed_len = seeds.iter().map(|s| s.path_len).max().unwrap_or(0) as u64;
+        // Fall back on adversarial seed lengths: either the dense bucket
+        // array would be sized after the claimed length, or the longest
+        // settled path (≤ max_seed_len + n + 1) would not fit the packed
+        // 30-bit `path_len` field.
+        if max_seed_len > (DENSE_SLACK * (n + 2)) as u64
+            || max_seed_len + n as u64 + 2 >= 1 << PATH_LEN_BITS
+        {
             return Some(propagate_reference(t, seeds, &|at, origin| {
                 accept(at, origin)
             }));
         }
-        let epoch = ws.begin(n);
-        let pend1 = epoch;
+        ws.begin(n);
 
         // --- Phase 1: origins and customer-learned routes (travel upward
         // over customer→provider edges only).
@@ -464,20 +566,15 @@ impl<'t> PropagationEngine<'t> {
             if !accept(seed.at, seed.claimed_origin) {
                 continue;
             }
-            let info = RouteInfo {
-                class: RouteClass::Origin,
-                path_len: seed.path_len,
-                claimed_origin: seed.claimed_origin,
-                delivers_to: seed.at,
-                next_hop: None,
-            };
-            if ws.improve_pending(seed.at, info, pend1) {
-                ws.push(
-                    info.path_len,
-                    info.claimed_origin.into_u32(),
-                    info.delivers_to,
-                    seed.at,
-                );
+            let info = PackedRoute::new(
+                RouteClass::Origin,
+                seed.path_len,
+                seed.claimed_origin,
+                seed.at,
+                None,
+            );
+            if ws.improve_pending(seed.at, info) {
+                ws.push(seed.path_len, seed.at);
             }
         }
         let mut len = 0;
@@ -485,39 +582,33 @@ impl<'t> PropagationEngine<'t> {
             let mut bucket = std::mem::take(&mut ws.buckets[len]);
             bucket.sort_unstable();
             for &entry in &bucket {
-                let at = (entry & u32::MAX as u128) as usize;
-                if ws.pend_stamp[at] != pend1 {
+                let at = entry as usize;
+                if !ws.has_pending(at) {
                     continue;
                 }
                 let info = ws.pending[at];
-                if info.path_len as usize != len || ws.route_stamp[at] == epoch {
+                if info.path_len() as usize != len || ws.routed(at) {
                     continue; // stale bucket entry or already settled
                 }
-                ws.route_stamp[at] = epoch;
-                ws.routes[at] = info;
+                ws.settle(at, info);
                 // Export to providers: they learn a customer route.
                 for &provider in t.providers(at) {
                     let provider = provider as usize;
-                    if ws.route_stamp[provider] == epoch {
+                    if ws.routed(provider) {
                         continue;
                     }
-                    if !accept(provider, info.claimed_origin) {
+                    if !accept(provider, info.claimed_origin()) {
                         continue;
                     }
-                    let candidate = RouteInfo {
-                        class: RouteClass::Customer,
-                        path_len: info.path_len + 1,
-                        claimed_origin: info.claimed_origin,
-                        delivers_to: info.delivers_to,
-                        next_hop: Some(at),
-                    };
-                    if ws.improve_pending(provider, candidate, pend1) {
-                        ws.push(
-                            candidate.path_len,
-                            candidate.claimed_origin.into_u32(),
-                            candidate.delivers_to,
-                            provider,
-                        );
+                    let candidate = PackedRoute::new(
+                        RouteClass::Customer,
+                        info.path_len() + 1,
+                        info.claimed_origin(),
+                        info.delivers_to(),
+                        Some(at),
+                    );
+                    if ws.improve_pending(provider, candidate) {
+                        ws.push(info.path_len() + 1, provider);
                     }
                 }
             }
@@ -527,50 +618,53 @@ impl<'t> PropagationEngine<'t> {
         }
 
         // --- Phase 2: one peer hop. Only customer/origin routes are
-        // exported to peers; collect all offers, then adopt the best per
-        // AS.
+        // exported to peers; collect all offers (the `pending` array
+        // doubles as the offer table), then adopt the best per AS.
+        ws.clear_pending();
         for at in 0..n {
-            if ws.route_stamp[at] != epoch {
+            if !ws.routed(at) {
                 continue;
             }
             let info = ws.routes[at];
             for &peer in t.peers(at) {
                 let peer = peer as usize;
-                if ws.route_stamp[peer] == epoch {
+                if ws.routed(peer) {
                     continue;
                 }
-                if !accept(peer, info.claimed_origin) {
+                if !accept(peer, info.claimed_origin()) {
                     continue;
                 }
-                let candidate = RouteInfo {
-                    class: RouteClass::Peer,
-                    path_len: info.path_len + 1,
-                    claimed_origin: info.claimed_origin,
-                    delivers_to: info.delivers_to,
-                    next_hop: Some(at),
-                };
-                if ws.offer_stamp[peer] != epoch || beats(&candidate, &ws.offers[peer]) {
-                    ws.offer_stamp[peer] = epoch;
-                    ws.offers[peer] = candidate;
-                }
+                let candidate = PackedRoute::new(
+                    RouteClass::Peer,
+                    info.path_len() + 1,
+                    info.claimed_origin(),
+                    info.delivers_to(),
+                    Some(at),
+                );
+                ws.improve_pending(peer, candidate);
             }
         }
-        for at in 0..n {
-            if ws.route_stamp[at] != epoch && ws.offer_stamp[at] == epoch {
-                ws.route_stamp[at] = epoch;
-                ws.routes[at] = ws.offers[at];
+        // Commit: every AS holding an offer but no settled route adopts
+        // its offer. Word-wise `pend & !route` walks only the offer
+        // bits.
+        for w in 0..ws.pend_set.len() {
+            let mut bits = ws.pend_set[w] & !ws.route_set[w];
+            while bits != 0 {
+                let at = (w << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                ws.settle(at, ws.pending[at]);
             }
         }
 
         // --- Phase 3: provider-learned routes flow down to customers;
         // any route may be exported to a customer, and provider routes
         // keep flowing to customers-of-customers.
-        let pend3 = epoch + 1;
+        ws.clear_pending();
         ws.hi = 0;
         for at in 0..n {
-            if ws.route_stamp[at] == epoch {
+            if ws.routed(at) {
                 let info = ws.routes[at];
-                self.offer_down(info, at, accept, ws, epoch, pend3);
+                self.offer_down(info, at, accept, ws);
             }
         }
         let mut len = 0;
@@ -578,17 +672,16 @@ impl<'t> PropagationEngine<'t> {
             let mut bucket = std::mem::take(&mut ws.buckets[len]);
             bucket.sort_unstable();
             for &entry in &bucket {
-                let at = (entry & u32::MAX as u128) as usize;
-                if ws.pend_stamp[at] != pend3 {
+                let at = entry as usize;
+                if !ws.has_pending(at) {
                     continue;
                 }
                 let info = ws.pending[at];
-                if info.path_len as usize != len || ws.route_stamp[at] == epoch {
+                if info.path_len() as usize != len || ws.routed(at) {
                     continue;
                 }
-                ws.route_stamp[at] = epoch;
-                ws.routes[at] = info;
-                self.offer_down(info, at, accept, ws, epoch, pend3);
+                ws.settle(at, info);
+                self.offer_down(info, at, accept, ws);
             }
             bucket.clear();
             ws.buckets[len] = bucket;
@@ -599,39 +692,27 @@ impl<'t> PropagationEngine<'t> {
 
     /// Offers `from`'s route to its customers (phase 3's relaxation).
     #[inline]
-    fn offer_down<F>(
-        &self,
-        from_info: RouteInfo,
-        from: usize,
-        accept: &F,
-        ws: &mut Workspace,
-        epoch: u32,
-        pend3: u32,
-    ) where
+    fn offer_down<F>(&self, from_info: PackedRoute, from: usize, accept: &F, ws: &mut Workspace)
+    where
         F: Fn(usize, Asn) -> bool + ?Sized,
     {
         for &customer in self.topology.customers(from) {
             let customer = customer as usize;
-            if ws.route_stamp[customer] == epoch {
+            if ws.routed(customer) {
                 continue;
             }
-            if !accept(customer, from_info.claimed_origin) {
+            if !accept(customer, from_info.claimed_origin()) {
                 continue;
             }
-            let candidate = RouteInfo {
-                class: RouteClass::Provider,
-                path_len: from_info.path_len + 1,
-                claimed_origin: from_info.claimed_origin,
-                delivers_to: from_info.delivers_to,
-                next_hop: Some(from),
-            };
-            if ws.improve_pending(customer, candidate, pend3) {
-                ws.push(
-                    candidate.path_len,
-                    candidate.claimed_origin.into_u32(),
-                    candidate.delivers_to,
-                    customer,
-                );
+            let candidate = PackedRoute::new(
+                RouteClass::Provider,
+                from_info.path_len() + 1,
+                from_info.claimed_origin(),
+                from_info.delivers_to(),
+                Some(from),
+            );
+            if ws.improve_pending(customer, candidate) {
+                ws.push(from_info.path_len() + 1, customer);
             }
         }
     }

@@ -27,7 +27,10 @@
 //!   stream (see [`crate::experiment`]); deployment draws come from the
 //!   domain-separated `seed ^ POLICY_DOMAIN` stream. No work item shares
 //!   RNG state with any other, so items can execute in any order — or
-//!   concurrently — and observe identical worlds.
+//!   concurrently — and observe identical worlds. Plans carrying a
+//!   destination axis ([`DestinationSampler`]) instead key trial `t`'s
+//!   stream by `destinations[t]`'s identity, which is what makes a
+//!   sampled plan a restriction of the full enumeration.
 //! * **Cell ordering.** Cells are indexed in axis order — topology,
 //!   then strategy, then deployment, then ROA (ROA varies fastest) —
 //!   and every `run*` method returns accumulators in that order.
@@ -67,10 +70,58 @@ use rpki_rov::RovPolicy;
 use crate::attack::{AttackOutcome, AttackSetup};
 use crate::deployment::DeploymentModel;
 use crate::engine::{CompiledPolicies, OriginFilter};
-use crate::experiment::{trial_pair, RoaConfig};
+use crate::experiment::{destination_pair, trial_pair, RoaConfig};
 use crate::routing::Propagation;
 use crate::strategy::{run_strategy_compiled, run_strategy_shared, AttackerStrategy};
 use crate::topology::Topology;
+
+/// Seeded sampling of destination (victim) stubs — the axis that makes
+/// internet-scale plans tractable. At 80k ASes you measure a sampled
+/// destination set, not all ~68k stubs; the sampler picks `count`
+/// distinct stubs from its own seeded stream.
+///
+/// # Restriction contract
+///
+/// A plan built over a sample is **provably the full plan restricted to
+/// the sampled set**: [`DestinationSampler::sample`] returns the stubs
+/// sorted ascending, so the sampled enumeration is a subsequence of the
+/// all-stubs enumeration, and
+/// [`crate::experiment`]'s `destination_pair` keys each destination's
+/// attacker stream by the destination's identity rather than its trial
+/// index. Folding the full plan's per-trial outcomes over only the
+/// sampled destinations therefore reproduces the sampled plan's
+/// accumulators bit-for-bit, at any thread count — pinned by the
+/// `exec_props` differential suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DestinationSampler {
+    /// Destinations to sample (clamped to the stub count).
+    pub count: usize,
+    /// Seed for the sampler's own stream (independent of the plan
+    /// seed, so re-sampling never perturbs trial worlds).
+    pub seed: u64,
+}
+
+impl DestinationSampler {
+    /// Samples `count` distinct entries of `stubs` (all of them if
+    /// `count >= stubs.len()`), sorted ascending.
+    pub fn sample(&self, stubs: &[usize]) -> Vec<usize> {
+        use rand::{Rng, SeedableRng};
+        if self.count >= stubs.len() {
+            return stubs.to_vec();
+        }
+        // Partial Fisher–Yates: the first `count` slots end up holding a
+        // uniform distinct sample.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let mut pool: Vec<usize> = stubs.to_vec();
+        for i in 0..self.count {
+            let j = rng.gen_range(i..pool.len());
+            pool.swap(i, j);
+        }
+        pool.truncate(self.count);
+        pool.sort_unstable();
+        pool
+    }
+}
 
 /// One labelled point on a plan's topology axis (borrowed: plans are
 /// cheap views over axes their builder owns).
@@ -106,6 +157,12 @@ pub struct TrialPlan<'a> {
     pub victim_prefix: Prefix,
     /// The canonical attacked subprefix `q ⊆ p`.
     pub sub_prefix: Prefix,
+    /// The destination-sampling axis: when set, trial `t` measures
+    /// destination `destinations[t]` as the victim (attacker drawn from
+    /// the destination-keyed stream; see [`DestinationSampler`]) and
+    /// `trials == destinations.len()`. When `None`, trial `t` samples
+    /// its pair from the classic `seed ^ trial` stream.
+    pub destinations: Option<Vec<usize>>,
 }
 
 impl<'a> TrialPlan<'a> {
@@ -129,7 +186,38 @@ impl<'a> TrialPlan<'a> {
             seed,
             victim_prefix: "168.122.0.0/16".parse().expect("static"),
             sub_prefix: "168.122.0.0/24".parse().expect("static"),
+            destinations: None,
         }
+    }
+
+    /// Replaces the trial axis with an explicit destination set: trial
+    /// `t` measures `destinations[t]` as the victim (`trials` becomes
+    /// `destinations.len()`). Destinations must be stubs of every
+    /// topology on the axis and sorted ascending — the order that makes
+    /// a sampled plan a subsequence (and therefore a restriction) of
+    /// the full-enumeration plan.
+    pub fn with_destinations(mut self, destinations: Vec<usize>) -> TrialPlan<'a> {
+        self.trials = destinations.len();
+        self.destinations = Some(destinations);
+        self
+    }
+
+    /// Samples a destination set from the plan's single topology and
+    /// installs it via [`Self::with_destinations`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the plan has exactly one topology (a sampled
+    /// destination set is only meaningful against the graph it was
+    /// drawn from).
+    pub fn with_destination_sampler(self, sampler: &DestinationSampler) -> TrialPlan<'a> {
+        assert_eq!(
+            self.topologies.len(),
+            1,
+            "destination sampling needs a single-topology plan"
+        );
+        let sampled = sampler.sample(self.topologies[0].topology.stubs());
+        self.with_destinations(sampled)
     }
 
     /// Number of cells the cross-product spans.
@@ -187,6 +275,26 @@ impl<'a> TrialPlan<'a> {
                 "need at least two stubs in {}",
                 t.label
             );
+        }
+        if let Some(dests) = &self.destinations {
+            assert_eq!(
+                dests.len(),
+                self.trials,
+                "destination set and trial count out of sync"
+            );
+            assert!(
+                dests.windows(2).all(|w| w[0] < w[1]),
+                "destinations must be sorted ascending and distinct"
+            );
+            for t in &self.topologies {
+                for &d in dests {
+                    assert!(
+                        t.topology.stubs().binary_search(&d).is_ok(),
+                        "destination {d} is not a stub of {}",
+                        t.label
+                    );
+                }
+            }
         }
     }
 }
@@ -786,6 +894,16 @@ impl PlanSession<'_, '_> {
     }
 }
 
+/// The attacker/victim pair of trial `trial` under the plan's sampling
+/// mode: destination-keyed when a destination set is installed, classic
+/// `seed ^ trial` otherwise.
+fn plan_pair(plan: &TrialPlan<'_>, topology: &Topology, trial: usize) -> (usize, usize) {
+    match &plan.destinations {
+        Some(dests) => destination_pair(plan.seed, topology.stubs(), dests[trial]),
+        None => trial_pair(plan.seed, topology.stubs(), trial),
+    }
+}
+
 /// Runs one trial of one `(topology, ROA)` unit across every strategy
 /// and deployment, reporting each `(strategy, deployment)` outcome to
 /// `absorb` — `fresh = false` marks a replayed deployment-independent
@@ -801,7 +919,7 @@ fn run_trial_group(
     let topology = plan.topologies[ti].topology;
     let roa = plan.roas[ri];
     let d = plan.deployments.len();
-    let (victim, attacker) = trial_pair(plan.seed, topology.stubs(), trial);
+    let (victim, attacker) = plan_pair(plan, topology, trial);
     let victim_asn = topology.asn(victim);
     let vrps = roa.vrps(plan.victim_prefix, plan.sub_prefix.len(), victim_asn);
 
@@ -905,7 +1023,7 @@ pub fn run_plan_collected(plan: &TrialPlan<'_>) -> Vec<Vec<AttackOutcome>> {
             let (per_as, compiled) = &policies[ti][di];
             (0..plan.trials)
                 .map(|trial| {
-                    let (victim, attacker) = trial_pair(plan.seed, topology.stubs(), trial);
+                    let (victim, attacker) = plan_pair(plan, topology, trial);
                     let vrps = roa.vrps(
                         plan.victim_prefix,
                         plan.sub_prefix.len(),

@@ -72,6 +72,30 @@ pub(crate) fn trial_pair(seed: u64, stubs: &[usize], trial: usize) -> (usize, us
     }
 }
 
+/// Domain separator for [`destination_pair`]'s per-destination attacker
+/// stream, keeping it disjoint from the `seed ^ trial` trial streams and
+/// the `seed ^ POLICY_DOMAIN` deployment stream.
+const DESTINATION_DOMAIN: u64 = 0x85EB_CA6B_27D4_EB2F;
+
+/// The attacker/victim pair measuring `destination` — the
+/// destination-sampling analogue of [`trial_pair`]. The victim **is**
+/// the destination; the attacker is drawn from a stream keyed by the
+/// destination's *identity* (its AS index), not by the trial index.
+/// That keying is what makes sampled plans a restriction of full plans:
+/// destination `d` samples the same attacker whether it is trial 3 of a
+/// 10-destination sample or trial 40,000 of the full stub enumeration.
+pub(crate) fn destination_pair(seed: u64, stubs: &[usize], destination: usize) -> (usize, usize) {
+    let mut rng = StdRng::seed_from_u64(
+        seed ^ DESTINATION_DOMAIN ^ (destination as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
+    loop {
+        let a = *stubs.choose(&mut rng).expect("non-empty");
+        if a != destination {
+            return (destination, a);
+        }
+    }
+}
+
 /// Experiment parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AttackExperiment {

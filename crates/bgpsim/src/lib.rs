@@ -84,8 +84,8 @@ pub use attack::{AttackKind, AttackOutcome, AttackSetup, ForgedOriginTrial};
 pub use deployment::DeploymentModel;
 pub use engine::{CompiledPolicies, OriginFilter, PropagationEngine, Workspace};
 pub use exec::{
-    Accumulator, CellAccumulator, ExecStats, Executor, FractionAccumulator, PlanCursor,
-    PlanSession, PlanTopology, TrialPlan,
+    Accumulator, CellAccumulator, DestinationSampler, ExecStats, Executor, FractionAccumulator,
+    PlanCursor, PlanSession, PlanTopology, TrialPlan,
 };
 pub use experiment::{AdoptionSweep, AttackExperiment, ExperimentReport, RoaConfig};
 pub use matrix::{CellStats, MatrixCell, MatrixReport, ScenarioMatrix, TopologyFamily};
@@ -94,4 +94,4 @@ pub use strategy::{
     run_strategy, run_strategy_compiled, AttackAnnouncement, AttackPlan, AttackerStrategy,
     MaxLengthGapProber, PathForgery, RouteLeak, StrategyContext,
 };
-pub use topology::{Relationship, Topology, TopologyConfig};
+pub use topology::{InternetConfig, Relationship, Topology, TopologyConfig};

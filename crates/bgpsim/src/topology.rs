@@ -29,9 +29,19 @@
 //! [`Topology::customer_count`] and [`Topology::is_stub`] O(1) pointer
 //! arithmetic, and [`Topology::stubs`] a precomputed slice.
 
+use std::collections::HashSet;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rpki_roa::Asn;
+
+/// Domain separator for the transit-attachment RNG stream of
+/// [`Topology::generate_internet`] (`seed ^ TRANSIT_DOMAIN`).
+const TRANSIT_DOMAIN: u64 = 0x9E37_79B9_7F4A_7C15;
+/// Domain separator for the stub-attachment RNG stream.
+const STUB_DOMAIN: u64 = 0xC2B2_AE3D_27D4_EB4F;
+/// Domain separator for the lateral-peering RNG stream.
+const PEER_DOMAIN: u64 = 0x1656_67B1_9E37_79F9;
 
 /// The business relationship of an edge, from the perspective of one end.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -78,6 +88,44 @@ impl Default for TopologyConfig {
             max_providers: 3,
             peer_prob: 0.2,
             seed: 7,
+        }
+    }
+}
+
+/// Configuration for [`Topology::generate_internet`] — the
+/// internet-scale power-law generator. Defaults target the real
+/// AS-level internet's shape: ~80k ASes, ~500k links, a small tier-1
+/// clique, a transit mid-tier carrying preferential attachment, and a
+/// large stub fringe whose lateral peering supplies most of the link
+/// mass (as in measured AS graphs, where peer-to-peer links dominate).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InternetConfig {
+    /// Total number of ASes (≥ `tier1 + 1`).
+    pub n: usize,
+    /// Size of the fully-peered tier-1 clique.
+    pub tier1: usize,
+    /// Fraction of non-tier-1 ASes that are transit (customer-bearing)
+    /// networks; the rest are stubs.
+    pub transit_frac: f64,
+    /// Maximum providers per stub (1..=max, degree-weighted). Transit
+    /// ASes multihome more aggressively: up to `max_providers + 2`.
+    pub max_providers: usize,
+    /// Mean lateral peer links per AS (drives the ~500k-link total).
+    pub peer_links_per_as: f64,
+    /// RNG seed; each generation phase derives a domain-separated
+    /// stream from it.
+    pub seed: u64,
+}
+
+impl Default for InternetConfig {
+    fn default() -> Self {
+        InternetConfig {
+            n: 80_000,
+            tier1: 20,
+            transit_frac: 0.15,
+            max_providers: 3,
+            peer_links_per_as: 4.1,
+            seed: 2017,
         }
     }
 }
@@ -165,6 +213,151 @@ impl Topology {
         Topology::from_lists(lists, config.tier1)
     }
 
+    /// Generates an internet-scale power-law topology.
+    ///
+    /// Three deterministic phases, each on its own domain-separated RNG
+    /// stream (`seed ^ DOMAIN`, the same discipline the deployment
+    /// sampler and the world allocator use), so the same seed produces
+    /// a **byte-identical CSR** regardless of how the phases evolve
+    /// independently:
+    ///
+    /// 1. **Tier-1 clique** — indices `0..tier1` peer with each other.
+    /// 2. **Provider attachment** — transit ASes (`tier1..transit`)
+    ///    then stubs (`transit..n`) multihome to providers drawn from a
+    ///    degree-weighted endpoint list of transit-capable ASes.
+    ///    Providers always have a smaller index than their customers,
+    ///    so provider chains strictly descend to the clique: the
+    ///    customer→provider DAG is acyclic and every AS reaches a
+    ///    tier-1 over a valley-free (all-provider) path by
+    ///    construction.
+    /// 3. **Lateral peering** — `n * peer_links_per_as` peer links
+    ///    drawn from a degree-weighted pool of non-tier-1 ASes
+    ///    (rich-get-richer: both ends of every accepted link re-enter
+    ///    the pool), deduplicated against all existing edges via a
+    ///    packed edge-key set.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same degenerate configurations as
+    /// [`Topology::generate`].
+    pub fn generate_internet(config: InternetConfig) -> Topology {
+        assert!(config.tier1 >= 1, "need at least one tier-1");
+        assert!(config.n > config.tier1, "need ASes beyond the clique");
+        assert!(config.max_providers >= 1);
+        assert!(
+            config.n <= u32::MAX as usize,
+            "CSR adjacency indexes ASes as u32"
+        );
+        let n = config.n;
+        let tier1 = config.tier1;
+        // First index past the transit mid-tier; everything from here on
+        // is a stub.
+        let transit = tier1 + ((n - tier1) as f64 * config.transit_frac) as usize;
+        let mut lists: Vec<Vec<(usize, Relationship)>> = vec![Vec::new(); n];
+        let add_edge = |lists: &mut Vec<Vec<(usize, Relationship)>>,
+                        a: usize,
+                        b: usize,
+                        rel_of_b_from_a: Relationship| {
+            lists[a].push((b, rel_of_b_from_a));
+            lists[b].push((a, rel_of_b_from_a.flipped()));
+        };
+
+        // Phase 1: tier-1 clique.
+        for a in 0..tier1 {
+            for b in (a + 1)..tier1 {
+                add_edge(&mut lists, a, b, Relationship::Peer);
+            }
+        }
+
+        // Phase 2: provider attachment. `endpoints` holds one entry per
+        // customer edge endpoint on a transit-capable AS, so drawing
+        // uniformly from it is degree-proportional preferential
+        // attachment; only already-attached ASes are in the list, so
+        // every provider index is strictly below its customer's.
+        let mut endpoints: Vec<u32> = (0..tier1 as u32).collect();
+        let attach = |lists: &mut Vec<Vec<(usize, Relationship)>>,
+                      endpoints: &mut Vec<u32>,
+                      rng: &mut StdRng,
+                      a: usize,
+                      max_providers: usize,
+                      customer_reenters: bool| {
+            let k = rng.gen_range(1..=max_providers);
+            let mut chosen: Vec<u32> = Vec::with_capacity(k);
+            for _ in 0..k {
+                let candidate = endpoints[rng.gen_range(0..endpoints.len())];
+                if !chosen.contains(&candidate) {
+                    chosen.push(candidate);
+                }
+            }
+            // `k >= 1` and every candidate differs from `a` (the
+            // endpoint list only holds already-attached ASes), so at
+            // least one provider is always chosen.
+            for &p in &chosen {
+                add_edge(lists, a, p as usize, Relationship::Provider);
+                endpoints.push(p);
+                if customer_reenters {
+                    endpoints.push(a as u32);
+                }
+            }
+        };
+        let mut rng = StdRng::seed_from_u64(config.seed ^ TRANSIT_DOMAIN);
+        for a in tier1..transit {
+            attach(
+                &mut lists,
+                &mut endpoints,
+                &mut rng,
+                a,
+                config.max_providers + 2,
+                true,
+            );
+        }
+        let mut rng = StdRng::seed_from_u64(config.seed ^ STUB_DOMAIN);
+        for a in transit..n {
+            // Stubs never re-enter the endpoint list: they cannot carry
+            // transit, but their provider choices still fatten the hubs.
+            attach(
+                &mut lists,
+                &mut endpoints,
+                &mut rng,
+                a,
+                config.max_providers,
+                false,
+            );
+        }
+
+        // Phase 3: lateral peering among non-tier-1 ASes.
+        let mut rng = StdRng::seed_from_u64(config.seed ^ PEER_DOMAIN);
+        let key = |a: usize, b: usize| ((a.min(b) as u64) << 32) | a.max(b) as u64;
+        let mut seen: HashSet<u64> = HashSet::with_capacity(lists.len() * 4);
+        for (a, list) in lists.iter().enumerate() {
+            for &(b, _) in list {
+                if a < b {
+                    seen.insert(key(a, b));
+                }
+            }
+        }
+        let target = (n as f64 * config.peer_links_per_as) as usize;
+        let mut pool: Vec<u32> = (tier1 as u32..n as u32).collect();
+        let mut added = 0;
+        // The attempt bound only matters for tiny graphs where the
+        // target exceeds the number of distinct pairs.
+        let mut attempts = 20 * target;
+        while added < target && attempts > 0 && pool.len() >= 2 {
+            attempts -= 1;
+            let a = pool[rng.gen_range(0..pool.len())] as usize;
+            let b = pool[rng.gen_range(0..pool.len())] as usize;
+            if a == b || !seen.insert(key(a, b)) {
+                continue;
+            }
+            add_edge(&mut lists, a, b, Relationship::Peer);
+            pool.push(a as u32);
+            pool.push(b as u32);
+            added += 1;
+        }
+
+        Topology::from_lists(lists, tier1)
+    }
+
     /// Flattens per-AS neighbor lists into the sorted, partitioned CSR
     /// arrays and precomputes the stub set.
     fn from_lists(lists: Vec<Vec<(usize, Relationship)>>, tier1: usize) -> Topology {
@@ -228,6 +421,36 @@ impl Topology {
     /// Number of tier-1 ASes (indices `0..tier1()`).
     pub fn tier1(&self) -> usize {
         self.tier1
+    }
+
+    /// Number of undirected links (each edge appears twice in the CSR).
+    pub fn link_count(&self) -> usize {
+        self.adj.len() / 2
+    }
+
+    /// Bytes held by the CSR arrays and the stub index — the resident
+    /// cost of keeping this topology alive, printed by the harness bins
+    /// so memory regressions show up without a profiler. Counts
+    /// capacities (what the allocator holds), not lengths.
+    pub fn memory_bytes(&self) -> usize {
+        self.adj.capacity() * 4
+            + self.offsets.capacity() * 4
+            + self.peer_start.capacity() * 4
+            + self.provider_start.capacity() * 4
+            + self.stubs.capacity() * std::mem::size_of::<usize>()
+    }
+
+    /// The raw CSR arrays `(adj, offsets, peer_start, provider_start)`
+    /// — the byte-identity surface the generator determinism tests
+    /// compare (same seed ⇒ these slices are equal element for
+    /// element).
+    pub fn csr_arrays(&self) -> (&[u32], &[u32], &[u32], &[u32]) {
+        (
+            &self.adj,
+            &self.offsets,
+            &self.peer_start,
+            &self.provider_start,
+        )
     }
 
     /// The customers of `a`, sorted ascending (CSR segment).

@@ -26,7 +26,7 @@ use bgpsim::strategy::{MaxLengthGapProber, PathForgery, RouteLeak};
 use bgpsim::topology::{Topology, TopologyConfig};
 use bgpsim::{
     Accumulator, AttackKind, AttackerStrategy, CellAccumulator, CellStats, DeploymentModel,
-    Executor, FractionAccumulator, PlanCursor,
+    DestinationSampler, Executor, FractionAccumulator, PlanCursor,
 };
 
 /// The strategy menu plans draw from (index-encoded for proptest).
@@ -242,6 +242,50 @@ proptest! {
             .run_par();
             let cell = per_level.cell(AttackKind::SubprefixHijack, RoaConfig::Minimal);
             prop_assert_eq!(sweep.points[i], (fraction, cell.mean_interception));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The destination-sampling restriction contract: a sampled plan's
+    /// accumulators equal the full-enumeration plan's accumulators
+    /// folded over only the sampled destinations — every cell, every
+    /// float — and the sampled plan is seq/par bit-identical. (The
+    /// full plan here enumerates *every* stub as a destination, so the
+    /// sampled plan must be exactly its restriction.)
+    #[test]
+    fn sampled_plan_is_restriction_of_full_plan(
+        shape in arb_shape(),
+        count in 1usize..12,
+        sample_seed in 0u64..100,
+    ) {
+        let topology = topology_for(&shape);
+        let strategies: Vec<Box<dyn AttackerStrategy>> =
+            shape.strategies.iter().map(|&i| strategy_at(i)).collect();
+        let stubs = topology.stubs().to_vec();
+        let full_plan =
+            build_plan(&shape, &topology, &strategies).with_destinations(stubs.clone());
+        let sampler = DestinationSampler { count, seed: sample_seed };
+        let sampled_plan =
+            build_plan(&shape, &topology, &strategies).with_destination_sampler(&sampler);
+        let sampled = sampled_plan.destinations.clone().expect("sampler installed");
+        prop_assert_eq!(sampled.len(), count.min(stubs.len()));
+        prop_assert_eq!(sampled_plan.trials, sampled.len());
+
+        let full = run_plan_collected(&full_plan);
+        let seq: Vec<CellAccumulator> = Executor::sequential().run(&sampled_plan);
+        let par: Vec<CellAccumulator> = Executor::parallel().run(&sampled_plan);
+        prop_assert_eq!(&seq, &par);
+        for (cell, outcomes) in full.iter().enumerate() {
+            let mut acc = CellAccumulator::empty();
+            for (t, o) in outcomes.iter().enumerate() {
+                if sampled.binary_search(&stubs[t]).is_ok() {
+                    acc.absorb(o);
+                }
+            }
+            prop_assert_eq!(&acc, &seq[cell], "cell {} of {:?}", cell, shape);
         }
     }
 }
