@@ -1,14 +1,18 @@
-//! Benches for the rpki-rtr channel of Figure 1: PDU codec throughput and
-//! the serial-diff vs full-reset ablation (how much the incremental
-//! protocol saves as the VRP set churns).
+//! Benches for the rpki-rtr channel of Figure 1: PDU codec throughput,
+//! the zero-copy cursor decoder against the legacy allocating decoder
+//! (gated — the rewrite must stay ≥1.5x on the allocation-heavy
+//! adversarial stream), and the serial-diff vs full-reset ablation (how
+//! much the incremental protocol saves as the VRP set churns).
 
-use bytes::BytesMut;
+use bytes::{Bytes, BytesMut};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
+use rpki_bench::harness::record_bench_json;
 use rpki_datasets::{GeneratorConfig, World};
 use rpki_roa::Vrp;
 use rpki_rtr::cache::CacheServer;
-use rpki_rtr::pdu::Pdu;
+use rpki_rtr::pdu::{legacy, ErrorCode, Pdu};
+use rpki_rtr::wire;
 
 fn vrps(scale: f64) -> Vec<Vrp> {
     World::generate(GeneratorConfig {
@@ -54,6 +58,95 @@ fn bench_codec(c: &mut Criterion) {
     group.finish();
 }
 
+/// Decodes a whole stream with the zero-copy wire layer, touching each
+/// frame so the borrow is not optimized away.
+fn decode_stream_wire(mut view: &[u8]) -> usize {
+    let mut n = 0usize;
+    while let Some(frame) = wire::decode_frame(view).expect("valid stream") {
+        n += frame.pdu.type_code() as usize;
+        view = &view[frame.len..];
+    }
+    n
+}
+
+/// The same walk through the legacy allocating decoder.
+fn decode_stream_legacy(mut view: &[u8]) -> usize {
+    let mut n = 0usize;
+    while let Some((pdu, used, _)) = legacy::decode_versioned(view).expect("valid stream") {
+        n += pdu.type_code() as usize;
+        view = &view[used..];
+    }
+    n
+}
+
+/// Old decoder vs new on two stream shapes: the adversarial
+/// Error-Report-heavy stream where zero-copy pays hardest (each legacy
+/// decode allocates the embedded PDU and the diagnostic text; the wire
+/// layer borrows both), and the ordinary prefix-sync stream. The
+/// Error-Report comparison is the gate.
+fn bench_codec_differential(c: &mut Criterion) {
+    // ~512 Error Reports with a realistic embedded PDU and a chunky
+    // diagnostic — the robustness-path traffic a hostile router feeds a
+    // cache.
+    let embedded = Pdu::Prefix {
+        flags: rpki_rtr::pdu::Flags::Announce,
+        vrp: Vrp::new("192.0.2.0/24".parse().unwrap(), 24, rpki_roa::Asn(64500)),
+    }
+    .to_bytes();
+    let mut reports = BytesMut::new();
+    for i in 0..512u32 {
+        Pdu::ErrorReport {
+            code: ErrorCode::CorruptData,
+            pdu: Bytes::from(embedded.to_vec()),
+            text: format!("corrupt frame #{i}: {}", "x".repeat(160)),
+        }
+        .encode(&mut reports);
+    }
+    let reports = reports.freeze();
+
+    let set = vrps(0.02);
+    let cache = CacheServer::new(1, &set);
+    let mut prefixes = BytesMut::new();
+    for p in cache.handle(&Pdu::ResetQuery) {
+        p.encode(&mut prefixes);
+    }
+    let prefixes = prefixes.freeze();
+
+    let mut group = c.benchmark_group("rtr/codec_differential");
+    let mut ns = [0.0f64; 4];
+    for (slot, (label, stream)) in [("error_reports", &reports), ("prefixes", &prefixes)]
+        .into_iter()
+        .enumerate()
+    {
+        group.throughput(Throughput::Bytes(stream.len() as u64));
+        group.bench_function(BenchmarkId::new("wire", label), |b| {
+            b.iter(|| decode_stream_wire(stream));
+            ns[2 * slot] = b.mean_ns();
+        });
+        group.bench_function(BenchmarkId::new("legacy", label), |b| {
+            b.iter(|| decode_stream_legacy(stream));
+            ns[2 * slot + 1] = b.mean_ns();
+        });
+    }
+    group.finish();
+
+    let [wire_er, legacy_er, wire_px, legacy_px] = ns;
+    record_bench_json("rtr/codec/error_reports/wire", 512.0, wire_er);
+    record_bench_json("rtr/codec/error_reports/legacy", 512.0, legacy_er);
+    record_bench_json("rtr/codec/prefixes/wire", set.len() as f64, wire_px);
+    record_bench_json("rtr/codec/prefixes/legacy", set.len() as f64, legacy_px);
+    println!(
+        "rtr/codec decode: error_reports {:.2}x, prefixes {:.2}x (wire over legacy)",
+        legacy_er / wire_er,
+        legacy_px / wire_px,
+    );
+    let speedup = legacy_er / wire_er;
+    assert!(
+        speedup >= 1.5,
+        "zero-copy decode regressed below 1.5x legacy on the error-report stream: {speedup:.2}x"
+    );
+}
+
 /// Ablation: with `churn` of the set changing, compare the bytes a router
 /// must process for a serial (delta) sync vs a full reset.
 fn bench_delta_vs_reset(c: &mut Criterion) {
@@ -87,5 +180,10 @@ fn bench_delta_vs_reset(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_codec, bench_delta_vs_reset);
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_codec_differential,
+    bench_delta_vs_reset
+);
 criterion_main!(benches);

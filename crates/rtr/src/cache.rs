@@ -7,18 +7,23 @@
 //! that serial has aged out of the history window.
 //!
 //! The state machine is sans-io: [`CacheServer::handle`] maps one request
-//! PDU to response PDUs; [`CacheServer::serve_one`] runs that loop over a
-//! blocking [`crate::transport::Transport`] adapter.
+//! PDU to response PDUs; [`CacheServer::handle_wire`] does the same
+//! straight over bytes — zero-copy decode via [`crate::wire`], version
+//! negotiation, and the recoverable/fatal teardown split; and
+//! [`CacheServer::serve_one`] runs the loop over a blocking
+//! [`crate::transport::Transport`] adapter.
 
 use std::collections::BTreeSet;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+use bytes::Bytes;
 use rpki_roa::Vrp;
 use rpki_rov::FrozenVrpIndex;
 
-use crate::pdu::{ErrorCode, Flags, Pdu, Timing};
+use crate::pdu::{ErrorCode, Flags, Pdu, Timing, PROTOCOL_V1};
 use crate::transport::{Transport, TransportError};
+use crate::wire::{self, Negotiation, PduError, PduRef, HEADER_LEN, MAX_PDU_LEN};
 
 /// One recorded delta between consecutive serials.
 #[derive(Debug, Clone, Default)]
@@ -27,10 +32,52 @@ struct Delta {
     withdrawn: Vec<Vrp>,
 }
 
+/// The extent of a complete, plausibly-framed PDU at the front of
+/// `input`: its declared length, if that length is in protocol range and
+/// the bytes are all present. Used to decide how much of a rejected
+/// buffer can still be identified as "the offending PDU".
+fn frame_extent(input: &[u8]) -> Option<usize> {
+    if input.len() < HEADER_LEN {
+        return None;
+    }
+    let length = u32::from_be_bytes(input[4..8].try_into().expect("4 bytes")) as usize;
+    if (HEADER_LEN..=MAX_PDU_LEN).contains(&length) && input.len() >= length {
+        Some(length)
+    } else {
+        None
+    }
+}
+
 /// How many deltas the cache keeps before answering old serials with
 /// Cache Reset (RFC 8210 leaves this to the implementation). Public so
 /// the model-based session tests can mirror the aging behaviour exactly.
 pub const HISTORY_WINDOW: usize = 16;
+
+/// The result of feeding received bytes to [`CacheServer::handle_wire`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireOutcome {
+    /// The buffer does not yet hold a complete frame; read more bytes
+    /// and call again with the same (grown) buffer.
+    NeedBytes,
+    /// One request was decoded and answered; `out` holds the encoded
+    /// response sequence. Drop `consumed` bytes from the front of the
+    /// buffer and continue the session.
+    Responded {
+        /// Bytes consumed from the front of the input.
+        consumed: usize,
+    },
+    /// The frame was malformed or violated version negotiation; `out`
+    /// holds the final Error Report. Send it, then close the connection
+    /// — recoverable errors ([`crate::ErrorClass::Recoverable`]) invite
+    /// the router to reconnect at a lower version, fatal ones do not.
+    Teardown {
+        /// Bytes consumed from the front of the input (the whole buffer
+        /// when the frame boundary itself is unrecoverable).
+        consumed: usize,
+        /// The classified decode/negotiation error.
+        error: PduError,
+    },
+}
 
 /// The rpki-rtr cache server state machine.
 #[derive(Debug, Clone)]
@@ -47,11 +94,29 @@ pub struct CacheServer {
     /// next serial.
     history: VecDeque<Delta>,
     timing: Timing,
+    /// The highest protocol version this cache speaks; sessions
+    /// negotiate down from here (RFC 8210 §7).
+    version: u8,
 }
 
 impl CacheServer {
-    /// Creates a cache at serial 0 holding `vrps`.
+    /// Creates a cache at serial 0 holding `vrps`, speaking up to
+    /// protocol version 1.
     pub fn new(session_id: u16, vrps: &[Vrp]) -> CacheServer {
+        CacheServer::with_version(session_id, vrps, PROTOCOL_V1)
+    }
+
+    /// Creates a cache capped at `version` — a v0-only cache
+    /// ([`crate::PROTOCOL_V0`]) answers v1 routers with the recoverable
+    /// Unsupported-Version error, the RFC 6810 downgrade handshake.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown versions.
+    pub fn with_version(session_id: u16, vrps: &[Vrp], version: u8) -> CacheServer {
+        // Negotiation validates the version byte once, here, so every
+        // later per-connection `negotiation()` call is infallible.
+        let _ = Negotiation::with_max(version);
         let vrps: BTreeSet<Vrp> = vrps.iter().copied().collect();
         let snapshot = Arc::new(vrps.iter().copied().collect());
         CacheServer {
@@ -61,12 +126,24 @@ impl CacheServer {
             snapshot,
             history: VecDeque::new(),
             timing: Timing::default(),
+            version,
         }
     }
 
     /// The session identifier routers must echo.
     pub fn session_id(&self) -> u16 {
         self.session_id
+    }
+
+    /// The highest protocol version this cache speaks.
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
+    /// A fresh per-connection negotiation state machine capped at this
+    /// cache's version — feed it to [`CacheServer::handle_wire`].
+    pub fn negotiation(&self) -> Negotiation {
+        Negotiation::with_max(self.version)
     }
 
     /// The current serial.
@@ -195,12 +272,113 @@ impl CacheServer {
                 }
                 self.delta_response(*serial)
             }
-            other => vec![Pdu::ErrorReport {
-                code: ErrorCode::InvalidRequest,
-                pdu: other.to_bytes(),
-                text: format!("unexpected PDU type {}", other.type_code()),
-            }],
+            other => {
+                // RFC 8210 §5.10: an Error Report must not encapsulate
+                // an Error Report — when the unexpected request *is*
+                // one, report without embedding it.
+                let pdu = if other.type_code() == 10 {
+                    Bytes::from(Vec::new())
+                } else {
+                    other.to_bytes()
+                };
+                vec![Pdu::ErrorReport {
+                    code: ErrorCode::InvalidRequest,
+                    pdu,
+                    text: format!("unexpected PDU type {}", other.type_code()),
+                }]
+            }
         }
+    }
+
+    /// The byte-level request path: decodes one frame zero-copy from the
+    /// front of `input`, checks it against the connection's `negotiation`
+    /// state, and appends the encoded response sequence to `out` at the
+    /// session's negotiated version.
+    ///
+    /// This is the entry point transports use — the decode borrows
+    /// straight from the receive buffer, so no intermediate PDU
+    /// allocation happens on the error/robustness path at all, and on
+    /// the happy path only the response construction allocates.
+    ///
+    /// On a malformed frame or a negotiation violation the appended
+    /// response is the closing Error Report (RFC 8210 §5.10: carrying
+    /// the offending frame when it is complete, identifiable, and not
+    /// itself an Error Report), and the outcome says whether the error
+    /// class invites a downgraded retry. Valid-but-unexpected request
+    /// PDUs (e.g. a Cache Response sent *to* the cache) are not wire
+    /// errors: they get the Invalid-Request report from
+    /// [`CacheServer::handle`] and the session continues.
+    pub fn handle_wire(
+        &self,
+        input: &[u8],
+        negotiation: &mut Negotiation,
+        out: &mut Vec<u8>,
+    ) -> WireOutcome {
+        match wire::decode_frame(input) {
+            Ok(None) => WireOutcome::NeedBytes,
+            Ok(Some(frame)) => match negotiation.accept(frame.version) {
+                Ok(version) => {
+                    let request = frame.pdu.to_owned();
+                    for pdu in self.handle(&request) {
+                        pdu.as_wire().encode_into(version, out);
+                    }
+                    WireOutcome::Responded {
+                        consumed: frame.len,
+                    }
+                }
+                Err(error) => {
+                    self.report_teardown(&error, &input[..frame.len], negotiation, out);
+                    WireOutcome::Teardown {
+                        consumed: frame.len,
+                        error,
+                    }
+                }
+            },
+            Err(error) => {
+                // The frame boundary may itself be a lie; trust the
+                // declared length only when it is in range and the bytes
+                // are all present, otherwise the whole buffer is
+                // poisoned (the session closes either way).
+                let consumed = match frame_extent(input) {
+                    Some(len) => len,
+                    None => input.len(),
+                };
+                self.report_teardown(&error, &input[..consumed], negotiation, out);
+                WireOutcome::Teardown { consumed, error }
+            }
+        }
+    }
+
+    /// Builds and appends the closing Error Report for a wire error.
+    fn report_teardown(
+        &self,
+        error: &PduError,
+        offending: &[u8],
+        negotiation: &Negotiation,
+        out: &mut Vec<u8>,
+    ) {
+        // RFC 8210 §5.10: embed the offending PDU when one can be
+        // identified — but never an Error Report, and never so much that
+        // the report itself would overflow the length field.
+        let embed = if offending.len() >= HEADER_LEN
+            && offending.get(1) != Some(&10)
+            && HEADER_LEN + 4 + offending.len() + 4 <= MAX_PDU_LEN
+        {
+            offending
+        } else {
+            &[]
+        };
+        let text = error.to_string();
+        let report = PduRef::ErrorReport {
+            code: error.error_code(),
+            pdu: embed,
+            text: &text,
+        };
+        // A pinned session reports at its version; an unpinned one at
+        // the cache's maximum (the offender's version may not even be a
+        // version).
+        let version = negotiation.version().unwrap_or(self.version);
+        report.encode_into(version, out);
     }
 
     fn full_response(&self) -> Vec<Pdu> {
@@ -598,6 +776,37 @@ mod tests {
         // ...while readers holding the old snapshot still see serial 0's
         // world, immutably.
         assert_eq!(before.len(), 2);
+    }
+
+    #[test]
+    fn error_report_request_is_not_embedded_in_the_reply() {
+        // RFC 8210 §5.10: the Invalid-Request report for an unexpected
+        // Error Report must not encapsulate it — the reply has to stay
+        // encodable on the wire.
+        let c = cache();
+        let request = Pdu::ErrorReport {
+            code: ErrorCode::InternalError,
+            pdu: Bytes::from(Vec::new()),
+            text: "router-side complaint".into(),
+        };
+        let response = c.handle(&request);
+        match response.as_slice() {
+            [Pdu::ErrorReport { code, pdu, .. }] => {
+                assert_eq!(*code, ErrorCode::InvalidRequest);
+                assert!(pdu.is_empty(), "must not embed an Error Report");
+            }
+            other => panic!("expected a lone Error Report, got {other:?}"),
+        }
+        // And it must actually encode (the nested form would trip the
+        // encoder's nesting guard).
+        let mut negotiation = c.negotiation();
+        let mut out = Vec::new();
+        let wire_request = request.to_bytes();
+        let outcome = c.handle_wire(&wire_request, &mut negotiation, &mut out);
+        assert!(matches!(outcome, WireOutcome::Responded { .. }));
+        let (reply, used, _) = Pdu::decode_versioned(&out).unwrap().unwrap();
+        assert_eq!(used, out.len());
+        assert!(matches!(reply, Pdu::ErrorReport { .. }));
     }
 
     #[test]

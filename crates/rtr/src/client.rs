@@ -11,7 +11,7 @@ use std::fmt;
 
 use rpki_roa::Vrp;
 
-use crate::pdu::{ErrorCode, Flags, Pdu};
+use crate::pdu::{ErrorCode, Flags, Pdu, PROTOCOL_V0, PROTOCOL_V1};
 use crate::transport::{Transport, TransportError};
 
 /// Synchronization state of the router.
@@ -97,6 +97,9 @@ pub struct RouterClient {
     vrps: BTreeSet<Vrp>,
     /// Working set while receiving a reset response.
     staging: BTreeSet<Vrp>,
+    /// The protocol version this router speaks on the wire. Transports
+    /// consult this when encoding queries; see [`RouterClient::downgrade_to`].
+    version: u8,
 }
 
 impl Default for RouterClient {
@@ -106,15 +109,59 @@ impl Default for RouterClient {
 }
 
 impl RouterClient {
-    /// A fresh, unsynchronized router.
+    /// A fresh, unsynchronized router speaking protocol version 1.
     pub fn new() -> RouterClient {
+        RouterClient::with_version(PROTOCOL_V1)
+    }
+
+    /// A fresh router speaking exactly `version` on the wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown versions.
+    pub fn with_version(version: u8) -> RouterClient {
+        assert!(
+            version == PROTOCOL_V0 || version == PROTOCOL_V1,
+            "unknown protocol version {version}"
+        );
         RouterClient {
             state: ClientState::Unsynchronized,
             session_id: None,
             serial: 0,
             vrps: BTreeSet::new(),
             staging: BTreeSet::new(),
+            version,
         }
+    }
+
+    /// The protocol version this router speaks.
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
+    /// Downgrades to a lower protocol version after the cache rejected
+    /// ours with the recoverable Unsupported-Version error (RFC 8210
+    /// §7). A version change starts a new session, so the router drops
+    /// back to unsynchronized; the caller reconnects and resets. There
+    /// is no auto-retry here — over a real transport the cache has
+    /// already closed the connection, which only the owner of the
+    /// connection can re-open.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown versions and on upgrades.
+    pub fn downgrade_to(&mut self, version: u8) {
+        assert!(
+            version == PROTOCOL_V0 || version == PROTOCOL_V1,
+            "unknown protocol version {version}"
+        );
+        assert!(
+            version <= self.version,
+            "cannot upgrade a session from {} to {version}",
+            self.version
+        );
+        self.version = version;
+        self.reset();
     }
 
     /// The current state.
@@ -435,6 +482,25 @@ mod tests {
         let mut c = synced();
         let err = c.handle(&announce("10.0.0.0/8 => AS1")).unwrap_err();
         assert!(matches!(err, ClientError::Unexpected { type_code: 4, .. }));
+    }
+
+    #[test]
+    fn downgrade_drops_to_unsynchronized() {
+        let mut c = synced();
+        assert_eq!(c.version(), PROTOCOL_V1);
+        c.downgrade_to(PROTOCOL_V0);
+        assert_eq!(c.version(), PROTOCOL_V0);
+        assert_eq!(c.state(), ClientState::Unsynchronized);
+        assert_eq!(c.query(), Pdu::ResetQuery);
+        // Old data retained until the downgraded session delivers.
+        assert_eq!(c.vrps().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot upgrade")]
+    fn upgrade_is_rejected() {
+        let mut c = RouterClient::with_version(PROTOCOL_V0);
+        c.downgrade_to(PROTOCOL_V1);
     }
 }
 

@@ -11,8 +11,12 @@
 //! Following the event-driven style of embedded network stacks, the
 //! protocol logic is *sans-io*:
 //!
-//! * [`pdu`] — wire format: every PDU type of RFC 8210 (minus router
-//!   keys), strict encode/decode over [`bytes`].
+//! * [`wire`] — the wire layer: borrowed-buffer cursors, strict
+//!   zero-copy decoding of every PDU type of RFC 8210 (minus router
+//!   keys), the recoverable/fatal error taxonomy, and v0/v1
+//!   version negotiation.
+//! * [`pdu`] — the owned [`Pdu`] value type the state machines traffic
+//!   in; encode/decode delegates to [`wire`].
 //! * [`cache`] — the cache-server state machine: versioned VRP sets,
 //!   serial numbers, delta computation, query handling.
 //! * [`client`] — the router-side state machine: session tracking,
@@ -46,8 +50,10 @@ pub mod client;
 pub mod pdu;
 pub mod session;
 pub mod transport;
+pub mod wire;
 
-pub use cache::CacheServer;
+pub use cache::{CacheServer, WireOutcome};
 pub use client::RouterClient;
 pub use pdu::{Pdu, PduError, PROTOCOL_V0, PROTOCOL_V1};
 pub use session::{LiveSession, SessionError, SyncStats};
+pub use wire::{decode_frame, ErrorClass, Frame, Negotiation, PduRef};

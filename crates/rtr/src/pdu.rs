@@ -1,32 +1,25 @@
-//! RFC 8210 PDU wire format.
+//! Owned rpki-rtr PDU values (RFC 6810 / RFC 8210).
 //!
-//! Every PDU starts with a common 8-byte header:
-//!
-//! ```text
-//! 0          8          16         24        31
-//! +----------+----------+---------------------+
-//! | version  | PDU type | session id / zero   |
-//! +----------+----------+---------------------+
-//! |                length                      |
-//! +--------------------------------------------+
-//! ```
-//!
-//! `length` covers the whole PDU including the header. Decoding is strict:
-//! bad versions, types, lengths, flags, or prefix fields are explicit
-//! errors (which the peer reports via Error Report, per the RFC).
+//! The wire format itself — cursors, strict zero-copy decoding, the
+//! error taxonomy, version negotiation — lives in [`crate::wire`]; this
+//! module holds the **owned** [`Pdu`] value type the state machines
+//! ([`CacheServer`](crate::CacheServer), [`RouterClient`](crate::RouterClient))
+//! traffic in, with encode/decode entry points that delegate to the wire
+//! layer. The pre-cursor `bytes`-based codec is preserved verbatim in
+//! [`legacy`] as the differential oracle the test battery and the codec
+//! bench compare against.
 
-use std::fmt;
+use bytes::{Bytes, BytesMut};
+use rpki_roa::Vrp;
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-use rpki_prefix::{Prefix, Prefix4, Prefix6};
-use rpki_roa::{Asn, Vrp};
+use crate::wire::{self, PduRef, WriteCursor};
+
+pub use crate::wire::{ErrorClass, PduError};
 
 /// Protocol version 0 (RFC 6810).
 pub const PROTOCOL_V0: u8 = 0;
-/// Protocol version 1 (RFC 8210), the version this stack speaks.
+/// Protocol version 1 (RFC 8210), the highest version this stack speaks.
 pub const PROTOCOL_V1: u8 = 1;
-
-const HEADER_LEN: usize = 8;
 
 /// The announce/withdraw flag bit of prefix PDUs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,14 +31,14 @@ pub enum Flags {
 }
 
 impl Flags {
-    fn to_byte(self) -> u8 {
+    pub(crate) fn to_byte(self) -> u8 {
         match self {
             Flags::Announce => 1,
             Flags::Withdraw => 0,
         }
     }
 
-    fn from_byte(b: u8) -> Result<Flags, PduError> {
+    pub(crate) fn from_byte(b: u8) -> Result<Flags, PduError> {
         match b {
             1 => Ok(Flags::Announce),
             0 => Ok(Flags::Withdraw),
@@ -78,7 +71,7 @@ pub enum ErrorCode {
 }
 
 impl ErrorCode {
-    fn to_u16(self) -> u16 {
+    pub(crate) fn to_u16(self) -> u16 {
         match self {
             ErrorCode::CorruptData => 0,
             ErrorCode::InternalError => 1,
@@ -92,7 +85,7 @@ impl ErrorCode {
         }
     }
 
-    fn from_u16(v: u16) -> Result<ErrorCode, PduError> {
+    pub(crate) fn from_u16(v: u16) -> Result<ErrorCode, PduError> {
         Ok(match v {
             0 => ErrorCode::CorruptData,
             1 => ErrorCode::InternalError,
@@ -130,7 +123,8 @@ impl Default for Timing {
     }
 }
 
-/// One rpki-rtr PDU.
+/// One rpki-rtr PDU, owning its payloads. The borrowed counterpart is
+/// [`wire::PduRef`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Pdu {
     /// Type 0: the cache tells routers new data is available.
@@ -186,22 +180,50 @@ pub enum Pdu {
 impl Pdu {
     /// The PDU type byte.
     pub fn type_code(&self) -> u8 {
+        self.as_wire().type_code()
+    }
+
+    /// A borrowed [`wire::PduRef`] view over this PDU — the type the
+    /// cursor encoder consumes.
+    pub fn as_wire(&self) -> PduRef<'_> {
         match self {
-            Pdu::SerialNotify { .. } => 0,
-            Pdu::SerialQuery { .. } => 1,
-            Pdu::ResetQuery => 2,
-            Pdu::CacheResponse { .. } => 3,
-            Pdu::Prefix { vrp, .. } => {
-                if vrp.prefix.is_v4() {
-                    4
-                } else {
-                    6
-                }
-            }
-            Pdu::EndOfData { .. } => 7,
-            Pdu::CacheReset => 8,
-            Pdu::ErrorReport { .. } => 10,
+            Pdu::SerialNotify { session_id, serial } => PduRef::SerialNotify {
+                session_id: *session_id,
+                serial: *serial,
+            },
+            Pdu::SerialQuery { session_id, serial } => PduRef::SerialQuery {
+                session_id: *session_id,
+                serial: *serial,
+            },
+            Pdu::ResetQuery => PduRef::ResetQuery,
+            Pdu::CacheResponse { session_id } => PduRef::CacheResponse {
+                session_id: *session_id,
+            },
+            Pdu::Prefix { flags, vrp } => PduRef::Prefix {
+                flags: *flags,
+                vrp: *vrp,
+            },
+            Pdu::EndOfData {
+                session_id,
+                serial,
+                timing,
+            } => PduRef::EndOfData {
+                session_id: *session_id,
+                serial: *serial,
+                timing: *timing,
+            },
+            Pdu::CacheReset => PduRef::CacheReset,
+            Pdu::ErrorReport { code, pdu, text } => PduRef::ErrorReport {
+                code: *code,
+                pdu: &pdu[..],
+                text: text.as_str(),
+            },
         }
+    }
+
+    /// The exact encoded size at `version`, header included.
+    pub fn wire_len(&self, version: u8) -> usize {
+        self.as_wire().wire_len(version)
     }
 
     /// Encodes the PDU (protocol version 1) into `buf`.
@@ -217,6 +239,61 @@ impl Pdu {
     ///
     /// Panics on unknown versions.
     pub fn encode_versioned(&self, version: u8, buf: &mut BytesMut) {
+        let r = self.as_wire();
+        let start = buf.len();
+        buf.resize(start + r.wire_len(version), 0);
+        r.write(version, &mut WriteCursor::new(&mut buf[start..]));
+    }
+
+    /// Encodes to a fresh buffer.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        self.encode(&mut buf);
+        buf.freeze()
+    }
+
+    /// Attempts to decode one PDU from the front of `data`, requiring
+    /// protocol version 1.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed (stream still open),
+    /// `Ok(Some((pdu, consumed)))` on success.
+    pub fn decode(data: &[u8]) -> Result<Option<(Pdu, usize)>, PduError> {
+        match Pdu::decode_versioned(data)? {
+            Some((_, _, version)) if version != PROTOCOL_V1 => Err(PduError::BadVersion(version)),
+            other => Ok(other.map(|(pdu, used, _)| (pdu, used))),
+        }
+    }
+
+    /// Attempts to decode one PDU accepting both protocol versions,
+    /// returning the version alongside. A v0 End of Data (12 bytes, no
+    /// timing) yields RFC 8210's default timing values.
+    ///
+    /// This allocates owned payloads; transports that can hold the
+    /// receive buffer across the decode should use
+    /// [`wire::decode_frame`] directly and stay zero-copy.
+    pub fn decode_versioned(data: &[u8]) -> Result<Option<(Pdu, usize, u8)>, PduError> {
+        Ok(wire::decode_frame(data)?.map(|frame| (frame.pdu.to_owned(), frame.len, frame.version)))
+    }
+}
+
+/// The pre-cursor `bytes`-based codec, kept verbatim as the differential
+/// oracle for the wire layer: `tests/differential.rs` proves the cursor
+/// codec byte-identical to this one on every valid PDU at both protocol
+/// versions, and the `rtr` bench measures decode throughput old vs new.
+/// Not part of the public API; never called by the protocol state
+/// machines.
+#[doc(hidden)]
+pub mod legacy {
+    use bytes::{Buf, BufMut, Bytes, BytesMut};
+    use rpki_prefix::{Prefix, Prefix4, Prefix6};
+    use rpki_roa::{Asn, Vrp};
+
+    use super::{ErrorCode, Flags, Pdu, PduError, Timing, PROTOCOL_V0, PROTOCOL_V1};
+
+    const HEADER_LEN: usize = 8;
+
+    /// The old allocating encoder.
+    pub fn encode_versioned(pdu: &Pdu, version: u8, buf: &mut BytesMut) {
         assert!(
             version == PROTOCOL_V0 || version == PROTOCOL_V1,
             "unknown protocol version {version}"
@@ -224,7 +301,7 @@ impl Pdu {
         if version == PROTOCOL_V0 {
             if let Pdu::EndOfData {
                 session_id, serial, ..
-            } = self
+            } = pdu
             {
                 let start = buf.len();
                 buf.put_u8(PROTOCOL_V0);
@@ -238,8 +315,8 @@ impl Pdu {
         }
         let start = buf.len();
         buf.put_u8(version);
-        buf.put_u8(self.type_code());
-        match self {
+        buf.put_u8(pdu.type_code());
+        match pdu {
             Pdu::SerialNotify { session_id, serial } | Pdu::SerialQuery { session_id, serial } => {
                 buf.put_u16(*session_id);
                 buf.put_u32(12);
@@ -305,28 +382,11 @@ impl Pdu {
         );
     }
 
-    /// Encodes to a fresh buffer.
-    pub fn to_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::new();
-        self.encode(&mut buf);
-        buf.freeze()
-    }
-
-    /// Attempts to decode one PDU from the front of `data`, requiring
-    /// protocol version 1.
-    ///
-    /// Returns `Ok(None)` when more bytes are needed (stream still open),
-    /// `Ok(Some((pdu, consumed)))` on success.
-    pub fn decode(data: &[u8]) -> Result<Option<(Pdu, usize)>, PduError> {
-        match Pdu::decode_versioned(data)? {
-            Some((_, _, version)) if version != PROTOCOL_V1 => Err(PduError::BadVersion(version)),
-            other => Ok(other.map(|(pdu, used, _)| (pdu, used))),
-        }
-    }
-
-    /// Attempts to decode one PDU accepting both protocol versions,
-    /// returning the version alongside. A v0 End of Data (12 bytes, no
-    /// timing) yields RFC 8210's default timing values.
+    /// The old allocating decoder. Laxer than the wire layer: it ignores
+    /// the session-id slot of Reset Query / Cache Reset, skips the
+    /// Prefix reserved byte unchecked, accepts nested Error Reports, and
+    /// decodes text lossily — the exact gaps `tests/corpus/` pins the
+    /// strict codec against.
     pub fn decode_versioned(data: &[u8]) -> Result<Option<(Pdu, usize, u8)>, PduError> {
         if data.len() < HEADER_LEN {
             return Ok(None);
@@ -386,7 +446,7 @@ impl Pdu {
                 let _zero = body.get_u8();
                 let bits = body.get_u32();
                 let asn = Asn(body.get_u32());
-                let prefix = prefix4_checked(bits, len)?;
+                let prefix = Prefix4::new(bits, len).map_err(|_| PduError::BadPrefix)?;
                 let vrp = checked_vrp(Prefix::V4(prefix), max_len, asn)?;
                 Pdu::Prefix { flags, vrp }
             }
@@ -398,7 +458,7 @@ impl Pdu {
                 let _zero = body.get_u8();
                 let bits = body.get_u128();
                 let asn = Asn(body.get_u32());
-                let prefix = prefix6_checked(bits, len)?;
+                let prefix = Prefix6::new(bits, len).map_err(|_| PduError::BadPrefix)?;
                 let vrp = checked_vrp(Prefix::V6(prefix), max_len, asn)?;
                 Pdu::Prefix { flags, vrp }
             }
@@ -454,92 +514,22 @@ impl Pdu {
         };
         Ok(Some((pdu, length, version)))
     }
-}
 
-// Checked constructors: reject wire data violating the RFC's field
-// constraints instead of silently normalizing it.
-fn prefix4_checked(bits: u32, len: u8) -> Result<Prefix4, PduError> {
-    Prefix4::new(bits, len).map_err(|_| PduError::BadPrefix)
-}
-
-fn prefix6_checked(bits: u128, len: u8) -> Result<Prefix6, PduError> {
-    Prefix6::new(bits, len).map_err(|_| PduError::BadPrefix)
-}
-
-fn checked_vrp(prefix: Prefix, max_len: u8, asn: Asn) -> Result<Vrp, PduError> {
-    if max_len < prefix.len() || max_len > prefix.max_len() {
-        return Err(PduError::BadMaxLength {
-            len: prefix.len(),
-            max_len,
-        });
-    }
-    Ok(Vrp::new(prefix, max_len, asn))
-}
-
-/// Decoding errors. Each maps onto an RFC 8210 Error Report the receiver
-/// should send before closing.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum PduError {
-    /// Unknown protocol version byte.
-    BadVersion(u8),
-    /// Unknown PDU type byte.
-    BadType(u8),
-    /// Declared length inconsistent with the PDU type.
-    BadLength {
-        /// The PDU type.
-        type_code: u8,
-        /// The declared length.
-        length: usize,
-    },
-    /// Flags byte is neither announce nor withdraw.
-    BadFlags(u8),
-    /// Prefix bits set beyond the prefix length, or length out of range.
-    BadPrefix,
-    /// maxLength outside `len..=family max`.
-    BadMaxLength {
-        /// The prefix length.
-        len: u8,
-        /// The offending maxLength.
-        max_len: u8,
-    },
-    /// Unknown error code in an Error Report.
-    BadErrorCode(u16),
-}
-
-impl fmt::Display for PduError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            PduError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
-            PduError::BadType(t) => write!(f, "unsupported PDU type {t}"),
-            PduError::BadLength { type_code, length } => {
-                write!(f, "bad length {length} for PDU type {type_code}")
-            }
-            PduError::BadFlags(b) => write!(f, "bad flags byte {b:#x}"),
-            PduError::BadPrefix => write!(f, "malformed prefix field"),
-            PduError::BadMaxLength { len, max_len } => {
-                write!(f, "maxLength {max_len} invalid for /{len}")
-            }
-            PduError::BadErrorCode(c) => write!(f, "unknown error code {c}"),
+    fn checked_vrp(prefix: Prefix, max_len: u8, asn: Asn) -> Result<Vrp, PduError> {
+        if max_len < prefix.len() || max_len > prefix.max_len() {
+            return Err(PduError::BadMaxLength {
+                len: prefix.len(),
+                max_len,
+            });
         }
-    }
-}
-
-impl std::error::Error for PduError {}
-
-impl PduError {
-    /// The RFC 8210 error code a receiver should report for this error.
-    pub fn error_code(&self) -> ErrorCode {
-        match self {
-            PduError::BadVersion(_) => ErrorCode::UnsupportedVersion,
-            PduError::BadType(_) => ErrorCode::UnsupportedPduType,
-            _ => ErrorCode::CorruptData,
-        }
+        Ok(Vrp::new(prefix, max_len, asn))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::BufMut;
 
     fn vrp(s: &str) -> Vrp {
         s.parse().unwrap()
@@ -580,7 +570,7 @@ mod tests {
         round_trip(Pdu::CacheReset);
         round_trip(Pdu::ErrorReport {
             code: ErrorCode::CorruptData,
-            pdu: Bytes::from_static(&[1, 2, 3]),
+            pdu: Pdu::ResetQuery.to_bytes(),
             text: "bad things".into(),
         });
         round_trip(Pdu::ErrorReport {
@@ -728,6 +718,37 @@ mod tests {
             .type_code(),
             6
         );
+    }
+
+    #[test]
+    fn wire_len_matches_encoded_size() {
+        for pdu in [
+            Pdu::ResetQuery,
+            Pdu::SerialNotify {
+                session_id: 1,
+                serial: 2,
+            },
+            Pdu::Prefix {
+                flags: Flags::Announce,
+                vrp: vrp("2001:db8::/32-48 => AS65000"),
+            },
+            Pdu::EndOfData {
+                session_id: 1,
+                serial: 2,
+                timing: Timing::default(),
+            },
+            Pdu::ErrorReport {
+                code: ErrorCode::CorruptData,
+                pdu: Pdu::CacheReset.to_bytes(),
+                text: "ß".into(),
+            },
+        ] {
+            for version in [PROTOCOL_V0, PROTOCOL_V1] {
+                let mut buf = BytesMut::new();
+                pdu.encode_versioned(version, &mut buf);
+                assert_eq!(buf.len(), pdu.wire_len(version), "{pdu:?} v{version}");
+            }
+        }
     }
 }
 

@@ -2,23 +2,32 @@
 //!
 //! The sans-io state machines in [`cache`](crate::cache) and
 //! [`client`](crate::client) are exercised here as one long-running
-//! session over the in-memory transport: every epoch of a churn timeline
-//! becomes a [`CacheServer::update_delta`] call, the Serial Notify travels
-//! down the wire, the router answers with a Serial Query, and the delta
-//! response (or a Cache Reset, once the router has fallen behind the
-//! cache's history window) flows back — so incremental revalidation
-//! downstream consumes exactly what RFC 8210 put on the wire, not a
-//! function-call shortcut.
+//! session **at the byte level**: every epoch of a churn timeline
+//! becomes a [`CacheServer::update_delta`] call, the Serial Notify is
+//! encoded onto a byte pipe through [`crate::wire`], the router answers
+//! with a Serial Query, and the delta response (or a Cache Reset, once
+//! the router has fallen behind the cache's history window) flows back —
+//! so incremental revalidation downstream consumes exactly what RFC 8210
+//! put on the wire, not a function-call shortcut.
 //!
-//! [`LiveSession`] owns both endpoints plus the transport pair; tests,
-//! the `churn` bench bin, and `examples/live_cache.rs` all drive it.
+//! The session also exercises version negotiation end to end: both
+//! endpoints carry a protocol version, the cache side runs
+//! [`CacheServer::handle_wire`] with a real [`Negotiation`], and a
+//! version-capped cache answering a newer router triggers the RFC 6810
+//! downgrade — the recoverable Unsupported-Version report, a reconnect
+//! one version down, and a fresh synchronization (visible in
+//! [`SyncStats::downgraded`]).
+//!
+//! [`LiveSession`] owns both endpoints plus the byte pipes; tests, the
+//! `churn` bench bin, and `examples/live_cache.rs` all drive it.
 
 use rpki_roa::Vrp;
 
-use crate::cache::CacheServer;
+use crate::cache::{CacheServer, WireOutcome};
 use crate::client::{ClientError, RouterClient};
-use crate::pdu::Pdu;
-use crate::transport::{memory_pair, MemoryTransport, Transport, TransportError};
+use crate::pdu::{Flags, Pdu, PduError, PROTOCOL_V0, PROTOCOL_V1};
+use crate::transport::TransportError;
+use crate::wire::{self, ErrorClass, Negotiation};
 
 /// What one synchronization round did, counted on the wire.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -30,9 +39,15 @@ pub struct SyncStats {
     /// Total PDUs the router received this round (including notifies,
     /// Cache Response / End of Data framing, and any Cache Reset).
     pub pdus: usize,
+    /// Bytes that crossed the wire this round, both directions —
+    /// queries, responses, and any closing Error Report.
+    pub bytes: usize,
     /// `true` if the cache answered with a Cache Reset and the router had
     /// to rebuild its set from a full Reset Query response.
     pub reset: bool,
+    /// `true` if the round began at a version the cache rejected and the
+    /// router reconnected one version down (RFC 6810 downgrade).
+    pub downgraded: bool,
 }
 
 /// Session failures: a protocol error on the router side or a broken
@@ -73,27 +88,66 @@ impl From<TransportError> for SessionError {
     }
 }
 
-/// A cache server and a router client joined by an in-memory transport,
+impl From<PduError> for SessionError {
+    fn from(e: PduError) -> Self {
+        SessionError::Transport(TransportError::Protocol(e))
+    }
+}
+
+/// A cache server and a router client joined by in-memory byte pipes,
 /// stepped serially: update the cache, then let the router catch up.
 #[derive(Debug)]
 pub struct LiveSession {
     cache: CacheServer,
     router: RouterClient,
-    /// The cache's end of the pipe.
-    cache_side: MemoryTransport,
-    /// The router's end of the pipe.
-    router_side: MemoryTransport,
+    /// The cache's view of the connection's protocol version.
+    cache_negotiation: Negotiation,
+    /// The router's view (it accepts responses up to its own version).
+    router_negotiation: Negotiation,
+    /// Bytes in flight router → cache.
+    to_cache: Vec<u8>,
+    /// Bytes in flight cache → router.
+    to_router: Vec<u8>,
 }
 
 impl LiveSession {
-    /// Wires a cache holding `vrps` to a fresh, unsynchronized router.
+    /// Wires a cache holding `vrps` to a fresh, unsynchronized router,
+    /// both speaking protocol version 1.
     pub fn new(session_id: u16, vrps: &[Vrp]) -> LiveSession {
-        let (router_side, cache_side) = memory_pair();
+        LiveSession::with_versions(session_id, vrps, PROTOCOL_V1, PROTOCOL_V1)
+    }
+
+    /// A session pinned to one protocol version on both sides — the
+    /// version scenario axis for tests and benches.
+    pub fn with_version(session_id: u16, vrps: &[Vrp], version: u8) -> LiveSession {
+        LiveSession::with_versions(session_id, vrps, version, version)
+    }
+
+    /// A session with independent version caps: `cache_version` is the
+    /// highest version the cache speaks, `router_version` what the
+    /// router opens with. A router above the cache's cap triggers the
+    /// RFC 6810 downgrade on first synchronization.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown versions.
+    pub fn with_versions(
+        session_id: u16,
+        vrps: &[Vrp],
+        cache_version: u8,
+        router_version: u8,
+    ) -> LiveSession {
+        let cache = CacheServer::with_version(session_id, vrps, cache_version);
+        let router = RouterClient::with_version(router_version);
+        let cache_negotiation = cache.negotiation();
+        let router_negotiation = Negotiation::with_max(router_version);
         LiveSession {
-            cache: CacheServer::new(session_id, vrps),
-            router: RouterClient::new(),
-            cache_side,
-            router_side,
+            cache,
+            router,
+            cache_negotiation,
+            router_negotiation,
+            to_cache: Vec::new(),
+            to_router: Vec::new(),
         }
     }
 
@@ -107,6 +161,11 @@ impl LiveSession {
         &self.router
     }
 
+    /// The version the session has negotiated on the wire, once pinned.
+    pub fn negotiated_version(&self) -> Option<u8> {
+        self.cache_negotiation.version()
+    }
+
     /// Applies one churn epoch to the cache, pushes the Serial Notify down
     /// the wire, and runs the router's synchronization round to
     /// completion. Returns the on-wire stats.
@@ -116,29 +175,50 @@ impl LiveSession {
         withdrawn: &[Vrp],
     ) -> Result<SyncStats, SessionError> {
         let notify = self.cache.update_delta(announced, withdrawn);
-        self.cache_side.send(&notify)?;
+        // The notify travels at the session's pinned version; before the
+        // first exchange, at the highest version both ends could agree on.
+        let version = self
+            .cache_negotiation
+            .version()
+            .unwrap_or_else(|| self.cache.version().min(self.router.version()));
+        notify.as_wire().encode_into(version, &mut self.to_router);
         self.synchronize()
     }
 
     /// One full synchronization round: the router sends the query its
-    /// state calls for, the cache serves it, and the router consumes the
-    /// response — following a Cache Reset with a Reset Query, exactly the
-    /// RFC 8210 §8 recovery path.
+    /// state calls for, the cache serves it over the byte pipe, and the
+    /// router consumes the response — following a Cache Reset with a
+    /// Reset Query (RFC 8210 §8), and a recoverable version rejection
+    /// with a reconnect one version down (RFC 6810 §7).
     pub fn synchronize(&mut self) -> Result<SyncStats, SessionError> {
         let mut stats = SyncStats::default();
-        // Bounded retries: a Cache Reset forces exactly one fallback to a
-        // Reset Query; anything beyond that is a protocol loop.
-        for _attempt in 0..2 {
-            self.router_side.send(&self.router.query())?;
-            self.cache.serve_one(&mut self.cache_side)?;
+        // Bounded retries: at most one version downgrade plus one Cache
+        // Reset fallback; anything beyond that is a protocol loop.
+        let mut downgraded = false;
+        for _attempt in 0..3 {
+            self.send_query(&mut stats);
+            if let Some(error) = self.pump_cache(&mut stats) {
+                let can_downgrade = error.class() == ErrorClass::Recoverable
+                    && !downgraded
+                    && self.router.version() > PROTOCOL_V0;
+                if !can_downgrade {
+                    return Err(error.into());
+                }
+                downgraded = true;
+                stats.downgraded = true;
+                // Account for the closing Error Report on the wire, then
+                // reconnect one version down (a fresh connection: empty
+                // pipes, unpinned negotiations).
+                while self.recv_pdu(&mut stats)?.is_some() {}
+                self.reconnect(self.router.version() - 1);
+                continue;
+            }
             let mut reset = false;
-            loop {
-                let pdu = self.router_side.recv()?;
-                stats.pdus += 1;
+            while let Some(pdu) = self.recv_pdu(&mut stats)? {
                 match &pdu {
                     Pdu::Prefix { flags, .. } => match flags {
-                        crate::pdu::Flags::Announce => stats.announced += 1,
-                        crate::pdu::Flags::Withdraw => stats.withdrawn += 1,
+                        Flags::Announce => stats.announced += 1,
+                        Flags::Withdraw => stats.withdrawn += 1,
                     },
                     Pdu::CacheReset => {
                         stats.reset = true;
@@ -153,8 +233,71 @@ impl LiveSession {
                     break; // fall back to a Reset Query
                 }
             }
+            if !reset {
+                // The response ran dry without an End of Data.
+                return Err(SessionError::Transport(TransportError::Closed));
+            }
         }
         Err(SessionError::Transport(TransportError::Closed))
+    }
+
+    /// Encodes the router's next query onto the wire at its version.
+    fn send_query(&mut self, stats: &mut SyncStats) {
+        let query = self.router.query();
+        let before = self.to_cache.len();
+        query
+            .as_wire()
+            .encode_into(self.router.version(), &mut self.to_cache);
+        stats.bytes += self.to_cache.len() - before;
+    }
+
+    /// Feeds buffered request bytes to the cache until the pipe runs
+    /// dry, appending responses to the router-bound pipe. Returns the
+    /// teardown error, if the cache tore the session down.
+    fn pump_cache(&mut self, stats: &mut SyncStats) -> Option<PduError> {
+        loop {
+            let before = self.to_router.len();
+            let outcome = self.cache.handle_wire(
+                &self.to_cache,
+                &mut self.cache_negotiation,
+                &mut self.to_router,
+            );
+            stats.bytes += self.to_router.len() - before;
+            match outcome {
+                WireOutcome::NeedBytes => return None,
+                WireOutcome::Responded { consumed } => {
+                    self.to_cache.drain(..consumed);
+                }
+                WireOutcome::Teardown { consumed, error } => {
+                    self.to_cache.drain(..consumed.min(self.to_cache.len()));
+                    return Some(error);
+                }
+            }
+        }
+    }
+
+    /// Decodes the next PDU off the router-bound pipe, if one is
+    /// complete, checking it against the router-side negotiation.
+    fn recv_pdu(&mut self, stats: &mut SyncStats) -> Result<Option<Pdu>, SessionError> {
+        let Some(frame) = wire::decode_frame(&self.to_router)? else {
+            return Ok(None);
+        };
+        self.router_negotiation.accept(frame.version)?;
+        let pdu = frame.pdu.to_owned();
+        let len = frame.len;
+        self.to_router.drain(..len);
+        stats.pdus += 1;
+        Ok(Some(pdu))
+    }
+
+    /// Re-establishes the connection at a lower version after a
+    /// recoverable rejection.
+    fn reconnect(&mut self, version: u8) {
+        self.router.downgrade_to(version);
+        self.cache_negotiation = self.cache.negotiation();
+        self.router_negotiation = Negotiation::with_max(version);
+        self.to_cache.clear();
+        self.to_router.clear();
     }
 }
 
@@ -176,7 +319,9 @@ mod tests {
         let stats = s.synchronize().unwrap();
         assert_eq!(stats.announced, 1);
         assert!(!stats.reset);
+        assert!(stats.bytes > 0, "a real sync moves real bytes");
         assert_eq!(s.router().vrps().len(), 1);
+        assert_eq!(s.negotiated_version(), Some(PROTOCOL_V1));
 
         let stats = s
             .apply_epoch(&[vrp("11.0.0.0/8 => AS2")], &[vrp("10.0.0.0/8 => AS1")])
@@ -218,5 +363,49 @@ mod tests {
         let expect: Vec<&Vrp> = s.cache().vrps().collect();
         assert_eq!(got, expect);
         assert_eq!(s.router().serial(), s.cache().serial());
+    }
+
+    #[test]
+    fn v0_session_end_to_end() {
+        let mut s = LiveSession::with_version(5, &vrps(&["10.0.0.0/8 => AS1"]), PROTOCOL_V0);
+        let stats = s.synchronize().unwrap();
+        assert_eq!(stats.announced, 1);
+        assert!(!stats.downgraded);
+        assert_eq!(s.negotiated_version(), Some(PROTOCOL_V0));
+        // Deltas keep flowing at v0 (12-byte End of Data and all).
+        s.apply_epoch(&[vrp("11.0.0.0/8 => AS2")], &[]).unwrap();
+        assert_eq!(s.router().vrps().len(), 2);
+        assert_eq!(s.router().serial(), s.cache().serial());
+    }
+
+    #[test]
+    fn v1_router_downgrades_to_v0_cache() {
+        let mut s = LiveSession::with_versions(
+            9,
+            &vrps(&["10.0.0.0/8 => AS1", "11.0.0.0/8 => AS2"]),
+            PROTOCOL_V0,
+            PROTOCOL_V1,
+        );
+        let stats = s.synchronize().unwrap();
+        assert!(stats.downgraded, "the v1 opener must be rejected");
+        assert_eq!(s.router().version(), PROTOCOL_V0);
+        assert_eq!(s.negotiated_version(), Some(PROTOCOL_V0));
+        assert_eq!(s.router().vrps().len(), 2);
+        // The session stays healthy at v0 afterwards.
+        let stats = s.apply_epoch(&[vrp("12.0.0.0/8 => AS3")], &[]).unwrap();
+        assert!(!stats.downgraded);
+        assert_eq!(s.router().vrps().len(), 3);
+    }
+
+    #[test]
+    fn v0_router_works_against_v1_cache() {
+        // The other direction needs no downgrade: the v1-capable cache
+        // simply answers at the router's v0.
+        let mut s =
+            LiveSession::with_versions(2, &vrps(&["10.0.0.0/8 => AS1"]), PROTOCOL_V1, PROTOCOL_V0);
+        let stats = s.synchronize().unwrap();
+        assert!(!stats.downgraded);
+        assert_eq!(s.negotiated_version(), Some(PROTOCOL_V0));
+        assert_eq!(s.router().vrps().len(), 1);
     }
 }

@@ -18,8 +18,9 @@ use bytes::BytesMut;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
-use crate::cache::CacheServer;
-use crate::pdu::{Pdu, PduError};
+use crate::cache::{CacheServer, WireOutcome};
+use crate::pdu::{ErrorCode, Pdu, PduError, PROTOCOL_V0, PROTOCOL_V1};
+use crate::wire::{self, Negotiation};
 
 /// Transport failures.
 #[derive(Debug)]
@@ -104,37 +105,86 @@ impl Transport for MemoryTransport {
 }
 
 /// A PDU transport over a TCP stream, buffering partial frames.
+///
+/// Sends at the transport's protocol version and checks every received
+/// frame against a per-connection [`Negotiation`]: the first inbound
+/// frame pins the session, later frames at another version fail with
+/// the fatal Unexpected-Version error.
 #[derive(Debug)]
 pub struct TcpTransport {
     stream: TcpStream,
     buf: BytesMut,
+    version: u8,
+    negotiation: Negotiation,
 }
 
 impl TcpTransport {
-    /// Wraps a connected stream.
+    /// Wraps a connected stream, speaking protocol version 1.
     pub fn new(stream: TcpStream) -> TcpTransport {
+        TcpTransport::with_version(stream, PROTOCOL_V1)
+    }
+
+    /// Wraps a connected stream speaking exactly `version` on the wire —
+    /// the reconnect path after a downgrade
+    /// ([`crate::RouterClient::downgrade_to`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown versions.
+    pub fn with_version(stream: TcpStream, version: u8) -> TcpTransport {
+        assert!(
+            version == PROTOCOL_V0 || version == PROTOCOL_V1,
+            "unknown protocol version {version}"
+        );
         TcpTransport {
             stream,
             buf: BytesMut::with_capacity(4096),
+            version,
+            // Accept responses up to our own version; a frame above it is
+            // the recoverable BadVersion, below it the fatal mismatch
+            // once pinned.
+            negotiation: Negotiation::with_max(version),
         }
     }
 
-    /// Connects to a cache server.
+    /// Connects to a cache server at protocol version 1.
     pub fn connect(addr: SocketAddr) -> Result<TcpTransport, TransportError> {
         Ok(TcpTransport::new(TcpStream::connect(addr)?))
+    }
+
+    /// Connects at a specific protocol version.
+    pub fn connect_with_version(
+        addr: SocketAddr,
+        version: u8,
+    ) -> Result<TcpTransport, TransportError> {
+        Ok(TcpTransport::with_version(
+            TcpStream::connect(addr)?,
+            version,
+        ))
+    }
+
+    /// The protocol version this transport encodes with.
+    pub fn version(&self) -> u8 {
+        self.version
     }
 }
 
 impl Transport for TcpTransport {
     fn send(&mut self, pdu: &Pdu) -> Result<(), TransportError> {
-        let bytes = pdu.to_bytes();
+        let mut bytes = BytesMut::new();
+        pdu.encode_versioned(self.version, &mut bytes);
         self.stream.write_all(&bytes)?;
         Ok(())
     }
 
     fn recv(&mut self) -> Result<Pdu, TransportError> {
         loop {
-            if let Some((pdu, used)) = Pdu::decode(&self.buf)? {
+            // Zero-copy decode straight from the receive buffer; the
+            // owned Pdu is only materialized for accepted frames.
+            if let Some(frame) = wire::decode_frame(&self.buf)? {
+                self.negotiation.accept(frame.version)?;
+                let pdu = frame.pdu.to_owned();
+                let used = frame.len;
                 let _ = self.buf.split_to(used);
                 return Ok(pdu);
             }
@@ -155,13 +205,17 @@ impl Transport for TcpTransport {
     }
 }
 
+/// A router connection's write handle paired with its negotiation
+/// state, so Serial Notify pushes go out at the version each session
+/// actually speaks.
+type Notifier = (TcpStream, Arc<Mutex<Negotiation>>);
+
 /// A threaded TCP cache server: the daemon on Figure 1's local cache,
 /// serving the VRP/PDU list to any number of routers.
 pub struct TcpCacheServer {
     listener: TcpListener,
     cache: Arc<Mutex<CacheServer>>,
-    /// Write handles to every connected router, for Serial Notify pushes.
-    notifiers: Arc<Mutex<Vec<TcpStream>>>,
+    notifiers: Arc<Mutex<Vec<Notifier>>>,
 }
 
 impl TcpCacheServer {
@@ -187,18 +241,34 @@ impl TcpCacheServer {
 
     /// Replaces the cache's VRP set and pushes the resulting Serial Notify
     /// to every connected router (RFC 8210 §5.2), pruning dead
-    /// connections. Returns the number of routers notified.
+    /// connections. Each notify is encoded at the version that router's
+    /// session negotiated (a session that has not pinned yet gets the
+    /// cache's maximum). Returns the number of routers notified.
     pub fn update_and_notify(&self, vrps: &[rpki_roa::Vrp]) -> usize {
-        let notify = self.cache.lock().update(vrps);
-        let bytes = notify.to_bytes();
+        let (notify, max_version) = {
+            let mut cache = self.cache.lock();
+            (cache.update(vrps), cache.version())
+        };
         let mut notifiers = self.notifiers.lock();
-        notifiers.retain_mut(|stream| stream.write_all(&bytes).is_ok());
+        notifiers.retain_mut(|(stream, negotiation)| {
+            let version = negotiation.lock().version().unwrap_or(max_version);
+            let mut bytes = BytesMut::new();
+            notify.encode_versioned(version, &mut bytes);
+            stream.write_all(&bytes).is_ok()
+        });
         notifiers.len()
     }
 
     /// Accepts exactly `n` connections, serving each on its own thread,
     /// then returns the join handles. (A production daemon would loop
     /// forever; tests and examples want bounded accept counts.)
+    ///
+    /// Each connection runs the byte-level loop over
+    /// [`CacheServer::handle_wire`]: requests decode zero-copy out of
+    /// the receive buffer, responses encode at the session's negotiated
+    /// version, and a malformed frame or negotiation violation gets the
+    /// closing Error Report [`handle_wire`](CacheServer::handle_wire)
+    /// built (RFC 8210 §10) before the thread hangs up.
     pub fn serve_connections(
         &self,
         n: usize,
@@ -206,45 +276,80 @@ impl TcpCacheServer {
         let mut handles = Vec::with_capacity(n);
         for _ in 0..n {
             match self.listener.accept() {
-                Ok((stream, _)) => {
+                Ok((mut stream, _)) => {
+                    let negotiation = Arc::new(Mutex::new(self.cache.lock().negotiation()));
                     if let Ok(clone) = stream.try_clone() {
-                        self.notifiers.lock().push(clone);
+                        self.notifiers
+                            .lock()
+                            .push((clone, Arc::clone(&negotiation)));
                     }
                     let cache = Arc::clone(&self.cache);
                     handles.push(thread::spawn(move || {
-                        let mut transport = TcpTransport::new(stream);
+                        let is_hangup = |e: &std::io::Error| {
+                            matches!(
+                                e.kind(),
+                                std::io::ErrorKind::ConnectionReset
+                                    | std::io::ErrorKind::BrokenPipe
+                            )
+                        };
+                        let mut buf = BytesMut::with_capacity(4096);
+                        let mut out = Vec::with_capacity(4096);
                         loop {
-                            let request = match transport.recv() {
-                                Ok(r) => r,
-                                Err(TransportError::Closed) => return Ok(()),
-                                // A peer that vanishes mid-session (RST,
-                                // broken pipe) is a normal hangup, not a
-                                // server error.
-                                Err(TransportError::Io(e))
-                                    if matches!(
-                                        e.kind(),
-                                        std::io::ErrorKind::ConnectionReset
-                                            | std::io::ErrorKind::BrokenPipe
-                                    ) =>
-                                {
-                                    return Ok(())
-                                }
-                                // RFC 8210 §10: report corrupt data to the
-                                // peer, then drop the session.
-                                Err(TransportError::Protocol(e)) => {
-                                    let report = Pdu::ErrorReport {
-                                        code: e.error_code(),
-                                        pdu: bytes::Bytes::new(),
-                                        text: e.to_string(),
+                            let outcome = {
+                                let cache = cache.lock();
+                                let mut negotiation = negotiation.lock();
+                                cache.handle_wire(&buf, &mut negotiation, &mut out)
+                            };
+                            match outcome {
+                                WireOutcome::NeedBytes => {
+                                    let mut chunk = [0u8; 4096];
+                                    let n = match stream.read(&mut chunk) {
+                                        Ok(n) => n,
+                                        // A peer that vanishes mid-session
+                                        // (RST, broken pipe) is a normal
+                                        // hangup, not a server error.
+                                        Err(e) if is_hangup(&e) => return Ok(()),
+                                        Err(e) => return Err(TransportError::Io(e)),
                                     };
-                                    let _ = transport.send(&report);
+                                    if n == 0 {
+                                        if !buf.is_empty() {
+                                            // Mid-frame EOF: report the
+                                            // truncation; the peer may
+                                            // already be gone, so the
+                                            // write is best-effort.
+                                            let version = negotiation
+                                                .lock()
+                                                .version()
+                                                .unwrap_or_else(|| cache.lock().version());
+                                            let report = Pdu::ErrorReport {
+                                                code: ErrorCode::CorruptData,
+                                                pdu: bytes::Bytes::new(),
+                                                text: "truncated frame at end of stream".into(),
+                                            };
+                                            let mut bytes = BytesMut::new();
+                                            report.encode_versioned(version, &mut bytes);
+                                            let _ = stream.write_all(&bytes);
+                                        }
+                                        return Ok(());
+                                    }
+                                    buf.extend_from_slice(&chunk[..n]);
+                                }
+                                WireOutcome::Responded { consumed } => {
+                                    let _ = buf.split_to(consumed);
+                                    match stream.write_all(&out) {
+                                        Ok(()) => {}
+                                        Err(e) if is_hangup(&e) => return Ok(()),
+                                        Err(e) => return Err(TransportError::Io(e)),
+                                    }
+                                    out.clear();
+                                }
+                                WireOutcome::Teardown { .. } => {
+                                    // RFC 8210 §10: the Error Report is
+                                    // already in `out`; send it, then
+                                    // drop the session.
+                                    let _ = stream.write_all(&out);
                                     return Ok(());
                                 }
-                                Err(e) => return Err(e),
-                            };
-                            let responses = cache.lock().handle(&request);
-                            for pdu in responses {
-                                transport.send(&pdu)?;
                             }
                         }
                     }));

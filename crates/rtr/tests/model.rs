@@ -11,16 +11,53 @@
 //! both lists) must resolve exactly like the rov engines do —
 //! announcements first, withdrawals winning — with at most one history
 //! record per VRP.
+//!
+//! Every request and response additionally makes a round trip through
+//! the strict wire codec at a generated protocol version (v0 or v1), so
+//! the model checks the byte layer's canonicality along the way.
 
 use std::collections::{BTreeSet, VecDeque};
 
+use bytes::BytesMut;
 use proptest::prelude::*;
 use rpki_roa::{Asn, Vrp};
 use rpki_rtr::cache::{CacheServer, HISTORY_WINDOW};
-use rpki_rtr::pdu::{Flags, Pdu};
+use rpki_rtr::pdu::{Flags, Pdu, PROTOCOL_V0, PROTOCOL_V1};
 use rpki_rtr::RouterClient;
 
 const SESSION: u16 = 600;
+
+/// Pushes one PDU through the wire codec at `version` — encode, strict
+/// decode, canonicality check — and hands back what the peer would see.
+/// Running the whole model over this (at both protocol versions) makes
+/// the reference machine exercise the real byte layer, not a
+/// function-call shortcut; at v0 an End of Data loses its timing to the
+/// RFC 8210 defaults, which `classify` deliberately ignores.
+fn via_wire(pdu: &Pdu, version: u8) -> Pdu {
+    let mut buf = BytesMut::new();
+    pdu.encode_versioned(version, &mut buf);
+    let (back, used, v) = Pdu::decode_versioned(&buf)
+        .expect("cache output must decode strictly")
+        .expect("cache output is a complete frame");
+    assert_eq!((used, v), (buf.len(), version), "framing must round-trip");
+    let mut re = BytesMut::new();
+    back.encode_versioned(version, &mut re);
+    assert_eq!(re, buf, "cache output must re-encode canonically");
+    back
+}
+
+fn handle_via_wire(cache: &CacheServer, request: &Pdu, version: u8) -> Vec<Pdu> {
+    let request = via_wire(request, version);
+    cache
+        .handle(&request)
+        .iter()
+        .map(|p| via_wire(p, version))
+        .collect()
+}
+
+fn arb_wire_version() -> impl Strategy<Value = u8> {
+    prop_oneof![Just(PROTOCOL_V0), Just(PROTOCOL_V1)]
+}
 
 /// The reference machine: full sets per serial, window-aged like the
 /// implementation.
@@ -167,6 +204,7 @@ proptest! {
     fn cache_matches_reference_model(
         initial_idx in prop::collection::vec(0u8..24, 0..12),
         ops in prop::collection::vec(arb_op(), 1..40),
+        version in arb_wire_version(),
     ) {
         let universe = universe();
         let initial: BTreeSet<Vrp> =
@@ -182,7 +220,7 @@ proptest! {
                         announce.iter().map(|&i| universe[i as usize]).collect();
                     let w: Vec<Vrp> =
                         withdraw.iter().map(|&i| universe[i as usize]).collect();
-                    let notify = cache.update_delta(&a, &w);
+                    let notify = via_wire(&cache.update_delta(&a, &w), version);
                     model.update(&a, &w);
                     prop_assert_eq!(cache.serial(), model.serial);
                     prop_assert_eq!(notify, Pdu::SerialNotify {
@@ -194,10 +232,10 @@ proptest! {
                 }
                 Op::Query { lag } => {
                     let serial = model.serial.wrapping_sub(*lag as u32);
-                    let response = cache.handle(&Pdu::SerialQuery {
+                    let response = handle_via_wire(&cache, &Pdu::SerialQuery {
                         session_id: SESSION,
                         serial,
-                    });
+                    }, version);
                     match (classify(&response, model.serial), model.set_at(serial)) {
                         (Some((announced, withdrawn)), Some(old)) => {
                             let expect_a: BTreeSet<Vrp> =
@@ -220,17 +258,17 @@ proptest! {
                     }
                 }
                 Op::Reset => {
-                    let response = cache.handle(&Pdu::ResetQuery);
+                    let response = handle_via_wire(&cache, &Pdu::ResetQuery, version);
                     let (announced, withdrawn) =
                         classify(&response, model.serial).expect("reset never Cache Reset");
                     prop_assert_eq!(&announced, model.current());
                     prop_assert!(withdrawn.is_empty());
                 }
                 Op::WrongSession => {
-                    let response = cache.handle(&Pdu::SerialQuery {
+                    let response = handle_via_wire(&cache, &Pdu::SerialQuery {
                         session_id: SESSION ^ 1,
                         serial: model.serial,
-                    });
+                    }, version);
                     prop_assert_eq!(response, vec![Pdu::CacheReset]);
                 }
             }
@@ -244,14 +282,15 @@ proptest! {
             1..8,
         ),
         aging in (HISTORY_WINDOW + 1)..(2 * HISTORY_WINDOW),
+        version in arb_wire_version(),
     ) {
         let universe = universe();
         let mut cache = CacheServer::new(SESSION, &[]);
         let mut model = ModelCache::new(&BTreeSet::new());
 
         // A router synchronizes fully, then goes quiet.
-        let mut router = RouterClient::new();
-        for pdu in cache.handle(&Pdu::ResetQuery) {
+        let mut router = RouterClient::with_version(version);
+        for pdu in handle_via_wire(&cache, &Pdu::ResetQuery, version) {
             router.handle(&pdu).unwrap();
         }
         for (a_idx, w_idx) in &warmup {
@@ -259,7 +298,7 @@ proptest! {
             let w: Vec<Vrp> = w_idx.iter().map(|&i| universe[i as usize]).collect();
             cache.update_delta(&a, &w);
             model.update(&a, &w);
-            for pdu in cache.handle(&router.query()) {
+            for pdu in handle_via_wire(&cache, &router.query(), version) {
                 router.handle(&pdu).unwrap();
             }
         }
@@ -279,10 +318,10 @@ proptest! {
         }
 
         // Reconnecting with the stale serial must get a Cache Reset ...
-        let response = cache.handle(&Pdu::SerialQuery {
+        let response = handle_via_wire(&cache, &Pdu::SerialQuery {
             session_id: SESSION,
             serial: stale_serial,
-        });
+        }, version);
         prop_assert_eq!(&response, &vec![Pdu::CacheReset]);
         for pdu in &response {
             router.handle(pdu).unwrap();
@@ -290,7 +329,7 @@ proptest! {
         // ... and the RFC 8210 §8 fallback (Reset Query) rebuilds the
         // exact current set at the current serial.
         prop_assert_eq!(router.query(), Pdu::ResetQuery);
-        for pdu in cache.handle(&Pdu::ResetQuery) {
+        for pdu in handle_via_wire(&cache, &Pdu::ResetQuery, version) {
             router.handle(&pdu).unwrap();
         }
         prop_assert_eq!(router.serial(), model.serial);

@@ -54,7 +54,13 @@ fn arb_pdu() -> impl Strategy<Value = Pdu> {
                 },
             }),
         Just(Pdu::CacheReset),
-        (prop::collection::vec(any::<u8>(), 0..64), ".*{0,32}").prop_map(|(inner, text)| {
+        (prop::collection::vec(any::<u8>(), 0..64), ".*{0,32}").prop_map(|(mut inner, text)| {
+            // An Error Report must not encapsulate an Error Report
+            // (RFC 8210 §5.10) — steer the arbitrary inner bytes away
+            // from type code 10 so the generated PDU is encodable.
+            if inner.len() >= 2 && inner[1] == 10 {
+                inner[1] = 0;
+            }
             Pdu::ErrorReport {
                 code: ErrorCode::CorruptData,
                 pdu: Bytes::from(inner),

@@ -124,6 +124,11 @@ impl BytesMut {
         self.0.clear();
     }
 
+    /// Resizes the buffer in place, filling any new tail with `value`.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.0.resize(new_len, value);
+    }
+
     /// Freezes into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes(self.0)

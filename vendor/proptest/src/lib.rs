@@ -33,7 +33,16 @@ pub mod test_runner {
 
     impl Default for Config {
         fn default() -> Config {
-            Config { cases: 256 }
+            // Honor the upstream `PROPTEST_CASES` env knob so CI can
+            // raise the case count without touching test sources. An
+            // explicit `with_cases` in a test block still wins (it never
+            // calls `default`).
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|s| s.trim().parse::<u32>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(256);
+            Config { cases }
         }
     }
 
