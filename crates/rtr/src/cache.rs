@@ -36,7 +36,7 @@ struct Delta {
 /// `input`: its declared length, if that length is in protocol range and
 /// the bytes are all present. Used to decide how much of a rejected
 /// buffer can still be identified as "the offending PDU".
-fn frame_extent(input: &[u8]) -> Option<usize> {
+pub(crate) fn frame_extent(input: &[u8]) -> Option<usize> {
     if input.len() < HEADER_LEN {
         return None;
     }
@@ -106,6 +106,20 @@ impl CacheServer {
         CacheServer::with_version(session_id, vrps, PROTOCOL_V1)
     }
 
+    /// Creates a cache like [`CacheServer::new`] but starting at
+    /// `serial` instead of 0.
+    ///
+    /// RFC 8210 §5.1 recommends a cache pick an unpredictable initial
+    /// serial on restart precisely so routers cannot assume serials
+    /// start low — which puts the `u32` wrap-around inside the normal
+    /// operating envelope. Tests use this to pin the serial-arithmetic
+    /// behaviour of [`CacheServer::handle`] at the `u32::MAX` boundary.
+    pub fn with_initial_serial(session_id: u16, vrps: &[Vrp], serial: u32) -> CacheServer {
+        let mut cache = CacheServer::new(session_id, vrps);
+        cache.serial = serial;
+        cache
+    }
+
     /// Creates a cache capped at `version` — a v0-only cache
     /// ([`crate::PROTOCOL_V0`]) answers v1 routers with the recoverable
     /// Unsupported-Version error, the RFC 6810 downgrade handshake.
@@ -149,6 +163,13 @@ impl CacheServer {
     /// The current serial.
     pub fn serial(&self) -> u32 {
         self.serial
+    }
+
+    /// How many deltas the history currently retains (at most
+    /// [`HISTORY_WINDOW`]) — the fan-out server uses this to key shared
+    /// delta images by lag.
+    pub(crate) fn history_len(&self) -> usize {
+        self.history.len()
     }
 
     /// The current VRP set.
@@ -350,7 +371,7 @@ impl CacheServer {
     }
 
     /// Builds and appends the closing Error Report for a wire error.
-    fn report_teardown(
+    pub(crate) fn report_teardown(
         &self,
         error: &PduError,
         offending: &[u8],
@@ -396,8 +417,32 @@ impl CacheServer {
         out
     }
 
+    /// RFC 1982-style serial comparison against the history window: how
+    /// many deltas behind the cache `router_serial` is, if — and only if
+    /// — that serial is inside the window.
+    ///
+    /// Serial arithmetic is mod 2³², so "behind by `k`" and "ahead by
+    /// `2³² − k`" are the same number; the only deterministic rule is
+    /// the window itself. A serial whose lag `self.serial − router_serial
+    /// (mod 2³²)` exceeds the retained history — which covers serials
+    /// that aged out, serials from the cache's future (a cache restarted
+    /// at a lower serial), and the far side of the `u32::MAX` wrap alike
+    /// — gets `None`, and the caller answers Cache Reset instead of
+    /// fabricating a delta. A lag of 0 (router already current) is inside
+    /// the window by definition, history or not.
+    fn serial_lag(&self, router_serial: u32) -> Option<usize> {
+        let lag = self.serial.wrapping_sub(router_serial) as usize;
+        (lag <= self.history.len()).then_some(lag)
+    }
+
     fn delta_response(&self, router_serial: u32) -> Vec<Pdu> {
-        if router_serial == self.serial {
+        let behind = match self.serial_lag(router_serial) {
+            Some(behind) => behind,
+            // Outside the history window on either side — too old, from
+            // the future, or across the wrap: force a reset.
+            None => return vec![Pdu::CacheReset],
+        };
+        if behind == 0 {
             // Nothing new: empty response confirming the serial.
             return vec![
                 Pdu::CacheResponse {
@@ -405,11 +450,6 @@ impl CacheServer {
                 },
                 self.end_of_data(),
             ];
-        }
-        let behind = self.serial.wrapping_sub(router_serial) as usize;
-        if behind > self.history.len() {
-            // Too old (or from the future): force a reset.
-            return vec![Pdu::CacheReset];
         }
         let mut out = vec![Pdu::CacheResponse {
             session_id: self.session_id,
@@ -582,6 +622,91 @@ mod tests {
             serial: c.serial() - 1,
         });
         assert!(matches!(response[0], Pdu::CacheResponse { .. }));
+    }
+
+    #[test]
+    fn serial_from_the_future_forces_reset() {
+        // A router claiming a serial the cache never issued (e.g. the
+        // cache restarted at a lower serial): RFC 1982 arithmetic makes
+        // "ahead by 3" look like "behind by 2³²−3", far outside the
+        // window — deterministic Cache Reset, not a garbage delta.
+        let mut c = cache();
+        c.update(&[vrp("11.0.0.0/8 => AS3")]);
+        assert_eq!(c.serial(), 1);
+        let response = c.handle(&Pdu::SerialQuery {
+            session_id: 7,
+            serial: 4,
+        });
+        assert_eq!(response, vec![Pdu::CacheReset]);
+    }
+
+    #[test]
+    fn serial_delta_survives_u32_wraparound() {
+        // Cache starts just below u32::MAX (RFC 8210 §5.1: restart
+        // serials are arbitrary) and updates across the wrap. A router
+        // holding a pre-wrap serial inside the window must get the
+        // correct coalesced delta; the wrap is invisible.
+        let mut c = CacheServer::with_initial_serial(7, &[vrp("10.0.0.0/8 => AS1")], u32::MAX - 2);
+        for i in 0..5u32 {
+            c.update_delta(&[vrp(&format!("11.{i}.0.0/16 => AS3"))], &[]);
+        }
+        assert_eq!(c.serial(), 2, "serial wrapped past u32::MAX");
+        // Router at u32::MAX: 3 deltas behind, across the wrap.
+        let response = c.handle(&Pdu::SerialQuery {
+            session_id: 7,
+            serial: u32::MAX,
+        });
+        let announces: Vec<Vrp> = response
+            .iter()
+            .filter_map(|p| match p {
+                Pdu::Prefix {
+                    flags: Flags::Announce,
+                    vrp,
+                } => Some(*vrp),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            announces,
+            vec![
+                vrp("11.2.0.0/16 => AS3"),
+                vrp("11.3.0.0/16 => AS3"),
+                vrp("11.4.0.0/16 => AS3"),
+            ]
+        );
+        assert!(matches!(
+            response.last(),
+            Some(Pdu::EndOfData { serial: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn serial_ahead_at_u32_boundary_forces_reset() {
+        // The mirror image: the router's serial is *ahead* of a cache
+        // sitting at u32::MAX. wrapping_sub yields a tiny-looking lag
+        // only for serials the cache actually retains; one past the
+        // current serial is a huge lag and must reset.
+        let mut c = CacheServer::with_initial_serial(7, &[vrp("10.0.0.0/8 => AS1")], u32::MAX - 1);
+        c.update(&[vrp("11.0.0.0/8 => AS3")]);
+        assert_eq!(c.serial(), u32::MAX);
+        // One ahead (serial 0, i.e. current + 1 across the wrap): reset.
+        let response = c.handle(&Pdu::SerialQuery {
+            session_id: 7,
+            serial: 0,
+        });
+        assert_eq!(response, vec![Pdu::CacheReset]);
+        // Exactly current: empty confirming delta.
+        let response = c.handle(&Pdu::SerialQuery {
+            session_id: 7,
+            serial: u32::MAX,
+        });
+        assert_eq!(response.len(), 2);
+        // One behind: the recorded delta.
+        let response = c.handle(&Pdu::SerialQuery {
+            session_id: 7,
+            serial: u32::MAX - 1,
+        });
+        assert!(response.iter().any(|p| matches!(p, Pdu::Prefix { .. })));
     }
 
     #[test]

@@ -21,9 +21,15 @@
 //!   serial numbers, delta computation, query handling.
 //! * [`client`] — the router-side state machine: session tracking,
 //!   serial/reset synchronization, applying announce/withdraw deltas.
-//! * [`transport`] — thin blocking adapters: an in-memory channel pair for
-//!   tests and a TCP listener/dialer (threads, no async runtime — the
-//!   protocol is low-rate and CPU-trivial).
+//! * [`transport`] — thin blocking adapters: a wire-framed in-memory
+//!   channel pair for tests and a TCP dialer for the router side.
+//! * [`server`] — the concurrent cache-side service: a sans-io fan-out
+//!   core sharing each epoch's serialized responses across every
+//!   session, plus a non-blocking TCP event loop with a session
+//!   registry (no async runtime — one thread multiplexes the fleet).
+//! * [`session`] — a cache ↔ router pair joined by in-memory byte
+//!   pipes, driving churn timelines through the fan-out core as real
+//!   PDUs.
 //!
 //! ```
 //! use rpki_rtr::cache::CacheServer;
@@ -48,6 +54,7 @@
 pub mod cache;
 pub mod client;
 pub mod pdu;
+pub mod server;
 pub mod session;
 pub mod transport;
 pub mod wire;
@@ -55,5 +62,8 @@ pub mod wire;
 pub use cache::{CacheServer, WireOutcome};
 pub use client::RouterClient;
 pub use pdu::{Pdu, PduError, PROTOCOL_V0, PROTOCOL_V1};
+pub use server::{
+    FanoutServer, FanoutStats, ServerConfig, ServerHandle, SessionId, TcpCacheServer,
+};
 pub use session::{LiveSession, SessionError, SyncStats};
 pub use wire::{decode_frame, ErrorClass, Frame, Negotiation, PduRef};

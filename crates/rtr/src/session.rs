@@ -3,19 +3,23 @@
 //! The sans-io state machines in [`cache`](crate::cache) and
 //! [`client`](crate::client) are exercised here as one long-running
 //! session **at the byte level**: every epoch of a churn timeline
-//! becomes a [`CacheServer::update_delta`] call, the Serial Notify is
-//! encoded onto a byte pipe through [`crate::wire`], the router answers
-//! with a Serial Query, and the delta response (or a Cache Reset, once
-//! the router has fallen behind the cache's history window) flows back —
-//! so incremental revalidation downstream consumes exactly what RFC 8210
-//! put on the wire, not a function-call shortcut.
+//! becomes a [`FanoutServer::update_delta_and_notify`] call, the Serial
+//! Notify is queued on the session's outbox through [`crate::wire`],
+//! the router answers with a Serial Query, and the delta response (or a
+//! Cache Reset, once the router has fallen behind the cache's history
+//! window) flows back — so incremental revalidation downstream consumes
+//! exactly what RFC 8210 put on the wire, not a function-call shortcut.
+//!
+//! The cache side runs through the same [`FanoutServer`] fan-out core
+//! that the concurrent TCP service uses, so a single `LiveSession` and
+//! a thousand-router fleet exercise one code path; the outbox bound is
+//! lifted here because the driver always drains between epochs.
 //!
 //! The session also exercises version negotiation end to end: both
-//! endpoints carry a protocol version, the cache side runs
-//! [`CacheServer::handle_wire`] with a real [`Negotiation`], and a
-//! version-capped cache answering a newer router triggers the RFC 6810
-//! downgrade — the recoverable Unsupported-Version report, a reconnect
-//! one version down, and a fresh synchronization (visible in
+//! endpoints carry a protocol version, and a version-capped cache
+//! answering a newer router triggers the RFC 6810 downgrade — the
+//! recoverable Unsupported-Version report, a reconnect one version
+//! down, and a fresh synchronization (visible in
 //! [`SyncStats::downgraded`]).
 //!
 //! [`LiveSession`] owns both endpoints plus the byte pipes; tests, the
@@ -23,9 +27,10 @@
 
 use rpki_roa::Vrp;
 
-use crate::cache::{CacheServer, WireOutcome};
+use crate::cache::CacheServer;
 use crate::client::{ClientError, RouterClient};
 use crate::pdu::{Flags, Pdu, PduError, PROTOCOL_V0, PROTOCOL_V1};
+use crate::server::{FanoutServer, ServerConfig, SessionId};
 use crate::transport::TransportError;
 use crate::wire::{self, ErrorClass, Negotiation};
 
@@ -98,14 +103,13 @@ impl From<PduError> for SessionError {
 /// stepped serially: update the cache, then let the router catch up.
 #[derive(Debug)]
 pub struct LiveSession {
-    cache: CacheServer,
+    /// The cache side, behind the same fan-out core the TCP service
+    /// uses, with one registered session.
+    server: FanoutServer,
+    session: SessionId,
     router: RouterClient,
-    /// The cache's view of the connection's protocol version.
-    cache_negotiation: Negotiation,
     /// The router's view (it accepts responses up to its own version).
     router_negotiation: Negotiation,
-    /// Bytes in flight router → cache.
-    to_cache: Vec<u8>,
     /// Bytes in flight cache → router.
     to_router: Vec<u8>,
 }
@@ -138,22 +142,34 @@ impl LiveSession {
         router_version: u8,
     ) -> LiveSession {
         let cache = CacheServer::with_version(session_id, vrps, cache_version);
+        // The single-session driver always drains between rounds, so
+        // backpressure would only get in the way of deterministic
+        // byte accounting.
+        let config = ServerConfig {
+            outbox_limit: usize::MAX,
+        };
+        let mut server = FanoutServer::with_config(cache, config);
+        let session = server.open_session();
         let router = RouterClient::with_version(router_version);
-        let cache_negotiation = cache.negotiation();
         let router_negotiation = Negotiation::with_max(router_version);
         LiveSession {
-            cache,
+            server,
+            session,
             router,
-            cache_negotiation,
             router_negotiation,
-            to_cache: Vec::new(),
             to_router: Vec::new(),
         }
     }
 
     /// The cache endpoint (e.g. to inspect serial/history state).
     pub fn cache(&self) -> &CacheServer {
-        &self.cache
+        self.server.cache()
+    }
+
+    /// The fan-out core the cache side runs on (e.g. to mutate the
+    /// cache without notifying, or to read fan-out stats).
+    pub fn server_mut(&mut self) -> &mut FanoutServer {
+        &mut self.server
     }
 
     /// The router endpoint (e.g. to read the synchronized VRP set).
@@ -163,7 +179,7 @@ impl LiveSession {
 
     /// The version the session has negotiated on the wire, once pinned.
     pub fn negotiated_version(&self) -> Option<u8> {
-        self.cache_negotiation.version()
+        self.server.negotiated_version(self.session)
     }
 
     /// Applies one churn epoch to the cache, pushes the Serial Notify down
@@ -174,14 +190,7 @@ impl LiveSession {
         announced: &[Vrp],
         withdrawn: &[Vrp],
     ) -> Result<SyncStats, SessionError> {
-        let notify = self.cache.update_delta(announced, withdrawn);
-        // The notify travels at the session's pinned version; before the
-        // first exchange, at the highest version both ends could agree on.
-        let version = self
-            .cache_negotiation
-            .version()
-            .unwrap_or_else(|| self.cache.version().min(self.router.version()));
-        notify.as_wire().encode_into(version, &mut self.to_router);
+        self.server.update_delta_and_notify(announced, withdrawn);
         self.synchronize()
     }
 
@@ -241,39 +250,23 @@ impl LiveSession {
         Err(SessionError::Transport(TransportError::Closed))
     }
 
-    /// Encodes the router's next query onto the wire at its version.
+    /// Encodes the router's next query and feeds it to the fan-out core
+    /// at the router's version.
     fn send_query(&mut self, stats: &mut SyncStats) {
         let query = self.router.query();
-        let before = self.to_cache.len();
+        let mut bytes = Vec::new();
         query
             .as_wire()
-            .encode_into(self.router.version(), &mut self.to_cache);
-        stats.bytes += self.to_cache.len() - before;
+            .encode_into(self.router.version(), &mut bytes);
+        stats.bytes += bytes.len();
+        self.server.receive(self.session, &bytes);
     }
 
-    /// Feeds buffered request bytes to the cache until the pipe runs
-    /// dry, appending responses to the router-bound pipe. Returns the
-    /// teardown error, if the cache tore the session down.
+    /// Drains the session's outbox onto the router-bound pipe. Returns
+    /// the teardown error, if the cache tore the session down.
     fn pump_cache(&mut self, stats: &mut SyncStats) -> Option<PduError> {
-        loop {
-            let before = self.to_router.len();
-            let outcome = self.cache.handle_wire(
-                &self.to_cache,
-                &mut self.cache_negotiation,
-                &mut self.to_router,
-            );
-            stats.bytes += self.to_router.len() - before;
-            match outcome {
-                WireOutcome::NeedBytes => return None,
-                WireOutcome::Responded { consumed } => {
-                    self.to_cache.drain(..consumed);
-                }
-                WireOutcome::Teardown { consumed, error } => {
-                    self.to_cache.drain(..consumed.min(self.to_cache.len()));
-                    return Some(error);
-                }
-            }
-        }
+        stats.bytes += self.server.drain_output(self.session, &mut self.to_router);
+        self.server.session_error(self.session).cloned()
     }
 
     /// Decodes the next PDU off the router-bound pipe, if one is
@@ -291,12 +284,13 @@ impl LiveSession {
     }
 
     /// Re-establishes the connection at a lower version after a
-    /// recoverable rejection.
+    /// recoverable rejection: the torn session is closed on the
+    /// registry and a fresh one opened, like a real reconnect.
     fn reconnect(&mut self, version: u8) {
         self.router.downgrade_to(version);
-        self.cache_negotiation = self.cache.negotiation();
+        self.server.close_session(self.session);
+        self.session = self.server.open_session();
         self.router_negotiation = Negotiation::with_max(version);
-        self.to_cache.clear();
         self.to_router.clear();
     }
 }
@@ -339,8 +333,8 @@ mod tests {
         for i in 0u32..40 {
             let fresh = vrp(&format!("10.{}.0.0/16 => AS{}", i % 200, 100 + i));
             s.apply_epoch(&[fresh], &[]).unwrap();
-            let cache_set: Vec<&Vrp> = s.cache().vrps().collect();
-            let router_set: Vec<&Vrp> = s.router().vrps().iter().collect();
+            let cache_set: Vec<Vrp> = s.cache().vrps().cloned().collect();
+            let router_set: Vec<Vrp> = s.router().vrps().iter().cloned().collect();
             assert_eq!(cache_set, router_set, "epoch {i}");
             assert_eq!(s.router().serial(), s.cache().serial());
         }
@@ -351,16 +345,17 @@ mod tests {
         let mut s = LiveSession::new(8, &vrps(&["10.0.0.0/8 => AS1"]));
         s.synchronize().unwrap();
         // Age the router's serial out of the history window without
-        // letting it catch up.
+        // letting it catch up (no notify: mutate the cache directly).
         for i in 0u32..40 {
-            s.cache
-                .update_delta(&[vrp(&format!("172.16.{}.0/24 => AS7", i % 256))], &[]);
+            s.server_mut().with_cache(|c| {
+                c.update_delta(&[vrp(&format!("172.16.{}.0/24 => AS7", i % 256))], &[]);
+            });
         }
         let stats = s.synchronize().unwrap();
         assert!(stats.reset, "stale serial must force a Cache Reset");
         // Recovery delivers the full current set.
-        let got: Vec<&Vrp> = s.router().vrps().iter().collect();
-        let expect: Vec<&Vrp> = s.cache().vrps().collect();
+        let got: Vec<Vrp> = s.router().vrps().iter().cloned().collect();
+        let expect: Vec<Vrp> = s.cache().vrps().cloned().collect();
         assert_eq!(got, expect);
         assert_eq!(s.router().serial(), s.cache().serial());
     }

@@ -4,23 +4,25 @@
 //! [`client`](crate::client) are sans-io; a [`Transport`] is the thin
 //! blocking pipe between them. Two implementations:
 //!
-//! * [`memory_pair`] — an in-process duplex channel (tests, examples);
-//! * [`TcpTransport`] — a real socket, one thread per connection, exactly
-//!   how a local cache daemon serves its routers.
+//! * [`memory_pair`] — an in-process duplex channel (tests, examples).
+//!   The channel carries **encoded frames**, not `Pdu` clones, so every
+//!   memory-transport test exercises the canonical wire codec and the
+//!   per-end version negotiation exactly like a socket would.
+//! * [`TcpTransport`] — a real socket for the router (client) side.
+//!
+//! The concurrent cache-side server lives in [`crate::server`]: a
+//! non-blocking event loop fanning shared response images to every
+//! session, replacing the old thread-per-connection server.
 
 use std::fmt;
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::Arc;
-use std::thread;
+use std::net::{SocketAddr, TcpStream};
 
 use bytes::BytesMut;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
 
-use crate::cache::{CacheServer, WireOutcome};
-use crate::pdu::{ErrorCode, Pdu, PduError, PROTOCOL_V0, PROTOCOL_V1};
-use crate::wire::{self, Negotiation};
+use crate::pdu::{Pdu, PduError, PROTOCOL_V0, PROTOCOL_V1};
+use crate::wire::{self, Negotiation, HEADER_LEN, MAX_PDU_LEN};
 
 /// Transport failures.
 #[derive(Debug)]
@@ -76,31 +78,81 @@ pub trait Transport {
 }
 
 /// One end of an in-memory duplex transport.
+///
+/// Sends travel the channel as encoded wire frames at the end's
+/// protocol version; receives run the zero-copy decoder and a real
+/// per-end [`Negotiation`] — the same codec path a socket exercises, so
+/// a PDU that cannot survive the wire cannot sneak through an in-memory
+/// test either.
 #[derive(Debug)]
 pub struct MemoryTransport {
-    tx: Sender<Pdu>,
-    rx: Receiver<Pdu>,
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    /// Received frame bytes not yet decoded (a sender always ships whole
+    /// frames, but the decoder must not rely on that).
+    buf: Vec<u8>,
+    version: u8,
+    negotiation: Negotiation,
 }
 
-/// Creates a connected pair of in-memory transports.
+/// Creates a connected pair of in-memory transports at protocol
+/// version 1.
 pub fn memory_pair() -> (MemoryTransport, MemoryTransport) {
+    memory_pair_with_version(PROTOCOL_V1)
+}
+
+/// Creates a connected pair of in-memory transports pinned to
+/// `version` on both ends.
+///
+/// # Panics
+///
+/// Panics on unknown versions.
+pub fn memory_pair_with_version(version: u8) -> (MemoryTransport, MemoryTransport) {
+    assert!(
+        version == PROTOCOL_V0 || version == PROTOCOL_V1,
+        "unknown protocol version {version}"
+    );
     let (tx_a, rx_a) = unbounded();
     let (tx_b, rx_b) = unbounded();
-    (
-        MemoryTransport { tx: tx_a, rx: rx_b },
-        MemoryTransport { tx: tx_b, rx: rx_a },
-    )
+    let end = |tx, rx| MemoryTransport {
+        tx,
+        rx,
+        buf: Vec::new(),
+        version,
+        negotiation: Negotiation::with_max(version),
+    };
+    (end(tx_a, rx_b), end(tx_b, rx_a))
 }
 
 impl Transport for MemoryTransport {
     fn send(&mut self, pdu: &Pdu) -> Result<(), TransportError> {
-        self.tx
-            .send(pdu.clone())
-            .map_err(|_| TransportError::Closed)
+        let mut frame = Vec::new();
+        pdu.as_wire().encode_into(self.version, &mut frame);
+        self.tx.send(frame).map_err(|_| TransportError::Closed)
     }
 
     fn recv(&mut self) -> Result<Pdu, TransportError> {
-        self.rx.recv().map_err(|_| TransportError::Closed)
+        loop {
+            if let Some(frame) = wire::decode_frame(&self.buf)? {
+                self.negotiation.accept(frame.version)?;
+                let pdu = frame.pdu.to_owned();
+                let used = frame.len;
+                self.buf.drain(..used);
+                return Ok(pdu);
+            }
+            match self.rx.recv() {
+                Ok(chunk) => self.buf.extend_from_slice(&chunk),
+                Err(_) if self.buf.is_empty() => return Err(TransportError::Closed),
+                Err(_) => {
+                    // The peer hung up mid-frame: a truncation, not a
+                    // clean close.
+                    return Err(TransportError::Protocol(PduError::BadLength {
+                        type_code: 0xFF,
+                        length: self.buf.len(),
+                    }));
+                }
+            }
+        }
     }
 }
 
@@ -179,6 +231,21 @@ impl Transport for TcpTransport {
 
     fn recv(&mut self) -> Result<Pdu, TransportError> {
         loop {
+            // Fail fast on a hostile length claim: the moment the 8-byte
+            // header is in, a declared frame length outside the legal
+            // PDU range is a CorruptData-class protocol error — the
+            // buffer must never grow toward a 4 GiB promise waiting for
+            // the decoder to see the "complete" frame.
+            if self.buf.len() >= HEADER_LEN {
+                let declared =
+                    u32::from_be_bytes(self.buf[4..8].try_into().expect("4 bytes")) as usize;
+                if !(HEADER_LEN..=MAX_PDU_LEN).contains(&declared) {
+                    return Err(TransportError::Protocol(PduError::BadLength {
+                        type_code: self.buf[1],
+                        length: declared,
+                    }));
+                }
+            }
             // Zero-copy decode straight from the receive buffer; the
             // owned Pdu is only materialized for accepted frames.
             if let Some(frame) = wire::decode_frame(&self.buf)? {
@@ -205,169 +272,14 @@ impl Transport for TcpTransport {
     }
 }
 
-/// A router connection's write handle paired with its negotiation
-/// state, so Serial Notify pushes go out at the version each session
-/// actually speaks.
-type Notifier = (TcpStream, Arc<Mutex<Negotiation>>);
-
-/// A threaded TCP cache server: the daemon on Figure 1's local cache,
-/// serving the VRP/PDU list to any number of routers.
-pub struct TcpCacheServer {
-    listener: TcpListener,
-    cache: Arc<Mutex<CacheServer>>,
-    notifiers: Arc<Mutex<Vec<Notifier>>>,
-}
-
-impl TcpCacheServer {
-    /// Binds a listener and wraps the cache state.
-    pub fn bind(addr: SocketAddr, cache: CacheServer) -> Result<TcpCacheServer, TransportError> {
-        Ok(TcpCacheServer {
-            listener: TcpListener::bind(addr)?,
-            cache: Arc::new(Mutex::new(cache)),
-            notifiers: Arc::new(Mutex::new(Vec::new())),
-        })
-    }
-
-    /// The bound address (useful with port 0).
-    pub fn local_addr(&self) -> SocketAddr {
-        self.listener.local_addr().expect("bound listener")
-    }
-
-    /// Shared handle to the cache state, e.g. to run
-    /// [`CacheServer::update`] while serving.
-    pub fn cache(&self) -> Arc<Mutex<CacheServer>> {
-        Arc::clone(&self.cache)
-    }
-
-    /// Replaces the cache's VRP set and pushes the resulting Serial Notify
-    /// to every connected router (RFC 8210 §5.2), pruning dead
-    /// connections. Each notify is encoded at the version that router's
-    /// session negotiated (a session that has not pinned yet gets the
-    /// cache's maximum). Returns the number of routers notified.
-    pub fn update_and_notify(&self, vrps: &[rpki_roa::Vrp]) -> usize {
-        let (notify, max_version) = {
-            let mut cache = self.cache.lock();
-            (cache.update(vrps), cache.version())
-        };
-        let mut notifiers = self.notifiers.lock();
-        notifiers.retain_mut(|(stream, negotiation)| {
-            let version = negotiation.lock().version().unwrap_or(max_version);
-            let mut bytes = BytesMut::new();
-            notify.encode_versioned(version, &mut bytes);
-            stream.write_all(&bytes).is_ok()
-        });
-        notifiers.len()
-    }
-
-    /// Accepts exactly `n` connections, serving each on its own thread,
-    /// then returns the join handles. (A production daemon would loop
-    /// forever; tests and examples want bounded accept counts.)
-    ///
-    /// Each connection runs the byte-level loop over
-    /// [`CacheServer::handle_wire`]: requests decode zero-copy out of
-    /// the receive buffer, responses encode at the session's negotiated
-    /// version, and a malformed frame or negotiation violation gets the
-    /// closing Error Report [`handle_wire`](CacheServer::handle_wire)
-    /// built (RFC 8210 §10) before the thread hangs up.
-    pub fn serve_connections(
-        &self,
-        n: usize,
-    ) -> Vec<thread::JoinHandle<Result<(), TransportError>>> {
-        let mut handles = Vec::with_capacity(n);
-        for _ in 0..n {
-            match self.listener.accept() {
-                Ok((mut stream, _)) => {
-                    let negotiation = Arc::new(Mutex::new(self.cache.lock().negotiation()));
-                    if let Ok(clone) = stream.try_clone() {
-                        self.notifiers
-                            .lock()
-                            .push((clone, Arc::clone(&negotiation)));
-                    }
-                    let cache = Arc::clone(&self.cache);
-                    handles.push(thread::spawn(move || {
-                        let is_hangup = |e: &std::io::Error| {
-                            matches!(
-                                e.kind(),
-                                std::io::ErrorKind::ConnectionReset
-                                    | std::io::ErrorKind::BrokenPipe
-                            )
-                        };
-                        let mut buf = BytesMut::with_capacity(4096);
-                        let mut out = Vec::with_capacity(4096);
-                        loop {
-                            let outcome = {
-                                let cache = cache.lock();
-                                let mut negotiation = negotiation.lock();
-                                cache.handle_wire(&buf, &mut negotiation, &mut out)
-                            };
-                            match outcome {
-                                WireOutcome::NeedBytes => {
-                                    let mut chunk = [0u8; 4096];
-                                    let n = match stream.read(&mut chunk) {
-                                        Ok(n) => n,
-                                        // A peer that vanishes mid-session
-                                        // (RST, broken pipe) is a normal
-                                        // hangup, not a server error.
-                                        Err(e) if is_hangup(&e) => return Ok(()),
-                                        Err(e) => return Err(TransportError::Io(e)),
-                                    };
-                                    if n == 0 {
-                                        if !buf.is_empty() {
-                                            // Mid-frame EOF: report the
-                                            // truncation; the peer may
-                                            // already be gone, so the
-                                            // write is best-effort.
-                                            let version = negotiation
-                                                .lock()
-                                                .version()
-                                                .unwrap_or_else(|| cache.lock().version());
-                                            let report = Pdu::ErrorReport {
-                                                code: ErrorCode::CorruptData,
-                                                pdu: bytes::Bytes::new(),
-                                                text: "truncated frame at end of stream".into(),
-                                            };
-                                            let mut bytes = BytesMut::new();
-                                            report.encode_versioned(version, &mut bytes);
-                                            let _ = stream.write_all(&bytes);
-                                        }
-                                        return Ok(());
-                                    }
-                                    buf.extend_from_slice(&chunk[..n]);
-                                }
-                                WireOutcome::Responded { consumed } => {
-                                    let _ = buf.split_to(consumed);
-                                    match stream.write_all(&out) {
-                                        Ok(()) => {}
-                                        Err(e) if is_hangup(&e) => return Ok(()),
-                                        Err(e) => return Err(TransportError::Io(e)),
-                                    }
-                                    out.clear();
-                                }
-                                WireOutcome::Teardown { .. } => {
-                                    // RFC 8210 §10: the Error Report is
-                                    // already in `out`; send it, then
-                                    // drop the session.
-                                    let _ = stream.write_all(&out);
-                                    return Ok(());
-                                }
-                            }
-                        }
-                    }));
-                }
-                Err(e) => {
-                    handles.push(thread::spawn(move || Err(TransportError::Io(e))));
-                }
-            }
-        }
-        handles
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::CacheServer;
     use crate::client::RouterClient;
     use rpki_roa::Vrp;
+    use std::net::TcpListener;
+    use std::thread;
 
     fn vrps(list: &[&str]) -> Vec<Vrp> {
         list.iter().map(|s| s.parse().unwrap()).collect()
@@ -394,62 +306,51 @@ mod tests {
         assert_eq!(router.vrps().len(), 2);
     }
 
+    // The channel carries frames, not Pdu clones: a PDU that cannot
+    // encode must fail at `send`, inside the codec, not arrive pristine
+    // on the other side. A nested Error Report is exactly the shape the
+    // encoder's nesting guard rejects (RFC 8210 §5.10) — the PR 7 panic
+    // a clone-passing channel would have hidden. The guard is a
+    // debug_assert, hence the cfg.
     #[test]
-    fn tcp_sync_and_incremental_update() {
-        let initial = vrps(&["10.0.0.0/8 => AS1"]);
-        let server = TcpCacheServer::bind(
-            "127.0.0.1:0".parse().unwrap(),
-            CacheServer::new(11, &initial),
-        )
-        .unwrap();
-        let addr = server.local_addr();
-        let cache = server.cache();
-        let accept_thread = thread::spawn(move || server.serve_connections(1));
-
-        let mut transport = TcpTransport::connect(addr).unwrap();
-        let mut router = RouterClient::new();
-        router.synchronize(&mut transport).unwrap();
-        assert_eq!(router.vrps().len(), 1);
-
-        // The cache learns a new ROA; the router catches up via a delta.
-        cache
-            .lock()
-            .update(&vrps(&["10.0.0.0/8 => AS1", "11.0.0.0/8 => AS2"]));
-        router.synchronize(&mut transport).unwrap();
-        assert_eq!(router.vrps().len(), 2);
-        assert_eq!(router.serial(), 1);
-
-        drop(transport);
-        for h in accept_thread.join().unwrap() {
-            h.join().unwrap().unwrap();
-        }
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "must not encapsulate an error report")]
+    fn memory_pair_exercises_the_wire_codec() {
+        let inner = Pdu::ErrorReport {
+            code: crate::pdu::ErrorCode::CorruptData,
+            pdu: bytes::Bytes::new(),
+            text: "inner".into(),
+        };
+        let nested = Pdu::ErrorReport {
+            code: crate::pdu::ErrorCode::CorruptData,
+            pdu: inner.to_bytes(),
+            text: "outer".into(),
+        };
+        let (mut a, _b) = memory_pair();
+        let _ = a.send(&nested);
     }
 
     #[test]
-    fn tcp_multiple_routers() {
-        let set = vrps(&["10.0.0.0/8 => AS1", "11.0.0.0/8 => AS2"]);
-        let server =
-            TcpCacheServer::bind("127.0.0.1:0".parse().unwrap(), CacheServer::new(3, &set))
-                .unwrap();
-        let addr = server.local_addr();
-        let accept_thread = thread::spawn(move || server.serve_connections(3));
-
-        let clients: Vec<_> = (0..3)
-            .map(|_| {
-                thread::spawn(move || {
-                    let mut t = TcpTransport::connect(addr).unwrap();
-                    let mut r = RouterClient::new();
-                    r.synchronize(&mut t).unwrap();
-                    r.vrps().len()
-                })
-            })
-            .collect();
-        for c in clients {
-            assert_eq!(c.join().unwrap(), 2);
-        }
-        for h in accept_thread.join().unwrap() {
-            h.join().unwrap().unwrap();
-        }
+    fn memory_pair_pins_version_like_a_socket() {
+        // A v0 end must reject a v1 frame exactly as the TCP transport
+        // would: the negotiation runs on the receive path.
+        let (mut v1, _keep) = memory_pair();
+        let (_other, mut v0) = memory_pair_with_version(PROTOCOL_V0);
+        // Graft the v1 sender onto the v0 receiver's channel.
+        v0.buf.clear();
+        let mut frame = Vec::new();
+        Pdu::ResetQuery
+            .as_wire()
+            .encode_into(PROTOCOL_V1, &mut frame);
+        v0.buf.extend_from_slice(&frame);
+        assert!(matches!(v0.recv(), Err(TransportError::Protocol(_))));
+        // And the v1 end happily receives its own version.
+        let mut echo = Vec::new();
+        Pdu::ResetQuery
+            .as_wire()
+            .encode_into(PROTOCOL_V1, &mut echo);
+        v1.buf.extend_from_slice(&echo);
+        assert_eq!(v1.recv().unwrap(), Pdu::ResetQuery);
     }
 
     #[test]
@@ -482,6 +383,48 @@ mod tests {
     }
 
     #[test]
+    fn tcp_hostile_length_claim_fails_fast() {
+        // An adversarial peer declares a ~4 GiB frame. The transport
+        // must reject it the moment the header arrives — with a
+        // CorruptData-class protocol error and without buffering toward
+        // the declared length.
+        use crate::pdu::ErrorCode;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            // version 1, type 4 (Prefix), zero field, length u32::MAX.
+            s.write_all(&[1, 4, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF]).unwrap();
+            s
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut t = TcpTransport::new(stream);
+        match t.recv() {
+            Err(TransportError::Protocol(e)) => {
+                assert!(
+                    matches!(
+                        e,
+                        PduError::BadLength {
+                            length: 0xFFFF_FFFF,
+                            ..
+                        }
+                    ),
+                    "expected the hostile length in the error, got {e:?}"
+                );
+                assert_eq!(e.error_code(), ErrorCode::CorruptData);
+            }
+            other => panic!("expected fail-fast protocol error, got {other:?}"),
+        }
+        // The 8 header bytes are all the transport ever held.
+        assert!(
+            t.buf.len() <= 8,
+            "buffer must not grow toward the declared length (held {})",
+            t.buf.len()
+        );
+        drop(writer.join().unwrap());
+    }
+
+    #[test]
     fn tcp_mid_pdu_close_is_protocol_error() {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
@@ -502,142 +445,5 @@ mod tests {
         drop(b);
         assert_eq!(a.send(&Pdu::ResetQuery), Err(TransportError::Closed));
         assert_eq!(a.recv().unwrap_err(), TransportError::Closed);
-    }
-}
-
-#[cfg(test)]
-mod notify_tests {
-    use super::*;
-    use crate::client::RouterClient;
-    use rpki_roa::Vrp;
-
-    fn vrps(list: &[&str]) -> Vec<Vrp> {
-        list.iter().map(|s| s.parse().unwrap()).collect()
-    }
-
-    #[test]
-    fn serial_notify_pushed_to_connected_routers() {
-        let initial = vrps(&["10.0.0.0/8 => AS1"]);
-        let server = TcpCacheServer::bind(
-            "127.0.0.1:0".parse().unwrap(),
-            CacheServer::new(77, &initial),
-        )
-        .unwrap();
-        let addr = server.local_addr();
-        let server = std::sync::Arc::new(server);
-        let accept = {
-            let server = std::sync::Arc::clone(&server);
-            thread::spawn(move || server.serve_connections(1))
-        };
-
-        let mut transport = TcpTransport::connect(addr).unwrap();
-        let mut router = RouterClient::new();
-        router.synchronize(&mut transport).unwrap();
-        assert_eq!(router.vrps().len(), 1);
-
-        // The cache learns new data and pushes a notify.
-        // (Wait for the accept thread to have registered the connection.)
-        let updated = vrps(&["10.0.0.0/8 => AS1", "11.0.0.0/8 => AS2"]);
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
-        loop {
-            if server.update_and_notify(&updated) >= 1 {
-                break;
-            }
-            assert!(
-                std::time::Instant::now() < deadline,
-                "router never registered"
-            );
-            thread::yield_now();
-        }
-
-        // The router hears the notify on its own socket, unprompted...
-        let pdu = transport.recv().unwrap();
-        assert!(matches!(pdu, Pdu::SerialNotify { session_id: 77, .. }));
-        // ...and reacts by re-synchronizing.
-        assert!(!router.handle(&pdu).unwrap());
-        router.synchronize(&mut transport).unwrap();
-        assert_eq!(router.vrps().len(), 2);
-
-        drop(transport);
-        for h in accept.join().unwrap() {
-            h.join().unwrap().unwrap();
-        }
-    }
-
-    #[test]
-    fn dead_connections_pruned_on_notify() {
-        let server = TcpCacheServer::bind(
-            "127.0.0.1:0".parse().unwrap(),
-            CacheServer::new(1, &vrps(&["10.0.0.0/8 => AS1"])),
-        )
-        .unwrap();
-        let addr = server.local_addr();
-        let server = std::sync::Arc::new(server);
-        let accept = {
-            let server = std::sync::Arc::clone(&server);
-            thread::spawn(move || server.serve_connections(1))
-        };
-        let transport = TcpTransport::connect(addr).unwrap();
-        // Wait until registered, then hang up without ever syncing.
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
-        loop {
-            if server.update_and_notify(&vrps(&["12.0.0.0/8 => AS1"])) >= 1 {
-                break;
-            }
-            assert!(std::time::Instant::now() < deadline);
-            thread::yield_now();
-        }
-        drop(transport);
-        for h in accept.join().unwrap() {
-            h.join().unwrap().unwrap();
-        }
-        // After the peer is gone, pushes eventually observe the dead pipe
-        // and prune it (a first write may still land in OS buffers).
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
-        loop {
-            let n = server.update_and_notify(&vrps(&["13.0.0.0/8 => AS1"]));
-            if n == 0 {
-                break;
-            }
-            assert!(
-                std::time::Instant::now() < deadline,
-                "dead peer never pruned"
-            );
-            thread::yield_now();
-        }
-    }
-}
-
-#[cfg(test)]
-mod error_report_tests {
-    use super::*;
-    use crate::pdu::ErrorCode;
-    use rpki_roa::Vrp;
-
-    #[test]
-    fn garbage_from_router_gets_error_report_then_close() {
-        let set: Vec<Vrp> = vec!["10.0.0.0/8 => AS1".parse().unwrap()];
-        let server =
-            TcpCacheServer::bind("127.0.0.1:0".parse().unwrap(), CacheServer::new(4, &set))
-                .unwrap();
-        let addr = server.local_addr();
-        let accept = thread::spawn(move || server.serve_connections(1));
-
-        // A raw client speaking nonsense (bad version byte).
-        let mut stream = TcpStream::connect(addr).unwrap();
-        stream.write_all(&[0x09, 2, 0, 0, 0, 0, 0, 8]).unwrap();
-        let mut t = TcpTransport::new(stream);
-        match t.recv().unwrap() {
-            Pdu::ErrorReport { code, text, .. } => {
-                assert_eq!(code, ErrorCode::UnsupportedVersion);
-                assert!(text.contains("version"));
-            }
-            other => panic!("expected error report, got {other:?}"),
-        }
-        // The cache then hangs up.
-        assert_eq!(t.recv().unwrap_err(), TransportError::Closed);
-        for h in accept.join().unwrap() {
-            h.join().unwrap().unwrap();
-        }
     }
 }

@@ -9,7 +9,6 @@
 //! cargo run --example rtr_pipeline
 //! ```
 
-use std::net::TcpListener;
 use std::thread;
 
 use maxlength_rpki::prelude::*;
@@ -17,7 +16,8 @@ use maxlength_rpki::roa::envelope::seal_roa;
 use maxlength_rpki::roa::scan::scan_dir;
 use maxlength_rpki::rtr::cache::CacheServer;
 use maxlength_rpki::rtr::client::RouterClient;
-use maxlength_rpki::rtr::transport::{TcpCacheServer, TcpTransport};
+use maxlength_rpki::rtr::server::TcpCacheServer;
+use maxlength_rpki::rtr::transport::TcpTransport;
 
 fn main() {
     // --- 1. A tiny RPKI repository on disk. -----------------------------
@@ -65,16 +65,15 @@ fn main() {
     );
 
     // --- 4. Serve the PDUs over rpki-rtr (RFC 8210). ---------------------
-    let listener_addr = {
-        // Grab a free port deterministically.
-        let l = TcpListener::bind("127.0.0.1:0").unwrap();
-        l.local_addr().unwrap()
-    };
-    let server = TcpCacheServer::bind(listener_addr, CacheServer::new(2017, &compressed))
-        .expect("bind cache server");
-    let addr = server.local_addr();
+    let server = TcpCacheServer::bind(
+        "127.0.0.1:0".parse().unwrap(),
+        CacheServer::new(2017, &compressed),
+    )
+    .expect("bind cache server");
+    let handle = server.handle();
+    let addr = handle.addr();
     println!("\nrpki-rtr cache listening on {addr}");
-    let accept = thread::spawn(move || server.serve_connections(1));
+    let serving = thread::spawn(move || server.serve());
 
     // --- 5. A router synchronizes and validates BGP updates (RFC 6811). --
     let mut transport = TcpTransport::connect(addr).expect("connect");
@@ -105,9 +104,8 @@ fn main() {
     }
 
     drop(transport);
-    for h in accept.join().expect("accept thread") {
-        h.join().expect("conn thread").expect("serve ok");
-    }
+    handle.shutdown();
+    serving.join().expect("serve thread").expect("serve ok");
     std::fs::remove_dir_all(&repo).ok();
     println!("\npipeline complete: no router-side changes needed (§7.1).");
 }

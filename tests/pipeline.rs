@@ -13,7 +13,8 @@ use maxlength_rpki::roa::envelope::{open_roa, seal_roa, EnvelopeError};
 use maxlength_rpki::roa::scan::scan_dir;
 use maxlength_rpki::rtr::cache::CacheServer;
 use maxlength_rpki::rtr::client::RouterClient;
-use maxlength_rpki::rtr::transport::{TcpCacheServer, TcpTransport};
+use maxlength_rpki::rtr::server::TcpCacheServer;
+use maxlength_rpki::rtr::transport::TcpTransport;
 
 fn generated_world() -> (Vec<Roa>, Vec<RouteOrigin>) {
     let world = World::generate(GeneratorConfig {
@@ -72,11 +73,10 @@ fn disk_to_router_pipeline() {
         CacheServer::new(2017, &compressed),
     )
     .unwrap();
-    let addr = server.local_addr();
-    let cache = server.cache();
-    let accept = thread::spawn(move || server.serve_connections(1));
+    let handle = server.handle();
+    let serving = thread::spawn(move || server.serve());
 
-    let mut transport = TcpTransport::connect(addr).unwrap();
+    let mut transport = TcpTransport::connect(handle.addr()).unwrap();
     let mut router = RouterClient::new();
     router.synchronize(&mut transport).unwrap();
     assert_eq!(router.vrps().len(), compressed.len());
@@ -91,15 +91,16 @@ fn disk_to_router_pipeline() {
     // --- Stage 6: the cache updates; the router follows the delta. -------
     let mut updated = compressed.clone();
     updated.truncate(updated.len() - updated.len() / 10);
-    cache.lock().update(&updated);
+    handle.with_cache(|cache| {
+        cache.update(&updated);
+    });
     router.synchronize(&mut transport).unwrap();
     assert_eq!(router.vrps().len(), updated.len());
     assert_eq!(router.serial(), 1);
 
     drop(transport);
-    for h in accept.join().unwrap() {
-        h.join().unwrap().unwrap();
-    }
+    handle.shutdown();
+    serving.join().unwrap().unwrap();
     std::fs::remove_dir_all(&repo).ok();
 }
 
