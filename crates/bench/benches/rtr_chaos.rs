@@ -1,0 +1,246 @@
+//! The chaos soak bench: recovery latency of the RFC 8210 timer layer
+//! under seeded fault injection.
+//!
+//! Phase A (untimed, correctness): for every fault profile
+//! (none/light/heavy) and a spread of seeds, a `ChaosSession` follows a
+//! seeded churn timeline and every settle must uphold the
+//! convergence-or-Stale invariant against an independent `CacheServer`
+//! replay — zero panics, zero livelocks (the settle loop's hard cap
+//! turns a livelock into a failure). One seed is replayed to assert the
+//! recovery trace is deterministic byte for byte.
+//!
+//! Phase B (timed): one churn epoch plus full settle under the light
+//! fault profile — the steady-state cost of running the fleet behind
+//! the fault-tolerant recovery loop rather than a bare synchronize.
+//!
+//! Recorded to the JSON trail: the timed settle cost, plus three soak
+//! metrics from the heavy-profile sweep — mean attempts per epoch,
+//! mean virtual recovery time, and the convergence rate.
+//!
+//! ```sh
+//! MAXLENGTH_CHAOS_SEEDS=64 cargo bench -p rpki-bench --bench rtr_chaos
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rpki_bench::harness::{record_bench_json, usize_from_env};
+use rpki_datasets::{ChurnConfig, ChurnGenerator, ChurnProfile};
+use rpki_roa::Vrp;
+use rpki_rtr::cache::CacheServer;
+use rpki_rtr::faults::{ChaosOptions, ChaosSession, FaultConfig};
+
+const SESSION: u16 = 78;
+
+/// The soak world: small enough that a full Reset Query rebuild (one
+/// frame per VRP) has a real chance of crossing a faulty pipe intact.
+/// Fault rates here are *per frame*, so survival of an n-frame response
+/// is `(1 - rate)^n` — tuning is against this curve, not intuition.
+fn initial_vrps() -> Vec<Vrp> {
+    (0..48u32)
+        .map(|i| {
+            format!(
+                "10.{}.{}.0/24 => AS{}",
+                (i >> 8) & 0xFF,
+                i & 0xFF,
+                64496 + i
+            )
+            .parse()
+            .unwrap()
+        })
+        .collect()
+}
+
+/// Scales every per-frame fault rate, mapping the small-epoch test
+/// profiles onto soak-sized responses (tens of frames per exchange).
+fn scaled(config: FaultConfig, by: f64) -> FaultConfig {
+    FaultConfig {
+        drop: config.drop * by,
+        truncate: config.truncate * by,
+        corrupt: config.corrupt * by,
+        garbage: config.garbage * by,
+        stall: config.stall * by,
+        disconnect: config.disconnect * by,
+    }
+}
+
+/// Soak counters from one full chaos run.
+#[derive(Debug, Default, Clone, Copy)]
+struct Soak {
+    epochs: usize,
+    attempts: u64,
+    virtual_ns: f64,
+    converged: usize,
+}
+
+/// Runs one seeded chaos session over the timeline, asserting the
+/// invariant and the oracle identity at every epoch.
+fn run_chaos(
+    seed: u64,
+    profile: FaultConfig,
+    initial: &[Vrp],
+    epochs: &[(Vec<Vrp>, Vec<Vrp>)],
+) -> (Soak, Vec<rpki_rtr::TraceEvent>) {
+    let mut soak = Soak::default();
+    let mut oracle = CacheServer::new(SESSION, initial);
+    let mut chaos =
+        ChaosSession::with_options(SESSION, initial, seed, profile, ChaosOptions::default());
+    for (announced, withdrawn) in epochs {
+        oracle.update_delta(announced, withdrawn);
+        chaos.apply_epoch(announced, withdrawn);
+        let settled = chaos.settle();
+        assert!(
+            settled.invariant_holds(),
+            "seed {seed}: chaos invariant violated (converged={}, freshness={:?})",
+            settled.converged,
+            settled.freshness
+        );
+        if settled.converged {
+            assert!(
+                chaos.router().vrps().iter().eq(oracle.vrps())
+                    && chaos.router().serial() == oracle.serial(),
+                "seed {seed}: converged router diverges from the oracle replay"
+            );
+            soak.converged += 1;
+        }
+        soak.epochs += 1;
+        soak.attempts += u64::from(settled.attempts);
+        soak.virtual_ns += settled.virtual_elapsed.as_nanos() as f64;
+    }
+    (soak, chaos.trace().to_vec())
+}
+
+fn bench_rtr_chaos(c: &mut Criterion) {
+    let seeds = usize_from_env("MAXLENGTH_CHAOS_SEEDS", 20);
+    let epochs = usize_from_env("MAXLENGTH_EPOCHS", 6);
+    let initial = initial_vrps();
+    let timeline = ChurnGenerator::new(
+        initial.iter().copied(),
+        ChurnConfig {
+            epochs,
+            events_per_epoch: 16,
+            profile: ChurnProfile::Mixed,
+            ..ChurnConfig::default()
+        },
+    )
+    .generate();
+    let deltas: Vec<(Vec<Vrp>, Vec<Vrp>)> = timeline
+        .epochs
+        .iter()
+        .map(|e| (e.announced.clone(), e.withdrawn.clone()))
+        .collect();
+
+    // ---- Phase A: the invariant sweep across profiles and seeds. ------
+    println!(
+        "rtr_chaos: {} seeds x {} epochs over {} initial VRPs",
+        seeds,
+        deltas.len(),
+        timeline.initial.len()
+    );
+    let mut heavy = Soak::default();
+    for (name, profile) in [
+        ("none", FaultConfig::none()),
+        ("light", scaled(FaultConfig::light(), 0.1)),
+        ("heavy", scaled(FaultConfig::heavy(), 0.1)),
+    ] {
+        let mut total = Soak::default();
+        for seed in 0..seeds as u64 {
+            let (soak, _) = run_chaos(seed, profile, &timeline.initial, &deltas);
+            total.epochs += soak.epochs;
+            total.attempts += soak.attempts;
+            total.virtual_ns += soak.virtual_ns;
+            total.converged += soak.converged;
+        }
+        println!(
+            " {name:>5}: {:.2} attempts/epoch, {:.1}s virtual recovery/epoch, \
+             {:.1}% converged",
+            total.attempts as f64 / total.epochs as f64,
+            total.virtual_ns / total.epochs as f64 / 1e9,
+            100.0 * total.converged as f64 / total.epochs as f64,
+        );
+        if name == "none" {
+            assert_eq!(
+                total.converged, total.epochs,
+                "the fault-free profile must always converge"
+            );
+        }
+        if name == "heavy" {
+            heavy = total;
+        }
+    }
+
+    // ---- The determinism gate: one seed, two runs, identical traces. --
+    let soak_heavy = scaled(FaultConfig::heavy(), 0.1);
+    let (_, trace_a) = run_chaos(7, soak_heavy, &timeline.initial, &deltas);
+    let (_, trace_b) = run_chaos(7, soak_heavy, &timeline.initial, &deltas);
+    assert_eq!(
+        trace_a, trace_b,
+        "the same seed must replay the same recovery trace"
+    );
+    println!(
+        "determinism: seed 7 replays {} trace events byte-for-byte",
+        trace_a.len()
+    );
+
+    // ---- Phase B: timed epoch + settle under the light profile. -------
+    let block: Vec<Vrp> = (0..16u32)
+        .map(|i| {
+            format!("203.0.{}.0/24 => AS{}", i, 64900 + i)
+                .parse()
+                .unwrap()
+        })
+        .collect();
+    let mut chaos = ChaosSession::with_options(
+        SESSION,
+        &timeline.initial,
+        11,
+        scaled(FaultConfig::light(), 0.1),
+        ChaosOptions::default(),
+    );
+    assert!(chaos.settle().invariant_holds());
+    let mut group = c.benchmark_group("rtr_chaos");
+    group.sample_size(10);
+    let mut settle_ns = 0.0f64;
+    let mut announce = true;
+    group.bench_function("settle", |b| {
+        b.iter(|| {
+            if announce {
+                chaos.apply_epoch(&block, &[]);
+            } else {
+                chaos.apply_epoch(&[], &block);
+            }
+            announce = !announce;
+            let settled = chaos.settle();
+            assert!(settled.invariant_holds());
+            settled.attempts
+        });
+        settle_ns = b.mean_ns();
+    });
+    group.finish();
+
+    record_bench_json("rtr_chaos/settle", seeds as f64, settle_ns);
+    record_bench_json(
+        "rtr_chaos/attempts-per-epoch",
+        seeds as f64,
+        heavy.attempts as f64 / heavy.epochs as f64,
+    );
+    record_bench_json(
+        "rtr_chaos/virtual-recovery-ns",
+        seeds as f64,
+        heavy.virtual_ns / heavy.epochs as f64,
+    );
+    record_bench_json(
+        "rtr_chaos/converged-rate",
+        seeds as f64,
+        heavy.converged as f64 / heavy.epochs as f64,
+    );
+    println!(
+        "rtr_chaos: settle {:.2} ms/epoch under light faults; heavy profile \
+         {:.2} attempts/epoch, {:.1}% converged",
+        settle_ns / 1e6,
+        heavy.attempts as f64 / heavy.epochs as f64,
+        100.0 * heavy.converged as f64 / heavy.epochs as f64,
+    );
+}
+
+criterion_group!(benches, bench_rtr_chaos);
+criterion_main!(benches);

@@ -165,6 +165,23 @@ impl CacheServer {
         self.serial
     }
 
+    /// The Refresh/Retry/Expire parameters advertised in v1 End of Data
+    /// PDUs (RFC 8210 §6).
+    pub fn timing(&self) -> Timing {
+        self.timing
+    }
+
+    /// Replaces the advertised timing parameters. Routers pick the new
+    /// intervals up with their next End of Data; tests shrink them so
+    /// freshness transitions happen in virtual seconds instead of
+    /// hours. Callers running behind a [`crate::server::FanoutServer`]
+    /// must mutate through [`crate::server::FanoutServer::with_cache`]
+    /// so the shared response images (which embed End of Data bytes)
+    /// are invalidated.
+    pub fn set_timing(&mut self, timing: Timing) {
+        self.timing = timing;
+    }
+
     /// How many deltas the history currently retains (at most
     /// [`HISTORY_WINDOW`]) — the fan-out server uses this to key shared
     /// delta images by lag.

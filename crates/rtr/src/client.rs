@@ -5,13 +5,28 @@
 //! the cache sends Cache Reset or changes sessions; reject protocol
 //! violations (withdrawals of unknown records, duplicate announcements)
 //! with the RFC's error codes.
+//!
+//! The client also tracks the RFC 8210 §6 data-freshness timers: every
+//! End of Data stamps the synchronization time on the client's
+//! [`Clock`] and records the cache's advertised Refresh/Retry/Expire
+//! parameters. [`RouterClient::freshness`] grades the held set against
+//! those intervals ([`Freshness`]), and [`RouterClient::flush_expired`]
+//! implements the §6 mandate that data past the Expire interval must
+//! stop being used. Recovery hooks — [`RouterClient::abort_response`]
+//! for a transport that died mid-response,
+//! [`RouterClient::force_reset`] for the fall-back-to-Reset-Query
+//! policy, [`RouterClient::renegotiate`] for a fresh connection — give
+//! drivers ([`crate::session::LiveSession`], [`crate::faults`]) the
+//! exact RFC-shaped moves without reaching into the state machine.
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::time::Duration;
 
 use rpki_roa::Vrp;
 
-use crate::pdu::{ErrorCode, Flags, Pdu, PROTOCOL_V0, PROTOCOL_V1};
+use crate::clock::Clock;
+use crate::pdu::{ErrorCode, Flags, Pdu, Timing, PROTOCOL_V0, PROTOCOL_V1};
 use crate::transport::{Transport, TransportError};
 
 /// Synchronization state of the router.
@@ -88,6 +103,24 @@ impl ClientError {
     }
 }
 
+/// How fresh the router's held VRP set is, graded against the cache's
+/// advertised RFC 8210 §6 intervals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Freshness {
+    /// Synchronized within the Refresh interval: the data is current.
+    Fresh,
+    /// The Refresh interval has passed without a successful update; the
+    /// data is usable but aging (`age` = time since the last End of
+    /// Data).
+    Stale {
+        /// Time since the last successful synchronization.
+        age: Duration,
+    },
+    /// The Expire interval has passed (or the router never
+    /// synchronized): the data must not be used for validation.
+    Expired,
+}
+
 /// The router-side state machine.
 #[derive(Debug, Clone)]
 pub struct RouterClient {
@@ -100,6 +133,18 @@ pub struct RouterClient {
     /// The protocol version this router speaks on the wire. Transports
     /// consult this when encoding queries; see [`RouterClient::downgrade_to`].
     version: u8,
+    /// The version the router opens fresh connections with; a downgrade
+    /// lowers `version` for the current connection only, and
+    /// [`RouterClient::renegotiate`] restores this on the next one.
+    preferred_version: u8,
+    /// The timers behind [`RouterClient::freshness`].
+    clock: Clock,
+    /// When the last End of Data was processed, on `clock`'s timeline.
+    synced_at: Option<Duration>,
+    /// The cache's advertised Refresh/Retry/Expire intervals, from the
+    /// last v1 End of Data (RFC 8210 defaults until then, which is also
+    /// what a v0 session runs on).
+    timing: Timing,
 }
 
 impl Default for RouterClient {
@@ -131,12 +176,34 @@ impl RouterClient {
             vrps: BTreeSet::new(),
             staging: BTreeSet::new(),
             version,
+            preferred_version: version,
+            clock: Clock::system(),
+            synced_at: None,
+            timing: Timing::default(),
         }
+    }
+
+    /// Replaces the clock the freshness timers run on. Tests install a
+    /// [`Clock::manual`] here so Refresh/Expire transitions are driven
+    /// explicitly instead of by wall time.
+    pub fn set_clock(&mut self, clock: Clock) {
+        self.clock = clock;
+    }
+
+    /// The clock the freshness timers run on.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
     }
 
     /// The protocol version this router speaks.
     pub fn version(&self) -> u8 {
         self.version
+    }
+
+    /// The version this router opens fresh connections with (unchanged
+    /// by per-connection downgrades).
+    pub fn preferred_version(&self) -> u8 {
+        self.preferred_version
     }
 
     /// Downgrades to a lower protocol version after the cache rejected
@@ -164,9 +231,92 @@ impl RouterClient {
         self.reset();
     }
 
+    /// Starts version negotiation from scratch for a fresh connection:
+    /// a router that downgraded on its previous connection must re-open
+    /// at its preferred version, not inherit the downgrade (RFC 8210
+    /// §7 — the negotiated version is per-connection state). If the
+    /// version changes, the session restarts (a version change is a new
+    /// session); otherwise the synchronized state is kept so the new
+    /// connection can resume with a Serial Query.
+    pub fn renegotiate(&mut self) {
+        if self.version != self.preferred_version {
+            self.version = self.preferred_version;
+            self.reset();
+        }
+    }
+
     /// The current state.
     pub fn state(&self) -> ClientState {
         self.state
+    }
+
+    /// Grades the held data against the cache's Refresh/Expire
+    /// intervals (RFC 8210 §6): [`Freshness::Fresh`] within Refresh of
+    /// the last End of Data, [`Freshness::Stale`] between Refresh and
+    /// Expire, [`Freshness::Expired`] past Expire — or if the router
+    /// never synchronized at all.
+    pub fn freshness(&self) -> Freshness {
+        let Some(synced_at) = self.synced_at else {
+            return Freshness::Expired;
+        };
+        let age = self.clock.now().saturating_sub(synced_at);
+        if age <= Duration::from_secs(u64::from(self.timing.refresh)) {
+            Freshness::Fresh
+        } else if age <= Duration::from_secs(u64::from(self.timing.expire)) {
+            Freshness::Stale { age }
+        } else {
+            Freshness::Expired
+        }
+    }
+
+    /// The cache's advertised timing parameters from the last End of
+    /// Data (RFC 8210 defaults until one arrives).
+    pub fn timing(&self) -> Timing {
+        self.timing
+    }
+
+    /// When the last successful synchronization completed, on the
+    /// client's clock timeline.
+    pub fn last_synchronized(&self) -> Option<Duration> {
+        self.synced_at
+    }
+
+    /// Enforces the Expire mandate (RFC 8210 §6): once the held data is
+    /// [`Freshness::Expired`], it must stop being used — the set is
+    /// flushed and the session restarts from a Reset Query. Returns
+    /// `true` if data was flushed.
+    pub fn flush_expired(&mut self) -> bool {
+        if self.freshness() != Freshness::Expired || self.vrps.is_empty() {
+            return false;
+        }
+        self.vrps.clear();
+        self.serial = 0;
+        self.reset();
+        true
+    }
+
+    /// Abandons a response the transport failed to deliver to
+    /// completion. A serial (delta) response applies to the live set as
+    /// it arrives, so a connection that dies mid-delta leaves the set
+    /// half-mutated at the old serial; resuming with a Serial Query
+    /// from there would double-apply the delta. The only safe recovery
+    /// is a full resynchronization — drop to unsynchronized so the next
+    /// query is a Reset Query and the rebuilt set replaces the tainted
+    /// one atomically. A failure outside a response is harmless and
+    /// changes nothing.
+    pub fn abort_response(&mut self) {
+        if matches!(self.state, ClientState::Receiving { .. }) {
+            self.reset();
+        }
+    }
+
+    /// Forces the next query to be a Reset Query, keeping the held data
+    /// until the fresh set arrives (graceful restart). This is the
+    /// fall-back a router takes after repeated serial-query failures:
+    /// stop trying to catch up incrementally, rebuild from the
+    /// snapshot.
+    pub fn force_reset(&mut self) {
+        self.reset();
     }
 
     /// The serial the router is synchronized to.
@@ -241,7 +391,9 @@ impl RouterClient {
             (
                 ClientState::Receiving { reset },
                 Pdu::EndOfData {
-                    session_id, serial, ..
+                    session_id,
+                    serial,
+                    timing,
                 },
             ) => {
                 if Some(*session_id) != self.session_id {
@@ -253,6 +405,11 @@ impl RouterClient {
                 }
                 self.serial = *serial;
                 self.state = ClientState::Synchronized;
+                // The End of Data is the §6 synchronization point: the
+                // freshness timers restart here, on the cache's (v1)
+                // advertised intervals.
+                self.timing = *timing;
+                self.synced_at = Some(self.clock.now());
                 Ok(true)
             }
             (_, Pdu::CacheReset) => {
@@ -501,6 +658,145 @@ mod tests {
     fn upgrade_is_rejected() {
         let mut c = RouterClient::with_version(PROTOCOL_V0);
         c.downgrade_to(PROTOCOL_V1);
+    }
+
+    #[test]
+    fn renegotiate_restores_preferred_version() {
+        let mut c = synced();
+        c.downgrade_to(PROTOCOL_V0);
+        assert_eq!(c.version(), PROTOCOL_V0);
+        assert_eq!(c.preferred_version(), PROTOCOL_V1);
+        // A fresh connection negotiates from scratch: back to v1, and
+        // the downgraded session's state is void.
+        c.renegotiate();
+        assert_eq!(c.version(), PROTOCOL_V1);
+        assert_eq!(c.state(), ClientState::Unsynchronized);
+    }
+
+    #[test]
+    fn renegotiate_at_preferred_version_resumes() {
+        let mut c = synced();
+        c.renegotiate();
+        // No version change: the new connection may resume with a
+        // Serial Query (serial/session survive reconnects, RFC 8210 §5.3).
+        assert_eq!(c.state(), ClientState::Synchronized);
+        assert!(matches!(c.query(), Pdu::SerialQuery { .. }));
+    }
+
+    fn manual_synced(timing: Timing) -> (RouterClient, Clock) {
+        let clock = Clock::manual();
+        let mut c = RouterClient::new();
+        c.set_clock(clock.clone());
+        c.handle(&Pdu::CacheResponse { session_id: 7 }).unwrap();
+        c.handle(&announce("10.0.0.0/8 => AS1")).unwrap();
+        c.handle(&Pdu::EndOfData {
+            session_id: 7,
+            serial: 1,
+            timing,
+        })
+        .unwrap();
+        (c, clock)
+    }
+
+    #[test]
+    fn freshness_follows_the_advertised_intervals() {
+        let timing = Timing {
+            refresh: 10,
+            retry: 2,
+            expire: 30,
+        };
+        let (c, clock) = manual_synced(timing);
+        assert_eq!(c.timing(), timing);
+        assert_eq!(c.freshness(), Freshness::Fresh);
+        clock.advance(Duration::from_secs(10));
+        assert_eq!(c.freshness(), Freshness::Fresh, "refresh edge inclusive");
+        clock.advance(Duration::from_secs(1));
+        assert_eq!(
+            c.freshness(),
+            Freshness::Stale {
+                age: Duration::from_secs(11)
+            }
+        );
+        clock.advance(Duration::from_secs(20));
+        assert_eq!(c.freshness(), Freshness::Expired);
+    }
+
+    #[test]
+    fn never_synchronized_is_expired() {
+        assert_eq!(RouterClient::new().freshness(), Freshness::Expired);
+    }
+
+    #[test]
+    fn resync_restarts_the_freshness_timers() {
+        let timing = Timing {
+            refresh: 10,
+            retry: 2,
+            expire: 30,
+        };
+        let (mut c, clock) = manual_synced(timing);
+        clock.advance(Duration::from_secs(15));
+        assert!(matches!(c.freshness(), Freshness::Stale { .. }));
+        c.handle(&Pdu::CacheResponse { session_id: 7 }).unwrap();
+        c.handle(&Pdu::EndOfData {
+            session_id: 7,
+            serial: 2,
+            timing,
+        })
+        .unwrap();
+        assert_eq!(c.freshness(), Freshness::Fresh);
+        assert_eq!(c.last_synchronized(), Some(Duration::from_secs(15)));
+    }
+
+    #[test]
+    fn flush_expired_drops_data_and_resets() {
+        let (mut c, clock) = manual_synced(Timing {
+            refresh: 4,
+            retry: 1,
+            expire: 12,
+        });
+        assert!(!c.flush_expired(), "fresh data must not be flushed");
+        clock.advance(Duration::from_secs(13));
+        assert_eq!(c.freshness(), Freshness::Expired);
+        assert!(c.flush_expired());
+        assert!(c.vrps().is_empty(), "expired data must stop being used");
+        assert_eq!(c.state(), ClientState::Unsynchronized);
+        assert_eq!(c.query(), Pdu::ResetQuery);
+        assert!(!c.flush_expired(), "nothing left to flush");
+    }
+
+    #[test]
+    fn abort_response_mid_delta_forces_full_resync() {
+        let mut c = synced();
+        c.handle(&Pdu::CacheResponse { session_id: 7 }).unwrap();
+        c.handle(&announce("12.0.0.0/8 => AS3")).unwrap();
+        // The connection dies before End of Data: the live set holds
+        // half a delta. Resuming by serial would double-apply it.
+        c.abort_response();
+        assert_eq!(c.state(), ClientState::Unsynchronized);
+        assert_eq!(c.query(), Pdu::ResetQuery);
+        // The tainted set is still visible (graceful restart) until the
+        // reset response swaps in a clean one.
+        assert_eq!(c.vrps().len(), 2);
+        c.handle(&Pdu::CacheResponse { session_id: 9 }).unwrap();
+        c.handle(&announce("10.0.0.0/8 => AS1")).unwrap();
+        c.handle(&eod(9, 5)).unwrap();
+        assert_eq!(c.vrps().len(), 1, "rebuild replaces the tainted set");
+    }
+
+    #[test]
+    fn abort_response_outside_a_response_is_a_noop() {
+        let mut c = synced();
+        c.abort_response();
+        assert_eq!(c.state(), ClientState::Synchronized);
+        assert!(matches!(c.query(), Pdu::SerialQuery { .. }));
+    }
+
+    #[test]
+    fn force_reset_falls_back_to_reset_query() {
+        let mut c = synced();
+        c.force_reset();
+        assert_eq!(c.query(), Pdu::ResetQuery);
+        assert_eq!(c.vrps().len(), 1, "data kept until the rebuild lands");
     }
 }
 

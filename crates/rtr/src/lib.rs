@@ -30,6 +30,13 @@
 //! * [`session`] — a cache ↔ router pair joined by in-memory byte
 //!   pipes, driving churn timelines through the fan-out core as real
 //!   PDUs.
+//! * [`clock`] — virtual time: every RFC 8210 timer reads a [`Clock`]
+//!   that tests drive manually, so timer behaviour is deterministic.
+//! * [`faults`] — seeded, replayable fault injection ([`FaultPlan`],
+//!   [`FaultyTransport`]) and the chaos recovery harness
+//!   ([`ChaosSession`]): capped backoff, Reset Query fallback, stale
+//!   flushing, and the convergence-or-Stale invariant the chaos suite
+//!   gates on.
 //!
 //! ```
 //! use rpki_rtr::cache::CacheServer;
@@ -53,6 +60,8 @@
 
 pub mod cache;
 pub mod client;
+pub mod clock;
+pub mod faults;
 pub mod pdu;
 pub mod server;
 pub mod session;
@@ -60,10 +69,15 @@ pub mod transport;
 pub mod wire;
 
 pub use cache::{CacheServer, WireOutcome};
-pub use client::RouterClient;
+pub use client::{Freshness, RouterClient};
+pub use clock::Clock;
+pub use faults::{
+    Backoff, ChaosOptions, ChaosSession, FaultAction, FaultConfig, FaultPlan, FaultyTransport,
+    RecoveryConfig, Settled, TraceEvent,
+};
 pub use pdu::{Pdu, PduError, PROTOCOL_V0, PROTOCOL_V1};
 pub use server::{
     FanoutServer, FanoutStats, ServerConfig, ServerHandle, SessionId, TcpCacheServer,
 };
-pub use session::{LiveSession, SessionError, SyncStats};
+pub use session::{LiveSession, SessionConfig, SessionError, SyncStats};
 pub use wire::{decode_frame, ErrorClass, Frame, Negotiation, PduRef};

@@ -64,6 +64,7 @@ use parking_lot::Mutex;
 use rpki_roa::Vrp;
 
 use crate::cache::{frame_extent, CacheServer};
+use crate::clock::Clock;
 use crate::pdu::Pdu;
 use crate::transport::TransportError;
 use crate::wire::{self, Negotiation, PduError};
@@ -80,12 +81,31 @@ pub struct ServerConfig {
     /// set below the full-response size without deadlocking a slow but
     /// draining consumer.
     pub outbox_limit: usize,
+    /// How long the TCP event loop sleeps after a pass that made no
+    /// progress — the latency/CPU trade-off knob for the single-thread
+    /// multiplexer.
+    pub poll_interval: Duration,
+    /// Sessions with no inbound bytes for this long are evicted
+    /// ([`FanoutServer::evict_idle`], measured on the server's
+    /// [`Clock`]). `None` (the default) never evicts — RFC 8210 routers
+    /// legitimately sit silent between Serial Notifies, so eviction is
+    /// an operator policy, not a protocol requirement.
+    pub idle_timeout: Option<Duration>,
+    /// Minimum spacing between Serial Notifies to any one session;
+    /// notifies landing inside the window are skipped (Serial Notify is
+    /// advisory — the router's next poll catches it up). `Duration::ZERO`
+    /// (the default) never paces. RFC 8210 §8 expects caches to rate-limit
+    /// notifies so churny epochs do not turn into a notify flood.
+    pub notify_min_interval: Duration,
 }
 
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
         ServerConfig {
             outbox_limit: 1 << 20,
+            poll_interval: Duration::from_micros(200),
+            idle_timeout: None,
+            notify_min_interval: Duration::ZERO,
         }
     }
 }
@@ -109,6 +129,11 @@ pub struct FanoutStats {
     pub dropped_bytes: usize,
     /// Sessions torn down over wire or negotiation errors.
     pub teardowns: usize,
+    /// Sessions evicted for exceeding [`ServerConfig::idle_timeout`].
+    pub evictions: usize,
+    /// Serial Notifies skipped by [`ServerConfig::notify_min_interval`]
+    /// pacing.
+    pub notifies_paced: usize,
 }
 
 /// A queued outbound byte image: either one of the epoch's shared
@@ -162,6 +187,15 @@ struct Session {
     /// Set when the session hit a wire/negotiation error; the closing
     /// Error Report is the last chunk this outbox will ever hold.
     teardown: Option<PduError>,
+    /// When the session last produced inbound bytes (or was opened), on
+    /// the server's clock — the idle-eviction reference point.
+    last_activity: Duration,
+    /// When the session was last sent a Serial Notify — the pacing
+    /// reference point.
+    last_notify: Option<Duration>,
+    /// Set by [`FanoutServer::evict_idle`]; an evicted session reports
+    /// [`FanoutServer::is_finished`] so the driver closes it.
+    evicted: bool,
 }
 
 /// The per-epoch shared serialization store. All images are built
@@ -332,6 +366,9 @@ pub struct FanoutServer {
     next_id: SessionId,
     config: ServerConfig,
     stats: FanoutStats,
+    /// Drives idle-eviction and notify-pacing deadlines; manual under
+    /// test, system in deployment.
+    clock: Clock,
 }
 
 impl FanoutServer {
@@ -340,8 +377,14 @@ impl FanoutServer {
         FanoutServer::with_config(cache, ServerConfig::default())
     }
 
-    /// Wraps a cache with explicit tuning.
+    /// Wraps a cache with explicit tuning, on the system clock.
     pub fn with_config(cache: CacheServer, config: ServerConfig) -> FanoutServer {
+        FanoutServer::with_clock(cache, config, Clock::system())
+    }
+
+    /// Wraps a cache with explicit tuning on an explicit [`Clock`] —
+    /// tests drive idle/pacing deadlines with [`Clock::manual`].
+    pub fn with_clock(cache: CacheServer, config: ServerConfig, clock: Clock) -> FanoutServer {
         FanoutServer {
             cache,
             images: ImageStore::default(),
@@ -349,12 +392,23 @@ impl FanoutServer {
             next_id: 1,
             config,
             stats: FanoutStats::default(),
+            clock,
         }
     }
 
     /// The wrapped cache.
     pub fn cache(&self) -> &CacheServer {
         &self.cache
+    }
+
+    /// The configured tuning knobs.
+    pub fn config(&self) -> ServerConfig {
+        self.config
+    }
+
+    /// The clock the timer policies run on.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
     }
 
     /// Mutable access to the wrapped cache, e.g. for a silent update
@@ -391,6 +445,9 @@ impl FanoutServer {
                 outbox: VecDeque::new(),
                 queued: 0,
                 teardown: None,
+                last_activity: self.clock.now(),
+                last_notify: None,
+                evicted: false,
             },
         );
         id
@@ -435,15 +492,41 @@ impl FanoutServer {
             .as_ref()
     }
 
-    /// `true` once the session is torn down *and* its closing report has
-    /// been fully consumed — the driver should now close the connection.
+    /// `true` once the driver should close the connection: the session
+    /// was evicted for idleness, or it is torn down *and* its closing
+    /// report has been fully consumed.
     ///
     /// # Panics
     ///
     /// Panics if `id` is not an open session.
     pub fn is_finished(&self, id: SessionId) -> bool {
         let session = self.sessions.get(&id).expect("unknown session");
-        session.teardown.is_some() && session.queued == 0
+        session.evicted || (session.teardown.is_some() && session.queued == 0)
+    }
+
+    /// Evicts every live session whose last inbound activity is at
+    /// least [`ServerConfig::idle_timeout`] ago, returning their ids
+    /// (sorted). Evicted sessions report [`FanoutServer::is_finished`]
+    /// and ignore further input; the driver closes them. A `None`
+    /// timeout evicts nothing.
+    pub fn evict_idle(&mut self) -> Vec<SessionId> {
+        let Some(timeout) = self.config.idle_timeout else {
+            return Vec::new();
+        };
+        let now = self.clock.now();
+        let mut evicted = Vec::new();
+        for (id, session) in &mut self.sessions {
+            if session.evicted || session.teardown.is_some() {
+                continue;
+            }
+            if now.saturating_sub(session.last_activity) >= timeout {
+                session.evicted = true;
+                self.stats.evictions += 1;
+                evicted.push(*id);
+            }
+        }
+        evicted.sort_unstable();
+        evicted
     }
 
     /// Feeds received bytes to a session's state machine, queueing any
@@ -461,9 +544,10 @@ impl FanoutServer {
             .sessions
             .get_mut(&id)
             .expect("receive on unknown session");
-        if session.teardown.is_some() {
+        if session.teardown.is_some() || session.evicted {
             return;
         }
+        session.last_activity = self.clock.now();
         session.inbox.extend_from_slice(bytes);
         let max_version = self.cache.version();
         let mut consumed = 0usize;
@@ -591,11 +675,22 @@ impl FanoutServer {
         // New serial: yesterday's images must never be served again.
         self.images = ImageStore::default();
         let max_version = self.cache.version();
+        let now = self.clock.now();
         let mut notified = 0usize;
         for session in self.sessions.values_mut() {
-            if session.teardown.is_some() {
+            if session.teardown.is_some() || session.evicted {
                 continue;
             }
+            // Pacing: a notify inside the minimum interval is skipped,
+            // not queued — Serial Notify is advisory, and the session's
+            // next poll (or the next unpaced notify) catches it up.
+            if let Some(last) = session.last_notify {
+                if now.saturating_sub(last) < self.config.notify_min_interval {
+                    self.stats.notifies_paced += 1;
+                    continue;
+                }
+            }
+            session.last_notify = Some(now);
             let version = session.negotiation.version().unwrap_or(max_version);
             let img = self.images.notify(&self.cache, &mut self.stats, version);
             enqueue(
@@ -792,12 +887,24 @@ impl TcpCacheServer {
         cache: CacheServer,
         config: ServerConfig,
     ) -> Result<TcpCacheServer, TransportError> {
+        TcpCacheServer::bind_with_clock(addr, cache, config, Clock::system())
+    }
+
+    /// Binds with explicit tuning on an explicit [`Clock`] — tests
+    /// drive idle eviction with a [`Clock::manual`] instead of waiting
+    /// out real deadlines.
+    pub fn bind_with_clock(
+        addr: SocketAddr,
+        cache: CacheServer,
+        config: ServerConfig,
+        clock: Clock,
+    ) -> Result<TcpCacheServer, TransportError> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         Ok(TcpCacheServer {
             listener,
             shared: Arc::new(Shared {
-                core: Mutex::new(FanoutServer::with_config(cache, config)),
+                core: Mutex::new(FanoutServer::with_clock(cache, config, clock)),
                 registry: Registry::default(),
                 shutdown: AtomicBool::new(false),
             }),
@@ -825,8 +932,12 @@ impl TcpCacheServer {
     pub fn serve(&self) -> Result<(), TransportError> {
         let mut conns: Vec<Conn> = Vec::new();
         let mut buf = [0u8; 4096];
+        let poll_interval = self.shared.core.lock().config().poll_interval;
         loop {
             if self.shared.shutdown.load(Ordering::Relaxed) {
+                // Outboxes may still hold queued responses and teardown
+                // reports; push them before the sockets close.
+                self.drain_on_shutdown(&mut conns, poll_interval);
                 for conn in conns.drain(..) {
                     self.shared.core.lock().close_session(conn.id);
                     self.shared.registry.closed();
@@ -834,6 +945,11 @@ impl TcpCacheServer {
                 return Ok(());
             }
             let mut progressed = false;
+            if !self.shared.core.lock().evict_idle().is_empty() {
+                // Evicted sessions report is_finished below and are
+                // reaped this same pass.
+                progressed = true;
+            }
             // Accept every waiting connection.
             loop {
                 match self.listener.accept() {
@@ -912,8 +1028,61 @@ impl TcpCacheServer {
                 !conn.dead
             });
             if !progressed {
-                std::thread::sleep(Duration::from_micros(200));
+                std::thread::sleep(poll_interval);
             }
+        }
+    }
+
+    /// The bounded final flush run by [`TcpCacheServer::serve`] on
+    /// shutdown: one last read pass so bytes already in flight still
+    /// get their response or teardown report queued, then write passes
+    /// until every outbox is empty (or a slow peer exhausts the pass
+    /// budget — shutdown must terminate even against a stalled reader).
+    fn drain_on_shutdown(&self, conns: &mut [Conn], poll_interval: Duration) {
+        const FLUSH_PASSES: usize = 64;
+        let mut buf = [0u8; 4096];
+        for conn in conns.iter_mut() {
+            loop {
+                match conn.stream.read(&mut buf) {
+                    Ok(0) => {
+                        conn.dead = true;
+                        break;
+                    }
+                    Ok(n) => self.shared.core.lock().receive(conn.id, &buf[..n]),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        for _ in 0..FLUSH_PASSES {
+            let mut blocked = false;
+            for conn in conns.iter_mut() {
+                while !conn.dead {
+                    let mut core = self.shared.core.lock();
+                    let chunk = core.peek_output(conn.id);
+                    if chunk.is_empty() {
+                        break;
+                    }
+                    match conn.stream.write(chunk) {
+                        Ok(0) => conn.dead = true,
+                        Ok(n) => core.consume_output(conn.id, n),
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            blocked = true;
+                            break;
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(_) => conn.dead = true,
+                    }
+                }
+            }
+            if !blocked {
+                return;
+            }
+            std::thread::sleep(poll_interval);
         }
     }
 }
@@ -1056,7 +1225,10 @@ mod tests {
 
     #[test]
     fn overflow_drops_stale_output_and_queues_a_reset() {
-        let config = ServerConfig { outbox_limit: 48 };
+        let config = ServerConfig {
+            outbox_limit: 48,
+            ..ServerConfig::default()
+        };
         let cache = CacheServer::new(9, &vrps(&["10.0.0.0/8 => AS1", "11.0.0.0/8 => AS2"]));
         let mut server = FanoutServer::with_config(cache, config);
         let id = server.open_session();
@@ -1081,7 +1253,10 @@ mod tests {
 
     #[test]
     fn dropped_notifies_are_not_replaced() {
-        let config = ServerConfig { outbox_limit: 16 };
+        let config = ServerConfig {
+            outbox_limit: 16,
+            ..ServerConfig::default()
+        };
         let cache = CacheServer::new(9, &vrps(&["10.0.0.0/8 => AS1"]));
         let mut server = FanoutServer::with_config(cache, config);
         let id = server.open_session();
@@ -1098,7 +1273,10 @@ mod tests {
 
     #[test]
     fn partially_written_chunks_survive_overflow() {
-        let config = ServerConfig { outbox_limit: 32 };
+        let config = ServerConfig {
+            outbox_limit: 32,
+            ..ServerConfig::default()
+        };
         let cache = CacheServer::new(3, &vrps(&["10.0.0.0/8 => AS1"]));
         let mut server = FanoutServer::with_config(cache, config);
         let id = server.open_session();
@@ -1147,6 +1325,16 @@ mod tests {
     }
 
     // ---- TCP adapter ----
+
+    /// Bounded poll for a core-state side effect the registry cannot
+    /// observe (e.g. "the teardown report is queued").
+    fn wait_until(mut pred: impl FnMut() -> bool) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !pred() {
+            assert!(Instant::now() < deadline, "condition never reached");
+            thread::sleep(Duration::from_millis(1));
+        }
+    }
 
     fn spawn_server(
         vrps: &[Vrp],
@@ -1221,6 +1409,91 @@ mod tests {
     }
 
     #[test]
+    fn idle_sessions_evicted_on_the_manual_clock() {
+        let clock = Clock::manual();
+        let config = ServerConfig {
+            idle_timeout: Some(Duration::from_secs(30)),
+            ..ServerConfig::default()
+        };
+        let cache = CacheServer::new(7, &vrps(&["10.0.0.0/8 => AS1"]));
+        let mut server = FanoutServer::with_clock(cache, config, clock.clone());
+        let idle = server.open_session();
+        let active = server.open_session();
+        clock.advance(Duration::from_secs(29));
+        assert!(server.evict_idle().is_empty(), "inside the deadline");
+        // The active session speaks; the idle one stays silent.
+        server.receive(active, &encode(&Pdu::ResetQuery, PROTOCOL_V1));
+        clock.advance(Duration::from_secs(1));
+        assert_eq!(server.evict_idle(), vec![idle]);
+        assert_eq!(server.stats().evictions, 1);
+        assert!(server.is_finished(idle), "evicted: the driver closes it");
+        assert!(!server.is_finished(active));
+        // Eviction is sticky and not double-counted.
+        assert!(server.evict_idle().is_empty());
+        assert_eq!(server.stats().evictions, 1);
+        // Input and notifies to an evicted session are ignored.
+        server.receive(idle, &encode(&Pdu::ResetQuery, PROTOCOL_V1));
+        assert_eq!(server.pending_output(idle), 0);
+        server.update_delta_and_notify(&vrps(&["11.0.0.0/8 => AS2"]), &[]);
+        assert_eq!(server.pending_output(idle), 0);
+    }
+
+    #[test]
+    fn no_idle_timeout_means_no_eviction() {
+        let clock = Clock::manual();
+        let cache = CacheServer::new(7, &vrps(&["10.0.0.0/8 => AS1"]));
+        let mut server = FanoutServer::with_clock(cache, ServerConfig::default(), clock.clone());
+        let id = server.open_session();
+        clock.advance(Duration::from_secs(1 << 20));
+        assert!(server.evict_idle().is_empty());
+        assert!(!server.is_finished(id));
+    }
+
+    #[test]
+    fn notify_pacing_skips_inside_the_window() {
+        let clock = Clock::manual();
+        let config = ServerConfig {
+            notify_min_interval: Duration::from_secs(10),
+            ..ServerConfig::default()
+        };
+        let cache = CacheServer::new(7, &vrps(&["10.0.0.0/8 => AS1"]));
+        let mut server = FanoutServer::with_clock(cache, config, clock.clone());
+        let id = server.open_session();
+        assert_eq!(
+            server.update_delta_and_notify(&vrps(&["11.0.0.0/8 => AS2"]), &[]),
+            1,
+            "the first notify always goes out"
+        );
+        // A churny epoch lands 1 second later: paced, nothing queued.
+        clock.advance(Duration::from_secs(1));
+        let before = server.pending_output(id);
+        assert_eq!(
+            server.update_delta_and_notify(&vrps(&["12.0.0.0/8 => AS3"]), &[]),
+            0
+        );
+        assert_eq!(server.pending_output(id), before);
+        assert_eq!(server.stats().notifies_paced, 1);
+        // Past the window the notify flows again, carrying the newest
+        // serial — the paced epoch is not lost, just coalesced.
+        clock.advance(Duration::from_secs(9));
+        assert_eq!(
+            server.update_delta_and_notify(&vrps(&["13.0.0.0/8 => AS4"]), &[]),
+            1
+        );
+        let mut out = Vec::new();
+        server.drain_output(id, &mut out);
+        let mut notified_serials = Vec::new();
+        let mut rest = &out[..];
+        while let Some(frame) = wire::decode_frame(rest).unwrap() {
+            if let Pdu::SerialNotify { serial, .. } = frame.pdu.to_owned() {
+                notified_serials.push(serial);
+            }
+            rest = &rest[frame.len..];
+        }
+        assert_eq!(notified_serials, vec![1, 3], "paced epoch 2 coalesced");
+    }
+
+    #[test]
     fn garbage_from_router_gets_error_report_then_close() {
         let (handle, serving) = spawn_server(&vrps(&["10.0.0.0/8 => AS1"]));
         let mut stream = TcpStream::connect(handle.addr()).unwrap();
@@ -1234,5 +1507,84 @@ mod tests {
         assert!(handle.wait_for_no_sessions(Duration::from_secs(5)));
         handle.shutdown();
         serving.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn tcp_idle_sessions_reaped_on_the_manual_clock() {
+        let clock = Clock::manual();
+        let config = ServerConfig {
+            idle_timeout: Some(Duration::from_secs(60)),
+            ..ServerConfig::default()
+        };
+        let server = TcpCacheServer::bind_with_clock(
+            "127.0.0.1:0".parse().unwrap(),
+            CacheServer::new(77, &vrps(&["10.0.0.0/8 => AS1"])),
+            config,
+            clock.clone(),
+        )
+        .unwrap();
+        let handle = server.handle();
+        let serving = thread::spawn(move || server.serve());
+        let mut transport = TcpTransport::connect(handle.addr()).unwrap();
+        let mut router = RouterClient::new();
+        router.synchronize(&mut transport).unwrap();
+        assert!(handle.wait_for_sessions(1, Duration::from_secs(5)));
+        // Sixty idle virtual seconds: the event loop evicts and reaps.
+        clock.advance(Duration::from_secs(60));
+        assert!(
+            handle.wait_for_no_sessions(Duration::from_secs(5)),
+            "idle session must be evicted"
+        );
+        assert_eq!(handle.with_core(|core| core.stats().evictions), 1);
+        // Our side of the connection observes the hangup.
+        assert!(transport.recv().is_err());
+        handle.shutdown();
+        serving.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_teardown_reports() {
+        let (handle, serving) = spawn_server(&vrps(&["10.0.0.0/8 => AS1"]));
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        assert!(handle.wait_for_sessions(1, Duration::from_secs(5)));
+        // The teardown report is queued (and possibly still unflushed)
+        // when shutdown lands: the drain pass must deliver the closing
+        // Error Report rather than slam the socket shut.
+        stream.write_all(&[9, 2, 0, 0, 0, 0, 0, 8]).unwrap();
+        wait_until(|| handle.with_core(|core| core.stats().teardowns >= 1));
+        handle.shutdown();
+        serving.join().unwrap().unwrap();
+        let mut report = Vec::new();
+        stream.read_to_end(&mut report).unwrap();
+        let frame = wire::decode_frame(&report)
+            .unwrap()
+            .expect("shutdown must flush the queued report");
+        assert!(matches!(frame.pdu.to_owned(), Pdu::ErrorReport { .. }));
+    }
+
+    #[test]
+    fn shutdown_drains_pending_responses() {
+        // A router whose query answer is still queued when shutdown
+        // lands must receive the full response: drain-then-close, not
+        // close-then-drop.
+        let (handle, serving) = spawn_server(&vrps(&["10.0.0.0/8 => AS1", "11.0.0.0/8 => AS2"]));
+        let mut transport = TcpTransport::connect(handle.addr()).unwrap();
+        assert!(handle.wait_for_sessions(1, Duration::from_secs(5)));
+        transport.send(&Pdu::ResetQuery).unwrap();
+        wait_until(|| handle.with_core(|core| core.stats().images_built >= 1));
+        handle.shutdown();
+        serving.join().unwrap().unwrap();
+        let mut router = RouterClient::new();
+        loop {
+            match transport.recv() {
+                Ok(pdu) => {
+                    if router.handle(&pdu).unwrap() {
+                        break;
+                    }
+                }
+                Err(e) => panic!("response must be drained before close: {e}"),
+            }
+        }
+        assert_eq!(router.vrps().len(), 2);
     }
 }

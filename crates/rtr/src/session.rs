@@ -29,6 +29,7 @@ use rpki_roa::Vrp;
 
 use crate::cache::CacheServer;
 use crate::client::{ClientError, RouterClient};
+use crate::clock::Clock;
 use crate::pdu::{Flags, Pdu, PduError, PROTOCOL_V0, PROTOCOL_V1};
 use crate::server::{FanoutServer, ServerConfig, SessionId};
 use crate::transport::TransportError;
@@ -55,21 +56,44 @@ pub struct SyncStats {
     pub downgraded: bool,
 }
 
-/// Session failures: a protocol error on the router side or a broken
-/// transport.
+/// Session failures, split by which layer gave up: the router-side
+/// state machine, the wire grammar, the byte pipe, or the retry budget.
+///
+/// The taxonomy matters to recovery code: a [`SessionError::Protocol`]
+/// or [`SessionError::Client`] means the *peer* (or the stream carrying
+/// it) is misbehaving and a reconnect-plus-resync is the only cure,
+/// while a [`SessionError::Timeout`] means both endpoints were polite
+/// but the exchange never completed inside the configured round budget
+/// ([`SessionConfig::max_rounds`]) — the caller should back off and
+/// retry rather than escalate.
 #[derive(Debug)]
 pub enum SessionError {
-    /// The router-side state machine rejected a PDU.
+    /// The router-side state machine rejected a PDU it decoded fine —
+    /// wrong session id, unexpected sequence, a cache-side Error Report.
     Client(ClientError),
-    /// The pipe between the endpoints failed.
+    /// The bytes on the wire failed to parse as the negotiated
+    /// protocol: a framing or grammar violation, not a state error.
+    Protocol(PduError),
+    /// The pipe between the endpoints failed (closed, I/O error).
     Transport(TransportError),
+    /// The synchronization exchange exceeded its round budget without
+    /// reaching End of Data — neither side faulted, progress just
+    /// stopped (a protocol loop, or a response that ran dry).
+    Timeout {
+        /// Rounds attempted before giving up.
+        rounds: usize,
+    },
 }
 
 impl std::fmt::Display for SessionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SessionError::Client(e) => write!(f, "client: {e}"),
+            SessionError::Protocol(e) => write!(f, "protocol: {e}"),
             SessionError::Transport(e) => write!(f, "transport: {e}"),
+            SessionError::Timeout { rounds } => {
+                write!(f, "synchronization incomplete after {rounds} round(s)")
+            }
         }
     }
 }
@@ -78,9 +102,10 @@ impl std::error::Error for SessionError {}
 
 impl From<ClientError> for SessionError {
     fn from(e: ClientError) -> Self {
-        // Keep transport failures in their own arm even when they arrive
-        // wrapped by the client.
+        // Keep lower-layer failures in their own arms even when they
+        // arrive wrapped by the client.
         match e {
+            ClientError::Transport(TransportError::Protocol(p)) => SessionError::Protocol(p),
             ClientError::Transport(t) => SessionError::Transport(t),
             other => SessionError::Client(other),
         }
@@ -89,13 +114,47 @@ impl From<ClientError> for SessionError {
 
 impl From<TransportError> for SessionError {
     fn from(e: TransportError) -> Self {
-        SessionError::Transport(e)
+        match e {
+            TransportError::Protocol(p) => SessionError::Protocol(p),
+            other => SessionError::Transport(other),
+        }
     }
 }
 
 impl From<PduError> for SessionError {
     fn from(e: PduError) -> Self {
-        SessionError::Transport(TransportError::Protocol(e))
+        SessionError::Protocol(e)
+    }
+}
+
+/// Knobs for a [`LiveSession`]: version caps on each endpoint, the
+/// retry budget, and the clock the router's RFC 8210 timers read.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Highest protocol version the cache side speaks.
+    pub cache_version: u8,
+    /// Version the router opens with (downgrades on rejection).
+    pub router_version: u8,
+    /// Upper bound on query/response rounds inside one
+    /// [`LiveSession::synchronize`] call before it fails with
+    /// [`SessionError::Timeout`]. Each round is one query plus its full
+    /// response; a Cache Reset fallback or a version downgrade each
+    /// consume a round. The default of 3 covers the deepest legitimate
+    /// chain (downgrade → Cache Reset → full rebuild).
+    pub max_rounds: usize,
+    /// Clock handed to the router client for freshness bookkeeping;
+    /// defaults to the system clock, tests pass [`Clock::manual`].
+    pub clock: Clock,
+}
+
+impl Default for SessionConfig {
+    fn default() -> SessionConfig {
+        SessionConfig {
+            cache_version: PROTOCOL_V1,
+            router_version: PROTOCOL_V1,
+            max_rounds: 3,
+            clock: Clock::system(),
+        }
     }
 }
 
@@ -112,6 +171,8 @@ pub struct LiveSession {
     router_negotiation: Negotiation,
     /// Bytes in flight cache → router.
     to_router: Vec<u8>,
+    /// Round budget per synchronization call.
+    max_rounds: usize,
 }
 
 impl LiveSession {
@@ -141,23 +202,49 @@ impl LiveSession {
         cache_version: u8,
         router_version: u8,
     ) -> LiveSession {
-        let cache = CacheServer::with_version(session_id, vrps, cache_version);
+        LiveSession::with_session_config(
+            session_id,
+            vrps,
+            SessionConfig {
+                cache_version,
+                router_version,
+                ..SessionConfig::default()
+            },
+        )
+    }
+
+    /// The fully-parameterized constructor: version caps, round budget,
+    /// and the clock the router's freshness timers read all come from
+    /// `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown versions.
+    pub fn with_session_config(
+        session_id: u16,
+        vrps: &[Vrp],
+        config: SessionConfig,
+    ) -> LiveSession {
+        let cache = CacheServer::with_version(session_id, vrps, config.cache_version);
         // The single-session driver always drains between rounds, so
         // backpressure would only get in the way of deterministic
         // byte accounting.
-        let config = ServerConfig {
+        let server_config = ServerConfig {
             outbox_limit: usize::MAX,
+            ..ServerConfig::default()
         };
-        let mut server = FanoutServer::with_config(cache, config);
+        let mut server = FanoutServer::with_clock(cache, server_config, config.clock.clone());
         let session = server.open_session();
-        let router = RouterClient::with_version(router_version);
-        let router_negotiation = Negotiation::with_max(router_version);
+        let mut router = RouterClient::with_version(config.router_version);
+        router.set_clock(config.clock);
+        let router_negotiation = Negotiation::with_max(config.router_version);
         LiveSession {
             server,
             session,
             router,
             router_negotiation,
             to_router: Vec::new(),
+            max_rounds: config.max_rounds,
         }
     }
 
@@ -202,9 +289,11 @@ impl LiveSession {
     pub fn synchronize(&mut self) -> Result<SyncStats, SessionError> {
         let mut stats = SyncStats::default();
         // Bounded retries: at most one version downgrade plus one Cache
-        // Reset fallback; anything beyond that is a protocol loop.
+        // Reset fallback inside the default budget; anything beyond
+        // that is a protocol loop and times out.
         let mut downgraded = false;
-        for _attempt in 0..3 {
+        let max_rounds = self.max_rounds.max(1);
+        for _attempt in 0..max_rounds {
             self.send_query(&mut stats);
             if let Some(error) = self.pump_cache(&mut stats) {
                 let can_downgrade = error.class() == ErrorClass::Recoverable
@@ -243,11 +332,12 @@ impl LiveSession {
                 }
             }
             if !reset {
-                // The response ran dry without an End of Data.
-                return Err(SessionError::Transport(TransportError::Closed));
+                // The response ran dry without an End of Data: the
+                // round made no progress and no further round can.
+                return Err(SessionError::Timeout { rounds: max_rounds });
             }
         }
-        Err(SessionError::Transport(TransportError::Closed))
+        Err(SessionError::Timeout { rounds: max_rounds })
     }
 
     /// Encodes the router's next query and feeds it to the fan-out core
@@ -390,6 +480,64 @@ mod tests {
         let stats = s.apply_epoch(&[vrp("12.0.0.0/8 => AS3")], &[]).unwrap();
         assert!(!stats.downgraded);
         assert_eq!(s.router().vrps().len(), 3);
+    }
+
+    #[test]
+    fn exhausted_round_budget_is_a_timeout() {
+        // A stale router needs two rounds (Serial Query → Cache Reset,
+        // then the Reset Query rebuild); a budget of one must fail with
+        // the typed timeout, not a transport error.
+        let mut s = LiveSession::with_session_config(
+            8,
+            &vrps(&["10.0.0.0/8 => AS1"]),
+            SessionConfig {
+                max_rounds: 1,
+                ..SessionConfig::default()
+            },
+        );
+        s.synchronize().unwrap();
+        for i in 0u32..40 {
+            s.server_mut().with_cache(|c| {
+                c.update_delta(&[vrp(&format!("172.16.{}.0/24 => AS7", i % 256))], &[]);
+            });
+        }
+        match s.synchronize() {
+            Err(SessionError::Timeout { rounds }) => assert_eq!(rounds, 1),
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn manual_clock_threads_through_to_router_freshness() {
+        use crate::client::Freshness;
+        use crate::pdu::Timing;
+        use std::time::Duration;
+
+        let clock = Clock::manual();
+        let mut s = LiveSession::with_session_config(
+            4,
+            &vrps(&["10.0.0.0/8 => AS1"]),
+            SessionConfig {
+                clock: clock.clone(),
+                ..SessionConfig::default()
+            },
+        );
+        s.server_mut().with_cache(|c| {
+            c.set_timing(Timing {
+                refresh: 10,
+                retry: 5,
+                expire: 30,
+            })
+        });
+        s.synchronize().unwrap();
+        assert_eq!(s.router().freshness(), Freshness::Fresh);
+        clock.advance(Duration::from_secs(11));
+        assert!(matches!(s.router().freshness(), Freshness::Stale { .. }));
+        clock.advance(Duration::from_secs(20));
+        assert_eq!(s.router().freshness(), Freshness::Expired);
+        // A new synchronization round restores freshness.
+        s.apply_epoch(&[vrp("11.0.0.0/8 => AS2")], &[]).unwrap();
+        assert_eq!(s.router().freshness(), Freshness::Fresh);
     }
 
     #[test]

@@ -245,7 +245,10 @@ fn fleet_converges_under_ragged_drain_schedules() {
 #[test]
 fn backpressured_sessions_recover_through_cache_reset() {
     let initial: Vec<Vrp> = (0..8).map(vrp).collect();
-    let config = ServerConfig { outbox_limit: 64 };
+    let config = ServerConfig {
+        outbox_limit: 64,
+        ..ServerConfig::default()
+    };
     let mut server = FanoutServer::with_config(CacheServer::new(SESSION, &initial), config);
     let mut oracle = CacheServer::new(SESSION, &initial);
     let id = server.open_session();

@@ -79,10 +79,13 @@ fn main() {
     let mut transport = TcpTransport::connect(addr).expect("connect");
     let mut router = RouterClient::new();
     router.synchronize(&mut transport).expect("synchronize");
+    // The End of Data stamped the RFC 8210 §6 timers: the router now
+    // reports how current its data is (Fresh / Stale / Expired).
     println!(
-        "router synchronized: {} VRPs at serial {}",
+        "router synchronized: {} VRPs at serial {}, freshness {:?}",
         router.vrps().len(),
-        router.serial()
+        router.serial(),
+        router.freshness()
     );
 
     // Builder → freeze: the synchronized VRP set is read-only until the

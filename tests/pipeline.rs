@@ -12,9 +12,10 @@ use maxlength_rpki::prelude::*;
 use maxlength_rpki::roa::envelope::{open_roa, seal_roa, EnvelopeError};
 use maxlength_rpki::roa::scan::scan_dir;
 use maxlength_rpki::rtr::cache::CacheServer;
-use maxlength_rpki::rtr::client::RouterClient;
+use maxlength_rpki::rtr::client::{Freshness, RouterClient};
+use maxlength_rpki::rtr::faults::{FaultConfig, FaultPlan, FaultyTransport};
 use maxlength_rpki::rtr::server::TcpCacheServer;
-use maxlength_rpki::rtr::transport::TcpTransport;
+use maxlength_rpki::rtr::transport::{TcpTransport, TransportError};
 
 fn generated_world() -> (Vec<Roa>, Vec<RouteOrigin>) {
     let world = World::generate(GeneratorConfig {
@@ -97,6 +98,44 @@ fn disk_to_router_pipeline() {
     router.synchronize(&mut transport).unwrap();
     assert_eq!(router.vrps().len(), updated.len());
     assert_eq!(router.serial(), 1);
+    assert_eq!(router.freshness(), Freshness::Fresh);
+
+    // --- Stage 7: a faulted connection breaks; recovery is a reconnect. --
+    // A second router dials through a transport whose fault plan cuts
+    // the connection on the first exchange; the RFC 8210 recovery path
+    // (abort the half response, renegotiate, re-dial) must then bring
+    // it to the same set over a clean connection.
+    let cut_everything = FaultConfig {
+        disconnect: 1.0,
+        ..FaultConfig::none()
+    };
+    let mut faulty = FaultyTransport::new(
+        TcpTransport::connect(handle.addr()).unwrap(),
+        FaultPlan::new(29, cut_everything),
+    );
+    let mut second = RouterClient::new();
+    let err = second.synchronize(&mut faulty).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            maxlength_rpki::rtr::client::ClientError::Transport(TransportError::Closed)
+        ),
+        "a cut connection must surface as Closed, got {err:?}"
+    );
+    assert!(faulty.is_broken());
+    assert_eq!(second.freshness(), Freshness::Expired, "never-synced data");
+    // The reconnect: abort any half-applied state, renegotiate from the
+    // preferred version, dial a clean pipe.
+    second.abort_response();
+    second.renegotiate();
+    faulty.reconnect(TcpTransport::connect(handle.addr()).unwrap());
+    assert!(!faulty.is_broken());
+    let mut clean = TcpTransport::connect(handle.addr()).unwrap();
+    second.synchronize(&mut clean).unwrap();
+    assert_eq!(second.vrps().len(), updated.len());
+    assert_eq!(second.freshness(), Freshness::Fresh);
+    drop(clean);
+    drop(faulty);
 
     drop(transport);
     handle.shutdown();
