@@ -91,5 +91,68 @@ fn bench_matrix(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_matrix);
+/// The default wide-deployment grid the speculative executor targets:
+/// one topology, the standard strategies, eight uniform ROV adoption
+/// columns (several in the high-adoption regime, where a trial's
+/// filter footprint is small and validation almost always passes),
+/// all three ROA configurations.
+fn wide_matrix(n: usize) -> ScenarioMatrix {
+    ScenarioMatrix {
+        topologies: vec![TopologyFamily::new(TopologyConfig {
+            n,
+            tier1: 5,
+            ..TopologyConfig::default()
+        })],
+        strategies: ScenarioMatrix::standard_strategies(),
+        deployments: [1.0, 0.95, 0.9, 0.85, 0.8, 0.6, 0.4, 0.2]
+            .iter()
+            .map(|&p| DeploymentModel::Uniform { p })
+            .collect(),
+        roas: RoaConfig::ALL.to_vec(),
+        trials: 4,
+        seed: 2017,
+    }
+}
+
+/// The speculation gate: footprint-validated replay across the
+/// deployment axis must hold a ≥2x wall-clock win over the per-cell
+/// executor (`run_plan_collected`, which re-propagates every cell) on
+/// the default wide-deployment grid — after asserting both produce the
+/// same report bit-for-bit.
+fn bench_speculative(c: &mut Criterion) {
+    let n = 300;
+    let m = wide_matrix(n);
+    let reference = m.run_collected();
+    assert_eq!(reference, m.run(), "speculative executor diverged at n={n}");
+
+    let cells = m.cell_count() as u64;
+    let mut group = c.benchmark_group(format!("matrix/speculative/n-{n}"));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(cells));
+    let mut speculative_ns = 0.0;
+    let mut percell_ns = 0.0;
+    group.bench_with_input(BenchmarkId::new("speculative", cells), &m, |b, m| {
+        b.iter(|| m.run());
+        speculative_ns = b.mean_ns();
+    });
+    group.bench_with_input(BenchmarkId::new("percell", cells), &m, |b, m| {
+        b.iter(|| m.run_collected());
+        percell_ns = b.mean_ns();
+    });
+    group.finish();
+    record_bench_json("matrix/grid/speculative", n as f64, speculative_ns);
+    record_bench_json("matrix/grid/percell", n as f64, percell_ns);
+
+    let speedup = percell_ns / speculative_ns;
+    println!(
+        "matrix/speculative/n-{n}: footprint-validated replay is {speedup:.1}x \
+         the per-cell executor on the wide-deployment grid"
+    );
+    assert!(
+        speedup >= 2.0,
+        "speculative win regressed below 2x on the wide-deployment grid: {speedup:.2}x at n={n}"
+    );
+}
+
+criterion_group!(benches, bench_matrix, bench_speculative);
 criterion_main!(benches);

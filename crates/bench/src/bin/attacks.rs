@@ -19,7 +19,7 @@ fn main() {
     for rov_fraction in [1.0, 0.5] {
         let t0 = std::time::Instant::now();
         // Per-trial seed derivation makes this bit-identical to `.run()`.
-        let report = AttackExperiment {
+        let (report, stats) = AttackExperiment {
             topology: TopologyConfig {
                 n,
                 ..TopologyConfig::default()
@@ -28,7 +28,7 @@ fn main() {
             rov_fraction,
             seed: 99,
         }
-        .run_par();
+        .run_par_with_stats();
         record_bench_json(
             &format!("attacks/experiment/rov-{rov_fraction}"),
             n as f64,
@@ -38,6 +38,15 @@ fn main() {
             "topology n={n}, {trials} attacker/victim samples, ROV adoption {:.0}% ({:.1?})",
             rov_fraction * 100.0,
             t0.elapsed()
+        );
+        eprintln!(
+            "speculation: {}/{} items replayed ({} footprint checks, {} cells replayed, \
+             {} re-propagated)",
+            stats.replayed,
+            stats.items,
+            stats.footprint_checks,
+            stats.cells_replayed,
+            stats.cells_repropagated,
         );
         println!(
             "\n=== traffic intercepted by the attacker (ROV adoption {:.0}%) ===\n",

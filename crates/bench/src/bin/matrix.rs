@@ -60,6 +60,10 @@ fn main() {
         stats.replayed,
         stats.items,
     );
+    eprintln!(
+        "speculation: {} footprint checks, {} cells replayed, {} re-propagated",
+        stats.footprint_checks, stats.cells_replayed, stats.cells_repropagated,
+    );
     record_bench_json(
         "matrix/grid/run_par",
         matrix.cell_count() as f64,

@@ -469,6 +469,114 @@ impl<'a> OriginFilter<'a> {
         let o = origin.into_u32();
         !(self.invalid[..self.count].contains(&o) && self.adopters.drops_invalid(at))
     }
+
+    /// `true` if `origin` validated Invalid for this filter's prefix —
+    /// the only case in which [`OriginFilter::accept`] consults the
+    /// adopter bitset at all. Speculative execution records exactly
+    /// these consultations: a valid (or NotFound) origin is accepted by
+    /// every AS under every deployment, so only invalid-origin
+    /// decisions can diverge between cells that share their VRPs.
+    #[inline]
+    pub fn origin_is_invalid(&self, origin: Asn) -> bool {
+        self.count != 0 && self.invalid[..self.count].contains(&origin.into_u32())
+    }
+}
+
+/// The filter footprint of one speculative propagation: the set of ASes
+/// whose adopter-bitset consultation ([`CompiledPolicies::drops_invalid`])
+/// actually influenced an import decision, each with the decision taken.
+///
+/// # Soundness
+///
+/// [`OriginFilter::accept`] consults the adopter bitset **only** for an
+/// origin that validated Invalid against the trial's VRPs, and the
+/// decision it takes for AS `at` is then `!drops_invalid(at)` —
+/// independent of *which* invalid origin was asked about. Every other
+/// consultation (valid or NotFound origin) returns `true` under every
+/// deployment. So within a trial group — fixed topology, ROA
+/// configuration, and attacker/victim placement, with only the adopter
+/// bitset varying — recording the invalid-origin consultations, deduped
+/// by AS index, captures **every** decision that can differ between
+/// cells. If each recorded decision reproduces under another cell's
+/// bitset ([`FilterFootprint::validates`]), propagation under that cell
+/// unfolds through the identical sequence of accepted and rejected
+/// imports and therefore produces the bit-identical outcome; a fully
+/// transparent trial records nothing and validates vacuously, which is
+/// exactly the executor's original transparent-replay contract as the
+/// empty-footprint special case.
+///
+/// # Cost
+///
+/// Recording reuses the engine's epoch-stamp discipline: `begin` bumps
+/// an epoch instead of clearing the per-AS stamp table, so a footprint
+/// held in a thread-local is allocation-free in steady state and `note`
+/// is a stamp compare plus (first time per AS) one push.
+#[derive(Debug, Default)]
+pub struct FilterFootprint {
+    stamps: Vec<u64>,
+    epoch: u64,
+    entries: Vec<u64>,
+}
+
+impl FilterFootprint {
+    /// An empty footprint (no capacity reserved until first `begin`).
+    pub fn new() -> FilterFootprint {
+        FilterFootprint::default()
+    }
+
+    /// Resets the footprint for a propagation over `n` ASes. O(1) in
+    /// steady state (epoch bump, not a table clear).
+    pub fn begin(&mut self, n: usize) {
+        if self.stamps.len() < n {
+            self.stamps.resize(n, 0);
+        }
+        self.epoch += 1;
+        self.entries.clear();
+    }
+
+    /// Records that AS `at` received import decision `accepted` on an
+    /// invalid-origin route. Deduplicates by AS index: the decision is
+    /// a pure function of the adopter bitset at `at`, so later
+    /// consultations of the same AS are necessarily identical.
+    #[inline]
+    pub fn note(&mut self, at: usize, accepted: bool) {
+        if self.stamps[at] == self.epoch {
+            return;
+        }
+        self.stamps[at] = self.epoch;
+        self.entries.push(((at as u64) << 1) | u64::from(accepted));
+    }
+
+    /// Distinct ASes recorded since the last `begin`.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no adopter-bitset consultation was recorded — the
+    /// propagation was deployment-transparent.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The recorded `(AS index, accepted)` decisions, in first-consulted
+    /// order.
+    pub fn decisions(&self) -> impl Iterator<Item = (usize, bool)> + '_ {
+        self.entries
+            .iter()
+            .map(|&e| ((e >> 1) as usize, e & 1 != 0))
+    }
+
+    /// `true` if every recorded decision reproduces under `adopters`:
+    /// the O(|footprint|) validation that licenses replaying the
+    /// recorded propagation's outcome for the deployment `adopters`
+    /// compiles (see the type-level soundness argument).
+    pub fn validates(&self, adopters: &CompiledPolicies) -> bool {
+        self.entries.iter().all(|&e| {
+            let at = (e >> 1) as usize;
+            let accepted = e & 1 != 0;
+            adopters.drops_invalid(at) != accepted
+        })
+    }
 }
 
 /// The flat-graph propagation engine over one topology.

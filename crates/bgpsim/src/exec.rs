@@ -52,14 +52,30 @@
 //! * **Baselines** (the victim-only propagation a strategy may observe)
 //!   are computed once per trial group and shared by every strategy in
 //!   it — the inputs are identical, so so is the propagation.
-//! * **Deployment-independent outcomes are replayed.** When every
-//!   [`crate::engine::OriginFilter`] a trial constructed is transparent
-//!   (no origin validated Invalid), the import decision never consults
-//!   the adopter bitset, so the outcome is the same under every
-//!   deployment of the axis: the executor runs the trial once and
-//!   absorbs the identical outcome into each deployment's cell.
+//! * **Speculative cross-cell execution (Block-STM style).** Per trial
+//!   group, each strategy is propagated **once**, against the first
+//!   deployment on the axis, while the engine records its *filter
+//!   footprint* ([`crate::engine::FilterFootprint`]): the exact set of
+//!   (AS, decision) pairs for which an [`crate::engine::OriginFilter`]
+//!   consulted the adopter bitset. For every other deployment the
+//!   footprint is validated in O(|footprint|) — if every recorded
+//!   decision reproduces under that cell's bitset, the baseline outcome
+//!   is replayed; only genuinely divergent cells re-propagate.
+//!
+//!   The **footprint-soundness invariant**: every adopter-bitset
+//!   consultation any of the trial's propagations performs is recorded
+//!   (valid/NotFound-origin decisions are `true` under every deployment
+//!   and need no record), and each recorded decision is a pure function
+//!   of the bitset at that AS — so footprint-equal ⇒ the propagation
+//!   unfolds through the identical import decisions ⇒ outcome-equal,
+//!   bit for bit. A trial whose filters were all transparent records an
+//!   *empty* footprint and validates against every deployment — the
+//!   transparent-replay contract of the original executor is exactly
+//!   the empty-footprint special case, and the speculative scheduler
+//!   strictly generalizes it: cells that differ only in ASes the route
+//!   computation never consulted are replayed too.
 
-use std::cell::OnceCell;
+use std::cell::{Cell, OnceCell, RefCell};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -69,10 +85,13 @@ use rpki_rov::RovPolicy;
 
 use crate::attack::{AttackOutcome, AttackSetup};
 use crate::deployment::DeploymentModel;
-use crate::engine::{CompiledPolicies, OriginFilter};
+use crate::engine::{CompiledPolicies, FilterFootprint, OriginFilter};
 use crate::experiment::{destination_pair, trial_pair, RoaConfig};
 use crate::routing::Propagation;
-use crate::strategy::{run_strategy_compiled, run_strategy_shared, AttackerStrategy};
+use crate::strategy::{
+    run_strategy_compiled, run_strategy_shared, run_strategy_speculative, AttackerStrategy,
+    SpecRecorder,
+};
 use crate::topology::Topology;
 
 /// Seeded sampling of destination (victim) stubs — the axis that makes
@@ -241,6 +260,15 @@ impl<'a> TrialPlan<'a> {
         let si = (cell / (r * d)) % s;
         let ti = cell / (r * d * s);
         (ti, si, di, ri)
+    }
+
+    /// The `(victim, attacker)` AS indices trial `trial` stages on
+    /// topology `ti` — the plan's deterministic pair derivation
+    /// (destination-keyed when a destination set is installed, classic
+    /// `seed ^ trial` otherwise), exposed so tests can reconstruct a
+    /// trial's world from the outside.
+    pub fn trial_endpoints(&self, ti: usize, trial: usize) -> (usize, usize) {
+        plan_pair(self, self.topologies[ti].topology, trial)
     }
 
     /// The canonical index of a cell from its axis indices.
@@ -519,9 +547,20 @@ pub struct ExecStats {
     pub compilations: usize,
     /// Strategy stagings actually propagated.
     pub executed: usize,
-    /// Items satisfied by replaying a deployment-independent outcome
-    /// instead of re-propagating it.
+    /// Items satisfied by replaying a speculated outcome instead of
+    /// re-propagating it (always equal to [`ExecStats::cells_replayed`];
+    /// kept for the pre-speculation accounting identity
+    /// `executed + replayed == items`).
     pub replayed: usize,
+    /// Footprint validations performed: one per `(strategy, deployment)`
+    /// cell beyond the speculated first deployment.
+    pub footprint_checks: usize,
+    /// Footprint validations that passed — cells whose outcome was
+    /// replayed from the speculative execution.
+    pub cells_replayed: usize,
+    /// Footprint validations that failed — cells whose filter decisions
+    /// genuinely diverged and were re-propagated.
+    pub cells_repropagated: usize,
 }
 
 /// A resumable checkpoint over a plan's item stream.
@@ -749,26 +788,20 @@ impl PlanSession<'_, '_> {
     /// Runs group `g` into a buffer instead of absorbing directly — the
     /// unit of parallel scheduling. Outcomes are recorded in the exact
     /// order the sequential path would absorb them.
-    fn run_group_buffered(&self, g: usize) -> (GroupOutcomes, usize, usize) {
+    fn run_group_buffered(&self, g: usize) -> (GroupOutcomes, GroupTally) {
         let (ti, ri, trial) = self.group_axes(g);
         let mut out = Vec::with_capacity(self.plan.strategies.len() * self.plan.deployments.len());
-        let (mut executed, mut replayed) = (0usize, 0usize);
-        run_trial_group(
+        let tally = run_trial_group(
             self.plan,
             &self.resolved,
             ti,
             ri,
             trial,
             &mut |si, di, outcome, fresh| {
-                if fresh {
-                    executed += 1;
-                } else {
-                    replayed += 1;
-                }
                 out.push((si, di, *outcome, fresh));
             },
         );
-        (out, executed, replayed)
+        (out, tally)
     }
 
     /// Runs the whole plan, returning one accumulator per cell in
@@ -785,8 +818,7 @@ impl PlanSession<'_, '_> {
         let mut stats = ExecStats {
             items: plan.item_count(),
             compilations: self.compilations,
-            executed: 0,
-            replayed: 0,
+            ..ExecStats::default()
         };
         let groups = plan.topologies.len() * plan.roas.len() * plan.trials;
         let mut accs = vec![A::empty(); plan.cell_count()];
@@ -805,13 +837,12 @@ impl PlanSession<'_, '_> {
             let mut start = 0;
             while start < groups {
                 let end = (start + window).min(groups);
-                let results: Vec<(GroupOutcomes, usize, usize)> = (start..end)
+                let results: Vec<(GroupOutcomes, GroupTally)> = (start..end)
                     .into_par_iter()
                     .map(|g| self.run_group_buffered(g))
                     .collect();
-                for (offset, (outcomes, executed, replayed)) in results.iter().enumerate() {
-                    stats.executed += executed;
-                    stats.replayed += replayed;
+                for (offset, (outcomes, tally)) in results.iter().enumerate() {
+                    tally.fold_into(&mut stats);
                     absorb_group(start + offset, outcomes, &mut accs);
                 }
                 start = end;
@@ -819,21 +850,17 @@ impl PlanSession<'_, '_> {
         } else {
             for g in 0..groups {
                 let (ti, ri, trial) = self.group_axes(g);
-                run_trial_group(
+                let tally = run_trial_group(
                     plan,
                     &self.resolved,
                     ti,
                     ri,
                     trial,
-                    &mut |si, di, outcome, fresh| {
-                        if fresh {
-                            stats.executed += 1;
-                        } else {
-                            stats.replayed += 1;
-                        }
+                    &mut |si, di, outcome, _fresh| {
                         accs[plan.cell_index(ti, si, di, ri)].absorb(outcome);
                     },
                 );
+                tally.fold_into(&mut stats);
             }
         }
         (accs, stats)
@@ -869,24 +896,18 @@ impl PlanSession<'_, '_> {
             let g = cursor.next_group;
             let (ti, ri, trial) = self.group_axes(g);
             let accs = &mut cursor.accs;
-            let (mut executed, mut replayed) = (0usize, 0usize);
-            run_trial_group(
+            let tally = run_trial_group(
                 plan,
                 &self.resolved,
                 ti,
                 ri,
                 trial,
-                &mut |si, di, outcome, fresh| {
-                    if fresh {
-                        executed += 1;
-                    } else {
-                        replayed += 1;
-                    }
+                &mut |si, di, outcome, _fresh| {
                     accs[plan.cell_index(ti, si, di, ri)].absorb(outcome);
                 },
             );
-            cursor.executed += executed;
-            cursor.replayed += replayed;
+            cursor.executed += tally.executed;
+            cursor.replayed += tally.replayed;
             cursor.next_group += 1;
             processed += group_items;
         }
@@ -904,10 +925,57 @@ fn plan_pair(plan: &TrialPlan<'_>, topology: &Topology, trial: usize) -> (usize,
     }
 }
 
+/// What one trial group's scheduler actually did — folded into
+/// [`ExecStats`] (or a [`PlanCursor`]) by the caller.
+#[derive(Debug, Clone, Copy, Default)]
+struct GroupTally {
+    executed: usize,
+    replayed: usize,
+    footprint_checks: usize,
+    cells_replayed: usize,
+    cells_repropagated: usize,
+}
+
+impl GroupTally {
+    fn fold_into(&self, stats: &mut ExecStats) {
+        stats.executed += self.executed;
+        stats.replayed += self.replayed;
+        stats.footprint_checks += self.footprint_checks;
+        stats.cells_replayed += self.cells_replayed;
+        stats.cells_repropagated += self.cells_repropagated;
+    }
+}
+
+/// Per-thread footprint scratch for the speculative scheduler: one
+/// footprint for the group's shared baseline propagation, one for the
+/// current strategy's staging. Holding them in a thread-local keeps the
+/// epoch-stamp tables warm across every group a worker processes — the
+/// same zero-allocation discipline as the propagation
+/// [`crate::engine::Workspace`].
+struct SpecScratch {
+    base: RefCell<FilterFootprint>,
+    strat: RefCell<FilterFootprint>,
+}
+
+thread_local! {
+    static SPEC_SCRATCH: SpecScratch = SpecScratch {
+        base: RefCell::new(FilterFootprint::new()),
+        strat: RefCell::new(FilterFootprint::new()),
+    };
+}
+
 /// Runs one trial of one `(topology, ROA)` unit across every strategy
-/// and deployment, reporting each `(strategy, deployment)` outcome to
-/// `absorb` — `fresh = false` marks a replayed deployment-independent
-/// outcome.
+/// and deployment with Block-STM-style speculation, reporting each
+/// `(strategy, deployment)` outcome to `absorb` — `fresh = false` marks
+/// an outcome replayed after footprint validation.
+///
+/// Per strategy: execute once against deployment 0 while recording the
+/// filter footprint, then for each further deployment validate the
+/// footprint against that deployment's adopter bitset
+/// ([`FilterFootprint::validates`]) and replay on success; only cells
+/// whose recorded decisions genuinely diverge re-propagate. The shared
+/// baseline propagation records into its own group-lifetime footprint,
+/// checked only for strategies whose outcome observed the baseline.
 fn run_trial_group(
     plan: &TrialPlan<'_>,
     resolved: &[Vec<Arc<DeploymentPolicies>>],
@@ -915,10 +983,9 @@ fn run_trial_group(
     ri: usize,
     trial: usize,
     absorb: &mut dyn FnMut(usize, usize, &AttackOutcome, bool),
-) {
+) -> GroupTally {
     let topology = plan.topologies[ti].topology;
     let roa = plan.roas[ri];
-    let d = plan.deployments.len();
     let (victim, attacker) = plan_pair(plan, topology, trial);
     let victim_asn = topology.asn(victim);
     let vrps = roa.vrps(plan.victim_prefix, plan.sub_prefix.len(), victim_asn);
@@ -927,7 +994,9 @@ fn run_trial_group(
     // baseline propagation never consults the adopter bitset and is the
     // same under every deployment: share one cell. (Transparency is a
     // property of the VRPs alone, so probing it with any deployment's
-    // bitset is equivalent.)
+    // bitset is equivalent.) Otherwise re-propagated deployments each
+    // get their own cell — the deployment-0 baseline is only reused
+    // where its footprint validated.
     let victim_transparent = OriginFilter::new(
         &vrps,
         plan.victim_prefix,
@@ -935,6 +1004,7 @@ fn run_trial_group(
         &resolved[ti][0].compiled,
     )
     .is_transparent();
+    let d = plan.deployments.len();
     let shared_baseline = OnceCell::new();
     let per_deployment: Vec<OnceCell<Propagation>> = if victim_transparent {
         Vec::new()
@@ -949,41 +1019,67 @@ fn run_trial_group(
         }
     };
 
-    for (si, strategy) in plan.strategies.iter().enumerate() {
-        let setup_for = |di: usize| AttackSetup {
-            topology,
-            victim,
-            attacker,
-            victim_prefix: plan.victim_prefix,
-            sub_prefix: plan.sub_prefix,
-            vrps: &vrps,
-            policies: &resolved[ti][di].policies,
-        };
-        let (outcome, independent) = run_strategy_shared(
-            *strategy,
-            &setup_for(0),
-            &resolved[ti][0].compiled,
-            baseline_for(0),
-        );
-        absorb(si, 0, &outcome, true);
-        if independent {
-            // Every filter this trial touched was transparent: the
-            // outcome cannot depend on who validates. Replay it.
-            for di in 1..d {
-                absorb(si, di, &outcome, false);
-            }
-        } else {
+    let mut tally = GroupTally::default();
+    SPEC_SCRATCH.with(|scratch| {
+        // The baseline footprint lives for the whole group: whichever
+        // strategy first computes the shared baseline records it here.
+        scratch.base.borrow_mut().begin(topology.len());
+        let observed_baseline = Cell::new(false);
+        for (si, strategy) in plan.strategies.iter().enumerate() {
+            let setup_for = |di: usize| AttackSetup {
+                topology,
+                victim,
+                attacker,
+                victim_prefix: plan.victim_prefix,
+                sub_prefix: plan.sub_prefix,
+                vrps: &vrps,
+                policies: &resolved[ti][di].policies,
+            };
+            scratch.strat.borrow_mut().begin(topology.len());
+            observed_baseline.set(false);
+            let spec = SpecRecorder {
+                base: &scratch.base,
+                strat: &scratch.strat,
+                observed_baseline: &observed_baseline,
+            };
+            let (outcome, _) = run_strategy_speculative(
+                *strategy,
+                &setup_for(0),
+                &resolved[ti][0].compiled,
+                baseline_for(0),
+                Some(&spec),
+            );
+            tally.executed += 1;
+            absorb(si, 0, &outcome, true);
             for (di, deployment) in resolved[ti].iter().enumerate().skip(1) {
-                let (outcome, _) = run_strategy_shared(
-                    *strategy,
-                    &setup_for(di),
-                    &deployment.compiled,
-                    baseline_for(di),
-                );
-                absorb(si, di, &outcome, true);
+                // The validate half: O(|footprint|) against this cell's
+                // adopter bitset. The baseline footprint only gates the
+                // replay if this strategy's outcome observed the
+                // baseline (an unobserved baseline cannot influence the
+                // outcome, and validated control flow is identical).
+                tally.footprint_checks += 1;
+                let valid = scratch.strat.borrow().validates(&deployment.compiled)
+                    && (!observed_baseline.get()
+                        || scratch.base.borrow().validates(&deployment.compiled));
+                if valid {
+                    tally.replayed += 1;
+                    tally.cells_replayed += 1;
+                    absorb(si, di, &outcome, false);
+                } else {
+                    let (diverged, _) = run_strategy_shared(
+                        *strategy,
+                        &setup_for(di),
+                        &deployment.compiled,
+                        baseline_for(di),
+                    );
+                    tally.executed += 1;
+                    tally.cells_repropagated += 1;
+                    absorb(si, di, &diverged, true);
+                }
             }
         }
-    }
+    });
+    tally
 }
 
 /// The pre-executor orchestration, kept as the differential reference
@@ -1176,6 +1272,64 @@ mod tests {
         // Under the minimal ROA it validates Invalid: those cells must
         // re-propagate per deployment.
         assert!(stats.executed > stats.items / 3, "{stats:?}");
+    }
+
+    #[test]
+    fn speculation_counters_satisfy_their_invariants() {
+        let t = topo(150);
+        let plan = plan_over(
+            &t,
+            vec![
+                &AttackKind::ForgedOriginSubprefixHijack,
+                &RouteLeak,
+                &MaxLengthGapProber,
+            ],
+            DeploymentModel::standard(),
+        );
+        let (_, stats) = Executor::sequential().run_with_stats::<CellAccumulator>(&plan);
+        // Every beyond-first-deployment item is exactly one footprint
+        // check, which either licenses a replay or forces a
+        // re-propagation — and "replayed" is the same count it always
+        // was, now generalized past full transparency.
+        assert_eq!(
+            stats.footprint_checks,
+            stats.cells_replayed + stats.cells_repropagated,
+            "{stats:?}"
+        );
+        assert_eq!(stats.replayed, stats.cells_replayed, "{stats:?}");
+        assert_eq!(stats.executed + stats.replayed, stats.items, "{stats:?}");
+        let groups = plan.roas.len() * plan.trials;
+        assert_eq!(
+            stats.footprint_checks,
+            groups * plan.strategies.len() * (plan.deployments.len() - 1),
+            "{stats:?}"
+        );
+    }
+
+    #[test]
+    fn transparent_heavy_grid_repropagates_almost_nothing() {
+        // The satellite regression: a grid dominated by transparent
+        // trials (no ROA, or the loose maxLength ROA that validates the
+        // forged-origin attack) must replay nearly everything — the
+        // speculative scheduler re-propagates strictly fewer cells than
+        // the grid holds.
+        let t = topo(150);
+        let plan = plan_over(
+            &t,
+            vec![&AttackKind::ForgedOriginSubprefixHijack, &RouteLeak],
+            DeploymentModel::standard(),
+        );
+        let (_, stats) = Executor::sequential().run_with_stats::<CellAccumulator>(&plan);
+        assert!(
+            stats.cells_repropagated < stats.items,
+            "speculation must beat run-every-cell: {stats:?}"
+        );
+        // Both strategies are transparent in the NoRoa and loose-ROA
+        // columns (2 of 3 ROAs), so at least that share replays.
+        assert!(
+            stats.cells_replayed * 3 >= stats.footprint_checks * 2,
+            "{stats:?}"
+        );
     }
 
     #[test]

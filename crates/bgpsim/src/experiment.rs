@@ -207,7 +207,7 @@ impl AttackExperiment {
     /// Runs every (attack, ROA configuration) cell sequentially through
     /// the trial executor.
     pub fn run(&self) -> ExperimentReport {
-        self.report(Executor::sequential())
+        self.report(Executor::sequential()).0
     }
 
     /// [`Self::run`] with the plan's trial groups fanned out over worker
@@ -220,13 +220,21 @@ impl AttackExperiment {
     /// [`Self::run`] (asserted by the `parallel_equals_sequential`
     /// test).
     pub fn run_par(&self) -> ExperimentReport {
+        self.report(Executor::parallel()).0
+    }
+
+    /// [`Self::run_par`] plus the run's [`crate::ExecStats`] — how many
+    /// items the speculative executor replayed after footprint
+    /// validation versus re-propagated (the harness bins print these
+    /// next to their timings).
+    pub fn run_par_with_stats(&self) -> (ExperimentReport, crate::ExecStats) {
         self.report(Executor::parallel())
     }
 
-    fn report(&self, executor: Executor) -> ExperimentReport {
+    fn report(&self, executor: Executor) -> (ExperimentReport, crate::ExecStats) {
         let topology = Topology::generate(self.topology);
         let plan = self.plan(&topology);
-        let accs: Vec<FractionAccumulator> = executor.run(&plan);
+        let (accs, exec_stats): (Vec<FractionAccumulator>, _) = executor.run_with_stats(&plan);
         // Canonical cell order with one topology and one deployment:
         // strategy-major, ROA fastest — the report's historical layout.
         let mut cells = Vec::with_capacity(accs.len());
@@ -242,10 +250,13 @@ impl AttackExperiment {
                 });
             }
         }
-        ExperimentReport {
-            cells,
-            rov_fraction: self.rov_fraction,
-        }
+        (
+            ExperimentReport {
+                cells,
+                rov_fraction: self.rov_fraction,
+            },
+            exec_stats,
+        )
     }
 }
 

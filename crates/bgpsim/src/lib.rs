@@ -82,7 +82,7 @@ pub mod topology;
 
 pub use attack::{AttackKind, AttackOutcome, AttackSetup, ForgedOriginTrial};
 pub use deployment::DeploymentModel;
-pub use engine::{CompiledPolicies, OriginFilter, PropagationEngine, Workspace};
+pub use engine::{CompiledPolicies, FilterFootprint, OriginFilter, PropagationEngine, Workspace};
 pub use exec::{
     Accumulator, CellAccumulator, DestinationSampler, ExecStats, Executor, FractionAccumulator,
     PlanCursor, PlanSession, PlanTopology, TrialPlan,

@@ -33,12 +33,16 @@
 //!   demoting itself to the prefix-grained attack when the ROA is
 //!   minimal — the paper's §5 demotion argument as an adaptive attacker.
 
+use std::cell::{Cell, OnceCell, RefCell};
+
 use rpki_prefix::Prefix;
 use rpki_roa::Asn;
 use rpki_rov::VrpIndex;
 
 use crate::attack::{AttackKind, AttackOutcome, AttackSetup};
-use crate::engine::{with_workspace, CompiledPolicies, OriginFilter, PropagationEngine};
+use crate::engine::{
+    with_workspace, CompiledPolicies, FilterFootprint, OriginFilter, PropagationEngine,
+};
 use crate::routing::{Propagation, Seed};
 use crate::topology::Topology;
 
@@ -65,9 +69,10 @@ pub struct StrategyContext<'a> {
     /// caller so a trial group can share one baseline across every
     /// strategy it stages (the inputs — victim seed and victim-origin
     /// filter — are identical for all of them).
-    baseline: &'a std::cell::OnceCell<Propagation>,
+    baseline: &'a OnceCell<Propagation>,
     victim_seed: Seed,
     accept_p: &'a OriginFilter<'a>,
+    spec: Option<&'a SpecRecorder<'a>>,
 }
 
 impl StrategyContext<'_> {
@@ -86,18 +91,53 @@ impl StrategyContext<'_> {
     /// Computed lazily (on the engine path, through the calling thread's
     /// workspace) and cached for the rest of the trial.
     pub fn baseline(&self) -> &Propagation {
+        if let Some(spec) = self.spec {
+            // The outcome now depends on the shared baseline, so a
+            // replay is only licensed if *its* footprint also validates.
+            spec.observed_baseline.set(true);
+        }
         self.baseline.get_or_init(|| self.compute_baseline())
     }
 
     fn compute_baseline(&self) -> Propagation {
-        let accept = self.accept_p;
+        let accept = recording(self.accept_p, self.spec.map(|s| s.base));
         with_workspace(|ws| {
-            PropagationEngine::new(self.topology).propagate(
-                &[self.victim_seed],
-                &|at, origin| accept.accept(at, origin),
-                ws,
-            )
+            PropagationEngine::new(self.topology).propagate(&[self.victim_seed], &accept, ws)
         })
+    }
+}
+
+/// The speculative executor's footprint sinks for one staged trial: the
+/// shared baseline propagation records into `base` (begun once per trial
+/// group, filled by whichever strategy first computes the baseline), the
+/// strategy's own staging propagations into `strat` (begun per
+/// strategy), and `observed_baseline` flags whether the outcome depends
+/// on the baseline at all.
+pub(crate) struct SpecRecorder<'a> {
+    /// Footprint sink for the shared victim-only baseline propagation.
+    pub base: &'a RefCell<FilterFootprint>,
+    /// Footprint sink for the strategy's attack-staging propagations.
+    pub strat: &'a RefCell<FilterFootprint>,
+    /// Set when the plan or the staging consulted the baseline.
+    pub observed_baseline: &'a Cell<bool>,
+}
+
+/// Wraps `filter` as a propagation `accept` closure that mirrors every
+/// adopter-bitset consultation into `sink`. Only invalid-origin queries
+/// are recorded (see [`FilterFootprint`]'s soundness note) — for a
+/// transparent filter, or with no sink, this is the plain filter.
+fn recording<'f>(
+    filter: &'f OriginFilter<'f>,
+    sink: Option<&'f RefCell<FilterFootprint>>,
+) -> impl Fn(usize, Asn) -> bool + 'f {
+    move |at, origin| {
+        let decision = filter.accept(at, origin);
+        if let Some(fp) = sink {
+            if filter.origin_is_invalid(origin) {
+                fp.borrow_mut().note(at, decision);
+            }
+        }
+        decision
     }
 }
 
@@ -347,7 +387,7 @@ pub fn run_strategy_compiled(
     setup: &AttackSetup<'_>,
     compiled: &CompiledPolicies,
 ) -> AttackOutcome {
-    run_strategy_shared(strategy, setup, compiled, &std::cell::OnceCell::new()).0
+    run_strategy_shared(strategy, setup, compiled, &OnceCell::new()).0
 }
 
 /// The trial executor's entry point: [`run_strategy_compiled`] with the
@@ -371,7 +411,24 @@ pub(crate) fn run_strategy_shared(
     strategy: &dyn AttackerStrategy,
     setup: &AttackSetup<'_>,
     compiled: &CompiledPolicies,
-    baseline: &std::cell::OnceCell<Propagation>,
+    baseline: &OnceCell<Propagation>,
+) -> (AttackOutcome, bool) {
+    run_strategy_speculative(strategy, setup, compiled, baseline, None)
+}
+
+/// [`run_strategy_shared`] with optional footprint recording: when
+/// `spec` is supplied, every adopter-bitset consultation any of the
+/// trial's propagations performs is mirrored into the recorder's
+/// [`FilterFootprint`] sinks — the execute half of the executor's
+/// Block-STM-style execute-then-validate scheme
+/// ([`crate::exec`] module docs). The outcome is bit-identical with and
+/// without recording.
+pub(crate) fn run_strategy_speculative(
+    strategy: &dyn AttackerStrategy,
+    setup: &AttackSetup<'_>,
+    compiled: &CompiledPolicies,
+    baseline: &OnceCell<Propagation>,
+    spec: Option<&SpecRecorder<'_>>,
 ) -> (AttackOutcome, bool) {
     let t = setup.topology;
     assert_ne!(
@@ -405,7 +462,9 @@ pub(crate) fn run_strategy_shared(
         baseline,
         victim_seed,
         accept_p: &accept_p,
+        spec,
     };
+    let strat_sink = spec.map(|s| s.strat);
     let plan = strategy.plan(&ctx);
     assert!(
         setup.victim_prefix.covers(plan.target),
@@ -427,6 +486,7 @@ pub(crate) fn run_strategy_shared(
                 &[victim_asn, ann.claimed_origin],
                 compiled,
             );
+            let transparent = accept.is_transparent();
             let seeds = [
                 victim_seed,
                 Seed {
@@ -435,17 +495,11 @@ pub(crate) fn run_strategy_shared(
                     claimed_origin: ann.claimed_origin,
                 },
             ];
+            let accept = recording(&accept, strat_sink);
             let outcome = with_workspace(|ws| {
-                engine.propagate_outcome(
-                    &seeds,
-                    &|at, origin| accept.accept(at, origin),
-                    ws,
-                    None,
-                    setup.attacker,
-                    setup.victim,
-                )
+                engine.propagate_outcome(&seeds, &accept, ws, None, setup.attacker, setup.victim)
             });
-            (outcome, victim_transparent && accept.is_transparent())
+            (outcome, victim_transparent && transparent)
         }
         Some(ann) if ann.prefix.covers(plan.target) => {
             let baseline = ctx.baseline();
@@ -457,6 +511,7 @@ pub(crate) fn run_strategy_shared(
                 claimed_origin: ann.claimed_origin,
             };
             let independent = victim_transparent && accept_q.is_transparent();
+            let accept = recording(&accept_q, strat_sink);
             if ann.prefix.len() > setup.victim_prefix.len() {
                 // The usual shape: the attacker's more-specific table
                 // wins longest-prefix match, the baseline is the
@@ -464,7 +519,7 @@ pub(crate) fn run_strategy_shared(
                 let outcome = with_workspace(|ws| {
                     engine.propagate_outcome(
                         &[seed],
-                        &|at, origin| accept_q.accept(at, origin),
+                        &accept,
                         ws,
                         Some(baseline),
                         setup.attacker,
@@ -476,9 +531,7 @@ pub(crate) fn run_strategy_shared(
                 // A *less*-specific announcement: the victim's own table
                 // stays primary (rare — only custom strategies announce
                 // super-prefixes).
-                let attacked = with_workspace(|ws| {
-                    engine.propagate(&[seed], &|at, origin| accept_q.accept(at, origin), ws)
-                });
+                let attacked = with_workspace(|ws| engine.propagate(&[seed], &accept, ws));
                 let outcome = outcome_from_tables(
                     &[baseline, &attacked],
                     setup.attacker,

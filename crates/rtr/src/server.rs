@@ -780,45 +780,93 @@ impl FanoutServer {
     }
 }
 
-/// The session registry: an exact live-session count with a condition
-/// variable, so tests and orchestration code can *wait* for
-/// registration or reaping instead of polling side effects.
+/// The session registry: an exact live-session count plus a wake
+/// generation, both under one condition variable — so tests and
+/// orchestration code can *wait* for registration or reaping instead of
+/// polling side effects, and the event loop can *sleep* on the same
+/// condvar instead of a fixed poll tick ([`ServerHandle`] operations
+/// bump the generation and are serviced immediately).
 #[derive(Debug, Default)]
 struct Registry {
-    open: StdMutex<usize>,
+    state: StdMutex<RegistryState>,
     changed: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct RegistryState {
+    open: usize,
+    /// Bumped by every handle-side operation the event loop should
+    /// react to (cache update, shutdown). Monotonic, never reset.
+    wakes: u64,
 }
 
 impl Registry {
     fn opened(&self) {
-        *self.open.lock().expect("registry poisoned") += 1;
+        self.state.lock().expect("registry poisoned").open += 1;
         self.changed.notify_all();
     }
 
     fn closed(&self) {
-        *self.open.lock().expect("registry poisoned") -= 1;
+        self.state.lock().expect("registry poisoned").open -= 1;
         self.changed.notify_all();
     }
 
     fn count(&self) -> usize {
-        *self.open.lock().expect("registry poisoned")
+        self.state.lock().expect("registry poisoned").open
+    }
+
+    /// Signals the event loop that handle-side state changed (queued
+    /// notifies, shutdown request): bumps the wake generation and wakes
+    /// every [`Registry::wait_for_wake`] sleeper.
+    fn wake(&self) {
+        self.state.lock().expect("registry poisoned").wakes += 1;
+        self.changed.notify_all();
+    }
+
+    /// The current wake generation. The event loop samples it *before*
+    /// a pass; a wake landing mid-pass makes the next
+    /// [`Registry::wait_for_wake`] return immediately (no lost wakeup).
+    fn wake_generation(&self) -> u64 {
+        self.state.lock().expect("registry poisoned").wakes
+    }
+
+    /// Blocks until the wake generation moves past `seen` or `cap`
+    /// elapses — the event loop's idle wait, with `cap` (the old poll
+    /// interval) as the blocking bound so socket readiness is still
+    /// polled.
+    fn wait_for_wake(&self, seen: u64, cap: Duration) {
+        let deadline = Instant::now() + cap;
+        let mut state = self.state.lock().expect("registry poisoned");
+        while state.wakes == seen {
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                return;
+            };
+            let (guard, result) = self
+                .changed
+                .wait_timeout(state, left)
+                .expect("registry poisoned");
+            state = guard;
+            if result.timed_out() {
+                return;
+            }
+        }
     }
 
     /// Blocks until `pred(open_count)` holds or `timeout` elapses;
     /// returns whether it held.
     fn wait_until(&self, timeout: Duration, pred: impl Fn(usize) -> bool) -> bool {
         let deadline = Instant::now() + timeout;
-        let mut open = self.open.lock().expect("registry poisoned");
-        while !pred(*open) {
+        let mut state = self.state.lock().expect("registry poisoned");
+        while !pred(state.open) {
             let Some(left) = deadline.checked_duration_since(Instant::now()) else {
                 return false;
             };
             let (guard, result) = self
                 .changed
-                .wait_timeout(open, left)
+                .wait_timeout(state, left)
                 .expect("registry poisoned");
-            open = guard;
-            if result.timed_out() && !pred(*open) {
+            state = guard;
+            if result.timed_out() && !pred(state.open) {
                 return false;
             }
         }
@@ -934,6 +982,11 @@ impl TcpCacheServer {
         let mut buf = [0u8; 4096];
         let poll_interval = self.shared.core.lock().config().poll_interval;
         loop {
+            // Sample the wake generation *before* the shutdown check and
+            // the socket pass: a handle-side wake (update, shutdown)
+            // landing anywhere in this iteration makes the idle wait at
+            // the bottom return immediately instead of being lost.
+            let wake_seen = self.shared.registry.wake_generation();
             if self.shared.shutdown.load(Ordering::Relaxed) {
                 // Outboxes may still hold queued responses and teardown
                 // reports; push them before the sockets close.
@@ -1028,7 +1081,11 @@ impl TcpCacheServer {
                 !conn.dead
             });
             if !progressed {
-                std::thread::sleep(poll_interval);
+                // Idle: block on the registry condvar instead of a fixed
+                // sleep, so `update_and_notify`/`shutdown` are serviced
+                // immediately. `poll_interval` remains the cap because
+                // socket readiness is still discovered by polling.
+                self.shared.registry.wait_for_wake(wake_seen, poll_interval);
             }
         }
     }
@@ -1082,7 +1139,10 @@ impl TcpCacheServer {
             if !blocked {
                 return;
             }
-            std::thread::sleep(poll_interval);
+            // Pace the retry against a slow peer, but stay wakeable so a
+            // concurrent handle operation doesn't stall the drain.
+            let seen = self.shared.registry.wake_generation();
+            self.shared.registry.wait_for_wake(seen, poll_interval);
         }
     }
 }
@@ -1094,30 +1154,41 @@ impl ServerHandle {
     }
 
     /// Replaces the VRP set and queues a Serial Notify for every live
-    /// session (the event loop flushes them). Returns the number of
-    /// sessions notified.
+    /// session, waking the event loop so the notifies are flushed
+    /// immediately rather than on the next poll tick. Returns the number
+    /// of sessions notified.
     pub fn update_and_notify(&self, vrps: &[Vrp]) -> usize {
-        self.shared.core.lock().update_and_notify(vrps)
+        let notified = self.shared.core.lock().update_and_notify(vrps);
+        self.shared.registry.wake();
+        notified
     }
 
     /// Applies a churn-style delta and queues notifies, like
     /// [`ServerHandle::update_and_notify`].
     pub fn update_delta_and_notify(&self, announced: &[Vrp], withdrawn: &[Vrp]) -> usize {
-        self.shared
+        let notified = self
+            .shared
             .core
             .lock()
-            .update_delta_and_notify(announced, withdrawn)
+            .update_delta_and_notify(announced, withdrawn);
+        self.shared.registry.wake();
+        notified
     }
 
-    /// Runs `f` against the fan-out core under its lock.
+    /// Runs `f` against the fan-out core under its lock, then wakes the
+    /// event loop (`f` may have queued output or advanced timers).
     pub fn with_core<R>(&self, f: impl FnOnce(&mut FanoutServer) -> R) -> R {
-        f(&mut self.shared.core.lock())
+        let result = f(&mut self.shared.core.lock());
+        self.shared.registry.wake();
+        result
     }
 
     /// Runs `f` against the cache under the core lock, without any
     /// notify fan-out (see [`FanoutServer::with_cache`]).
     pub fn with_cache<R>(&self, f: impl FnOnce(&mut CacheServer) -> R) -> R {
-        self.shared.core.lock().with_cache(f)
+        let result = self.shared.core.lock().with_cache(f);
+        self.shared.registry.wake();
+        result
     }
 
     /// Number of currently registered sessions.
@@ -1140,9 +1211,11 @@ impl ServerHandle {
     }
 
     /// Asks the event loop to stop; it closes every connection and
-    /// returns.
+    /// returns. The wake makes an idle loop notice immediately instead
+    /// of finishing its blocking wait first.
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.registry.wake();
     }
 }
 
@@ -1345,6 +1418,69 @@ mod tests {
         let handle = server.handle();
         let serving = thread::spawn(move || server.serve());
         (handle, serving)
+    }
+
+    fn spawn_server_with_config(
+        vrps: &[Vrp],
+        config: ServerConfig,
+    ) -> (ServerHandle, thread::JoinHandle<Result<(), TransportError>>) {
+        let server = TcpCacheServer::bind_with_config(
+            "127.0.0.1:0".parse().unwrap(),
+            CacheServer::new(77, vrps),
+            config,
+        )
+        .unwrap();
+        let handle = server.handle();
+        let serving = thread::spawn(move || server.serve());
+        (handle, serving)
+    }
+
+    /// A poll interval long enough that any test passing in well under
+    /// it proves the condvar wakeup fired, not the poll tick.
+    const GLACIAL_POLL: Duration = Duration::from_secs(10);
+
+    #[test]
+    fn notify_is_delivered_without_waiting_for_the_poll_tick() {
+        let config = ServerConfig {
+            poll_interval: GLACIAL_POLL,
+            ..ServerConfig::default()
+        };
+        let (handle, serving) = spawn_server_with_config(&vrps(&["10.0.0.0/8 => AS1"]), config);
+        let mut transport = TcpTransport::connect(handle.addr()).unwrap();
+        let mut router = RouterClient::new();
+        router.synchronize(&mut transport).unwrap();
+        assert!(handle.wait_for_sessions(1, Duration::from_secs(5)));
+        let t0 = Instant::now();
+        assert_eq!(handle.update_and_notify(&vrps(&["11.0.0.0/8 => AS2"])), 1);
+        let notify = transport.recv().unwrap();
+        let elapsed = t0.elapsed();
+        assert!(matches!(notify, Pdu::SerialNotify { session_id: 77, .. }));
+        assert!(
+            elapsed < GLACIAL_POLL / 2,
+            "notify took {elapsed:?}: the idle loop slept through the wake"
+        );
+        handle.shutdown();
+        serving.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn shutdown_interrupts_an_idle_poll_wait() {
+        let config = ServerConfig {
+            poll_interval: GLACIAL_POLL,
+            ..ServerConfig::default()
+        };
+        let (handle, serving) = spawn_server_with_config(&vrps(&["10.0.0.0/8 => AS1"]), config);
+        // Let the loop run at least one empty pass and park in its
+        // blocking wait before asking it to stop.
+        thread::sleep(Duration::from_millis(20));
+        let t0 = Instant::now();
+        handle.shutdown();
+        serving.join().unwrap().unwrap();
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < GLACIAL_POLL / 2,
+            "shutdown took {elapsed:?}: the idle loop slept through the wake"
+        );
     }
 
     #[test]
